@@ -1,0 +1,36 @@
+//! Engine ablation: sequential vs multi-threaded node stepping. Round
+//! counts are bit-identical by construction (asserted); only wall time
+//! differs, which is what Criterion measures here.
+
+use cc_bench::SEED;
+use cliquesim::{Engine, Session};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn apsp_rounds(n: usize, threads: usize) -> usize {
+    let wg = cc_graph::gen::gnp_weighted(n, 0.2, 20, SEED);
+    let engine = if threads > 1 { Engine::new(n).with_threads(threads) } else { Engine::new(n) };
+    let mut s = Session::new(engine);
+    cc_paths::apsp_exact(&mut s, &wg).unwrap();
+    s.stats().rounds
+}
+
+fn bench(c: &mut Criterion) {
+    // Determinism check first: same rounds regardless of threading.
+    let n = 64;
+    let seq = apsp_rounds(n, 1);
+    let par = apsp_rounds(n, 4);
+    assert_eq!(seq, par, "parallel stepping must not change round counts");
+    println!("\n=== engine ablation: APSP n={n} takes {seq} rounds at any thread count ===");
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("apsp_n64_threads{threads}"), |b| {
+            b.iter(|| apsp_rounds(64, threads));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Experiment **S7-MM**: the matrix-multiplication backbone of §7.
+//! Ablation: the 3D `O(n^{1/3})` algorithm vs the naive `O(n)` broadcast,
+//! with the crossover point; plus carrier-semiring comparison (Boolean
+//! entries are 1 bit, tropical entries `O(log n)` bits — same schedule,
+//! different constants).
+
+use cc_bench::{print_table, SEED};
+use cc_matmul::{
+    mm_naive_broadcast, mm_three_d, BoolSemiring, Matrix, TropicalSemiring,
+};
+use cliquesim::{Engine, Session};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn report() {
+    let mut rows = Vec::new();
+    for n in [8usize, 27, 64, 125, 216] {
+        let sr = TropicalSemiring::for_max_value(1000);
+        let a = Matrix::filled(n, 3u64);
+        let mut s1 = Session::new(Engine::new(n));
+        mm_three_d(&mut s1, &sr, &a.to_rows(), &a.to_rows()).unwrap();
+        let mut s2 = Session::new(Engine::new(n));
+        mm_naive_broadcast(&mut s2, &sr, &a.to_rows(), &a.to_rows()).unwrap();
+
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(SEED + n as u64);
+        let ab = Matrix::from_fn(n, |_, _| rng.gen_bool(0.5));
+        let mut s3 = Session::new(Engine::new(n));
+        mm_three_d(&mut s3, &BoolSemiring, &ab.to_rows(), &ab.to_rows()).unwrap();
+
+        rows.push(vec![
+            n.to_string(),
+            s1.stats().rounds.to_string(),
+            s2.stats().rounds.to_string(),
+            if s1.stats().rounds < s2.stats().rounds { "3D" } else { "naive" }.to_string(),
+            s3.stats().rounds.to_string(),
+        ]);
+    }
+    print_table(
+        "Semiring MM: 3D vs naive (tropical, ~10-bit entries) + Boolean 3D",
+        &["n", "3D rounds", "naive rounds", "winner", "3D bool rounds"],
+        &rows,
+    );
+    println!("\nshape: the naive column grows ~linearly, the 3D column ~n^(1/3);");
+    println!("the crossover sits between n = 27 and n = 64 with log n-width entries.");
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for n in [27usize, 64] {
+        let sr = TropicalSemiring::for_max_value(1000);
+        let a = Matrix::filled(n, 3u64);
+        group.bench_function(format!("mm3d_n{n}"), |b| {
+            b.iter(|| {
+                let mut s = Session::new(Engine::new(n));
+                mm_three_d(&mut s, &sr, &a.to_rows(), &a.to_rows()).unwrap()
+            });
+        });
+        group.bench_function(format!("naive_n{n}"), |b| {
+            b.iter(|| {
+                let mut s = Session::new(Engine::new(n));
+                mm_naive_broadcast(&mut s, &sr, &a.to_rows(), &a.to_rows()).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

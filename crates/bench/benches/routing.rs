@@ -1,0 +1,91 @@
+//! Experiment **S3-RT**: the routing substrate. Ablation between the
+//! direct per-link schedule and the Lenzen-style two-phase balanced
+//! schedule: identical on uniform patterns, and the balanced router wins
+//! exactly on node-balanced-but-link-skewed patterns (the regime the
+//! paper's Theorem 9 relies on).
+
+use cc_bench::{print_table, SEED};
+use cliquesim::{BitString, Engine, NodeId, Session};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+
+type Demands = Vec<Vec<(NodeId, BitString)>>;
+
+fn uniform_pattern(n: usize, bits: usize, seed: u64) -> Demands {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|v| {
+            (0..n)
+                .filter(|&u| u != v)
+                .map(|u| (NodeId::from(u), (0..bits).map(|_| rng.gen_bool(0.5)).collect()))
+                .collect()
+        })
+        .collect()
+}
+
+fn skewed_pattern(n: usize, bits: usize, seed: u64) -> Demands {
+    // Every node sends its whole budget to a single partner: per-node
+    // balanced, per-link maximally skewed.
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|v| {
+            let dst = (v + 1) % n;
+            let payload: BitString = (0..bits * (n - 1)).map(|_| rng.gen_bool(0.5)).collect();
+            vec![(NodeId::from(dst), payload)]
+        })
+        .collect()
+}
+
+fn rounds(n: usize, d: Demands, balanced: bool) -> usize {
+    let mut s = Session::new(Engine::new(n));
+    if balanced {
+        cc_routing::route_balanced(&mut s, d).unwrap();
+    } else {
+        cc_routing::route(&mut s, d).unwrap();
+    }
+    s.stats().rounds
+}
+
+fn report() {
+    let mut rows = Vec::new();
+    for n in [16usize, 32, 64] {
+        let bits = 8;
+        rows.push(vec![
+            n.to_string(),
+            "uniform".into(),
+            rounds(n, uniform_pattern(n, bits, SEED), false).to_string(),
+            rounds(n, uniform_pattern(n, bits, SEED), true).to_string(),
+        ]);
+        rows.push(vec![
+            n.to_string(),
+            "skewed".into(),
+            rounds(n, skewed_pattern(n, bits, SEED), false).to_string(),
+            rounds(n, skewed_pattern(n, bits, SEED), true).to_string(),
+        ]);
+    }
+    print_table(
+        "Routing ablation: direct schedule vs two-phase balanced",
+        &["n", "pattern", "direct rounds", "balanced rounds"],
+        &rows,
+    );
+    println!("\nshape: on the skewed pattern the direct schedule pays Θ(n·B/log n)");
+    println!("rounds on one link while the balanced schedule spreads the stream");
+    println!("over all links (Lenzen's regime, DESIGN.md substitution).");
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("routing");
+    group.sample_size(10);
+    let n = 32;
+    group.bench_function("direct_uniform_n32", |b| {
+        b.iter(|| rounds(n, uniform_pattern(n, 8, SEED), false));
+    });
+    group.bench_function("balanced_skewed_n32", |b| {
+        b.iter(|| rounds(n, skewed_pattern(n, 8, SEED), true));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

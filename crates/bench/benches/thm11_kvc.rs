@@ -1,0 +1,68 @@
+//! Experiment **T11** (Theorem 11): k-vertex cover in `O(k)` rounds.
+//! The two sweeps make the theorem's shape visible: rounds are *flat in n*
+//! and *linear in k* — the fixed-parameter corner of the paper's map.
+
+use cc_bench::{print_table, SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn report() {
+    // Flat in n.
+    let k = 5;
+    let rows_n: Vec<Vec<String>> = [64usize, 128, 256, 512, 1024]
+        .iter()
+        .map(|&n| {
+            let (g, _) = cc_graph::gen::planted_vertex_cover(n, k, 4, SEED + n as u64);
+            let (cover, stats) = cc_param::vertex_cover_rounds(&g, k).unwrap();
+            vec![
+                n.to_string(),
+                stats.rounds.to_string(),
+                cover.map(|c| c.len().to_string()).unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Theorem 11: rounds vs n at fixed k = {k} (expect a constant column)"),
+        &["n", "rounds", "|cover|"],
+        &rows_n,
+    );
+    let round_set: std::collections::HashSet<&String> =
+        rows_n.iter().map(|r| &r[1]).collect();
+    assert_eq!(round_set.len(), 1, "rounds must be independent of n");
+
+    // Linear in k.
+    let n = 256;
+    let rows_k: Vec<Vec<String>> = [1usize, 2, 4, 6, 8, 12]
+        .iter()
+        .map(|&k| {
+            let (g, _) = cc_graph::gen::planted_vertex_cover(n, k, 4, SEED + k as u64);
+            let (cover, stats) = cc_param::vertex_cover_rounds(&g, k).unwrap();
+            assert!(stats.rounds <= k + 2);
+            vec![
+                k.to_string(),
+                stats.rounds.to_string(),
+                cover.map(|c| c.len().to_string()).unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Theorem 11: rounds vs k at fixed n = {n} (expect ≈ k + 1)"),
+        &["k", "rounds", "|cover|"],
+        &rows_k,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("thm11_kvc");
+    group.sample_size(20);
+    for n in [128usize, 512] {
+        let (g, _) = cc_graph::gen::planted_vertex_cover(n, 5, 4, SEED);
+        group.bench_function(format!("k5_n{n}"), |b| {
+            b.iter(|| cc_param::vertex_cover_rounds(&g, 5).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

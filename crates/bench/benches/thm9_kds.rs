@@ -1,0 +1,58 @@
+//! Experiment **T9** (Theorem 9): k-dominating set in `O(n^{1−1/k})`
+//! rounds. Sweeps n for k ∈ {2, 3}; the fitted exponent should sit at or
+//! below `1 − 1/k` and *grow with k* (the paper's signature shape:
+//! parameterised problems whose n-exponent depends on k).
+
+use cc_bench::{exponent_summary, print_table, SEED};
+use cliquesim::{Engine, Session};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn sweep(k: usize, ns: &[usize]) -> Vec<(usize, usize)> {
+    ns.iter()
+        .map(|&n| {
+            let (g, _) = cc_graph::gen::planted_dominating_set(n, k, 0.05, SEED + n as u64);
+            let mut s = Session::new(Engine::new(n));
+            let found = cc_param::dominating_set(&mut s, &g, k).unwrap();
+            assert!(found.is_some(), "planted {k}-DS must be found at n={n}");
+            (n, s.stats().rounds)
+        })
+        .collect()
+}
+
+fn report() {
+    let mut rows = Vec::new();
+    for (k, ns) in [(2usize, vec![32usize, 64, 128, 256]), (3, vec![27, 64, 125])] {
+        let samples = sweep(k, &ns);
+        let bound = format!("1-1/{k} = {:.3}", 1.0 - 1.0 / k as f64);
+        rows.push(vec![
+            format!("k={k}"),
+            samples.iter().map(|(n, r)| format!("{n}:{r}")).collect::<Vec<_>>().join("  "),
+            exponent_summary(&samples, &bound),
+        ]);
+    }
+    print_table(
+        "Theorem 9: k-dominating set rounds (planted instances)",
+        &["k", "rounds by n", "fit"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("thm9_kds");
+    group.sample_size(10);
+    for k in [2usize, 3] {
+        let n = 64;
+        let (g, _) = cc_graph::gen::planted_dominating_set(n, k, 0.05, SEED);
+        group.bench_function(format!("k{k}_n{n}"), |b| {
+            b.iter(|| {
+                let mut s = Session::new(Engine::new(n));
+                cc_param::dominating_set(&mut s, &g, k).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

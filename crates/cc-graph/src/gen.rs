@@ -1,0 +1,304 @@
+//! Deterministic workload generators.
+//!
+//! Every generator takes an explicit seed and uses ChaCha8, so experiments
+//! are replayable bit-for-bit. Planted instances come with the planted
+//! witness so tests can assert detection without re-solving.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::graph::Graph;
+use crate::weighted::WeightedGraph;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Erdős–Rényi `G(n, p)`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let mut g = Graph::empty(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if r.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// `G(n, p)` with uniformly random weights in `1..=max_w` on its edges.
+pub fn gnp_weighted(n: usize, p: f64, max_w: u64, seed: u64) -> WeightedGraph {
+    let mut r = rng(seed);
+    let mut g = WeightedGraph::empty(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if r.gen_bool(p) {
+                g.set_weight(u, v, r.gen_range(1..=max_w));
+            }
+        }
+    }
+    g
+}
+
+/// A dense graph containing a planted independent set of size `k`.
+///
+/// Returns `(graph, planted_set)`. Outside the planted set, edges appear
+/// with probability `p`; between set members, never.
+pub fn planted_independent_set(n: usize, k: usize, p: f64, seed: u64) -> (Graph, Vec<usize>) {
+    assert!(k <= n);
+    let mut r = rng(seed);
+    let mut verts: Vec<usize> = (0..n).collect();
+    verts.shuffle(&mut r);
+    let planted: Vec<usize> = verts[..k].to_vec();
+    let in_set = {
+        let mut m = vec![false; n];
+        for &v in &planted {
+            m[v] = true;
+        }
+        m
+    };
+    let mut g = Graph::empty(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if in_set[u] && in_set[v] {
+                continue;
+            }
+            if r.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    (g, planted)
+}
+
+/// A graph containing a planted dominating set of size `k`.
+///
+/// Every vertex outside the planted set is attached to a uniformly random
+/// planted vertex, guaranteeing domination; additional `G(n,p)` edges are
+/// overlaid. Returns `(graph, planted_set)`.
+pub fn planted_dominating_set(n: usize, k: usize, p: f64, seed: u64) -> (Graph, Vec<usize>) {
+    assert!(k >= 1 && k <= n);
+    let mut r = rng(seed);
+    let mut verts: Vec<usize> = (0..n).collect();
+    verts.shuffle(&mut r);
+    let planted: Vec<usize> = verts[..k].to_vec();
+    let mut g = gnp(n, p, r.gen());
+    for v in 0..n {
+        if !planted.contains(&v) {
+            let d = planted[r.gen_range(0..k)];
+            g.add_edge(v, d);
+        }
+    }
+    (g, planted)
+}
+
+/// A graph with a planted clique of size `k` over `G(n, p)` noise.
+pub fn planted_clique(n: usize, k: usize, p: f64, seed: u64) -> (Graph, Vec<usize>) {
+    assert!(k <= n);
+    let mut r = rng(seed);
+    let mut verts: Vec<usize> = (0..n).collect();
+    verts.shuffle(&mut r);
+    let planted: Vec<usize> = verts[..k].to_vec();
+    let mut g = gnp(n, p, r.gen());
+    for (i, &u) in planted.iter().enumerate() {
+        for &v in planted.iter().skip(i + 1) {
+            g.add_edge(u, v);
+        }
+    }
+    (g, planted)
+}
+
+/// A graph that is `k`-colourable by construction: vertices are split into
+/// `k` colour classes and only cross-class edges are added (each with
+/// probability `p`). Returns `(graph, colouring)`.
+pub fn k_colorable(n: usize, k: usize, p: f64, seed: u64) -> (Graph, Vec<usize>) {
+    assert!(k >= 1);
+    let mut r = rng(seed);
+    let colors: Vec<usize> = (0..n).map(|_| r.gen_range(0..k)).collect();
+    let mut g = Graph::empty(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if colors[u] != colors[v] && r.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    (g, colors)
+}
+
+/// A graph containing a Hamiltonian path by construction, with `G(n,p)`
+/// noise on top. Returns `(graph, path)` where `path` visits every vertex.
+pub fn hamiltonian(n: usize, p: f64, seed: u64) -> (Graph, Vec<usize>) {
+    let mut r = rng(seed);
+    let mut path: Vec<usize> = (0..n).collect();
+    path.shuffle(&mut r);
+    let mut g = gnp(n, p, r.gen());
+    for w in path.windows(2) {
+        g.add_edge(w[0], w[1]);
+    }
+    (g, path)
+}
+
+/// The path `0 − 1 − … − (n−1)`.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for v in 1..n {
+        g.add_edge(v - 1, v);
+    }
+    g
+}
+
+/// The cycle `0 − 1 − … − (n−1) − 0` (needs `n ≥ 3`).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycles need at least 3 vertices");
+    let mut g = path(n);
+    g.add_edge(n - 1, 0);
+    g
+}
+
+/// The star with centre 0 and `n−1` leaves.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for v in 1..n {
+        g.add_edge(0, v);
+    }
+    g
+}
+
+/// A graph with a planted vertex cover of size `k`: every edge touches one
+/// of `k` randomly chosen centre vertices (each non-centre attaches to
+/// `0..=max_deg` random centres). Returns `(graph, centres)`.
+pub fn planted_vertex_cover(n: usize, k: usize, max_deg: usize, seed: u64) -> (Graph, Vec<usize>) {
+    assert!(k <= n);
+    let mut r = rng(seed);
+    let mut verts: Vec<usize> = (0..n).collect();
+    verts.shuffle(&mut r);
+    let centers: Vec<usize> = verts[..k].to_vec();
+    let mut g = Graph::empty(n);
+    for v in 0..n {
+        if centers.contains(&v) {
+            continue;
+        }
+        for _ in 0..r.gen_range(0..=max_deg) {
+            let c = centers[r.gen_range(0..k.max(1))];
+            if c != v {
+                g.add_edge(v, c);
+            }
+        }
+    }
+    (g, centers)
+}
+
+/// Disjoint union of `parts` cliques as equal as possible (a cluster graph;
+/// useful as a small-dominating-set / many-components workload).
+pub fn cliques(n: usize, parts: usize) -> Graph {
+    assert!(parts >= 1);
+    let mut g = Graph::empty(n);
+    for start in 0..parts {
+        let members: Vec<usize> = (start..n).step_by(parts).collect();
+        for (i, &u) in members.iter().enumerate() {
+            for &v in members.iter().skip(i + 1) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).edge_count(), 0);
+        assert_eq!(gnp(10, 1.0, 1).edge_count(), 45);
+    }
+
+    #[test]
+    fn gnp_is_seed_deterministic() {
+        assert_eq!(gnp(20, 0.3, 42), gnp(20, 0.3, 42));
+        assert_ne!(gnp(20, 0.3, 42), gnp(20, 0.3, 43));
+    }
+
+    #[test]
+    fn planted_is_really_independent() {
+        for seed in 0..5 {
+            let (g, set) = planted_independent_set(30, 5, 0.7, seed);
+            assert_eq!(set.len(), 5);
+            assert!(reference::is_independent_set(&g, &set));
+        }
+    }
+
+    #[test]
+    fn planted_ds_dominates() {
+        for seed in 0..5 {
+            let (g, set) = planted_dominating_set(30, 3, 0.1, seed);
+            assert!(reference::is_dominating_set(&g, &set));
+        }
+    }
+
+    #[test]
+    fn planted_clique_is_clique() {
+        let (g, set) = planted_clique(25, 6, 0.2, 7);
+        for (i, &u) in set.iter().enumerate() {
+            for &v in set.iter().skip(i + 1) {
+                assert!(g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn k_colorable_is_proper() {
+        let (g, colors) = k_colorable(40, 4, 0.6, 3);
+        for (u, v) in g.edges() {
+            assert_ne!(colors[u], colors[v]);
+        }
+    }
+
+    #[test]
+    fn hamiltonian_path_is_present() {
+        let (g, p) = hamiltonian(15, 0.1, 9);
+        assert_eq!(p.len(), 15);
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn structured_graphs() {
+        assert_eq!(path(5).edge_count(), 4);
+        assert_eq!(cycle(5).edge_count(), 5);
+        assert_eq!(star(5).edge_count(), 4);
+        assert_eq!(cliques(6, 2).edge_count(), 2 * 3); // two triangles
+        let g = cliques(9, 3);
+        assert!(g.has_edge(0, 3));
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn planted_vc_is_covered_by_centers() {
+        for seed in 0..4 {
+            let (g, centers) = planted_vertex_cover(40, 5, 3, seed);
+            assert!(reference::is_vertex_cover(&g, &centers));
+            assert_eq!(centers.len(), 5);
+        }
+    }
+
+    #[test]
+    fn weighted_gnp_bounds() {
+        let g = gnp_weighted(15, 0.5, 9, 4);
+        for u in 0..15 {
+            for v in 0..15 {
+                if g.has_edge(u, v) {
+                    let w = g.weight(u, v);
+                    assert!((1..=9).contains(&w));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Undirected, unweighted graphs on the vertex set `{0, …, n−1}`.
+//!
+//! Decision problems in the paper (§3) are families of such graphs. The
+//! representation is a dense bitset adjacency matrix: the congested clique is
+//! interesting precisely on dense inputs, and the simulator feeds each node
+//! its adjacency *row*, so rows are the native unit.
+
+use cliquesim::{BitString, NodeId};
+
+/// An undirected simple graph (no self-loops) on `n` labelled vertices.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Graph {
+    n: usize,
+    rows: Vec<BitString>,
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Graph(n={}, m={}, edges=[", self.n, self.edge_count())?;
+        let mut first = true;
+        for (u, v) in self.edges() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{u}-{v}")?;
+            first = false;
+        }
+        write!(f, "])")
+    }
+}
+
+impl Graph {
+    /// The empty graph on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Self { n, rows: vec![BitString::zeros(n); n] }
+    }
+
+    /// The complete graph `K_n`.
+    pub fn complete(n: usize) -> Self {
+        let mut g = Self::empty(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// Build from an explicit edge list. Panics on out-of-range endpoints or
+    /// self-loops.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Self::empty(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.rows.iter().map(|r| r.iter().filter(|b| *b).count()).sum::<usize>() / 2
+    }
+
+    /// Insert the edge `{u, v}`.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range for n={}", self.n);
+        assert_ne!(u, v, "self-loops are not allowed");
+        self.rows[u].set(v, true);
+        self.rows[v].set(u, true);
+    }
+
+    /// Remove the edge `{u, v}` if present.
+    pub fn remove_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n);
+        self.rows[u].set(v, false);
+        self.rows[v].set(u, false);
+    }
+
+    /// Whether `{u, v}` is an edge. `has_edge(v, v)` is always false.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u != v && self.rows[u].get(v)
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.rows[v].iter().filter(|b| *b).count()
+    }
+
+    /// Iterate over the neighbours of `v` in increasing order.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.rows[v].iter().enumerate().filter(|(_, b)| *b).map(|(u, _)| u)
+    }
+
+    /// Iterate over all edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            self.neighbors(u).filter(move |v| *v > u).map(move |v| (u, v))
+        })
+    }
+
+    /// The complement graph.
+    pub fn complement(&self) -> Self {
+        let mut g = Self::empty(self.n);
+        for u in 0..self.n {
+            for v in (u + 1)..self.n {
+                if !self.has_edge(u, v) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// The subgraph induced by `verts` (vertices are relabelled
+    /// `0..verts.len()` in the order given).
+    pub fn induced(&self, verts: &[usize]) -> Self {
+        let mut g = Self::empty(verts.len());
+        for (i, &u) in verts.iter().enumerate() {
+            for (j, &v) in verts.iter().enumerate().skip(i + 1) {
+                if self.has_edge(u, v) {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        g
+    }
+
+    /// The raw adjacency row of `v` (bit `u` set iff `{u,v} ∈ E`).
+    pub fn row(&self, v: usize) -> &BitString {
+        &self.rows[v]
+    }
+
+    // ------------------------------------------------------------------
+    // Simulator input encodings (paper §3, "Input encoding").
+    // ------------------------------------------------------------------
+
+    /// The standard input for node `v`: a length-`n−1` bit vector indexed by
+    /// `V \ {v}` in increasing order, describing v's incident edges.
+    pub fn input_row(&self, v: NodeId) -> BitString {
+        let v = v.index();
+        let mut bits = BitString::with_capacity(self.n - 1);
+        for u in 0..self.n {
+            if u != v {
+                bits.push(self.has_edge(u, v));
+            }
+        }
+        bits
+    }
+
+    /// Inputs for all nodes under the standard encoding.
+    pub fn input_rows(&self) -> Vec<BitString> {
+        (0..self.n).map(|v| self.input_row(NodeId::from(v))).collect()
+    }
+
+    /// Which endpoint *owns* the private bit of the potential edge `{u, v}`
+    /// under the balanced split of §3 (each bit is held by exactly one
+    /// endpoint and every node owns at least `⌊(n−1)/2⌋` bits).
+    ///
+    /// The rule is the round-robin tournament orientation: `u` owns `{u,v}`
+    /// iff `(v − u) mod n ≤ ⌊n/2⌋`, with ties (`n` even, diametrically
+    /// opposite pairs) broken towards the smaller endpoint.
+    pub fn private_owner(n: usize, u: usize, v: usize) -> usize {
+        assert!(u != v && u < n && v < n);
+        let d = (v + n - u) % n;
+        let half = n / 2;
+        if 2 * d < n || (2 * d == n && u < v) {
+            u
+        } else {
+            debug_assert!(2 * ((u + n - v) % n) < n || (2 * ((u + n - v) % n) == n && v < u) || half == 0);
+            v
+        }
+    }
+
+    /// The potential edges whose private bit node `v` owns, in increasing
+    /// order of the other endpoint.
+    pub fn owned_slots(n: usize, v: usize) -> Vec<usize> {
+        (0..n).filter(|&u| u != v && Self::private_owner(n, v, u) == v).collect()
+    }
+
+    /// Private input of node `v` under the balanced split: one bit per owned
+    /// potential edge, in [`Graph::owned_slots`] order.
+    pub fn private_input(&self, v: NodeId) -> BitString {
+        let v = v.index();
+        let mut bits = BitString::new();
+        for u in Self::owned_slots(self.n, v) {
+            bits.push(self.has_edge(v, u));
+        }
+        bits
+    }
+
+    /// Private inputs for all nodes.
+    pub fn private_inputs(&self) -> Vec<BitString> {
+        (0..self.n).map(|v| self.private_input(NodeId::from(v))).collect()
+    }
+
+    /// Enumerate all graphs on `n` vertices (there are `2^(n(n−1)/2)`;
+    /// usable for `n ≤ 5` in tests). Order is by edge-mask value.
+    pub fn enumerate_all(n: usize) -> impl Iterator<Item = Graph> {
+        let pairs: Vec<(usize, usize)> =
+            (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))).collect();
+        let count: u64 = 1u64
+            .checked_shl(pairs.len() as u32)
+            .expect("too many graphs to enumerate");
+        (0..count).map(move |mask| {
+            let mut g = Graph::empty(n);
+            for (i, &(u, v)) in pairs.iter().enumerate() {
+                if (mask >> i) & 1 == 1 {
+                    g.add_edge(u, v);
+                }
+            }
+            g
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_complete_counts() {
+        assert_eq!(Graph::empty(5).edge_count(), 0);
+        assert_eq!(Graph::complete(5).edge_count(), 10);
+        assert_eq!(Graph::complete(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn add_remove_has() {
+        let mut g = Graph::empty(4);
+        g.add_edge(0, 3);
+        assert!(g.has_edge(0, 3));
+        assert!(g.has_edge(3, 0));
+        assert!(!g.has_edge(1, 2));
+        assert!(!g.has_edge(2, 2));
+        g.remove_edge(3, 0);
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        Graph::empty(3).add_edge(1, 1);
+    }
+
+    #[test]
+    fn neighbors_and_degree() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 3), (0, 4), (2, 3)]);
+        assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![1, 3, 4]);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(2), 1);
+        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(0, 1), (0, 3), (0, 4), (2, 3)]);
+    }
+
+    #[test]
+    fn complement_involution() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3), (1, 3)]);
+        assert_eq!(g.complement().complement(), g);
+        assert_eq!(g.complement().edge_count(), 6 - 3);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = Graph::from_edges(5, &[(0, 2), (2, 4), (1, 3)]);
+        let h = g.induced(&[0, 2, 4]);
+        assert_eq!(h.n(), 3);
+        assert!(h.has_edge(0, 1)); // 0-2 in g
+        assert!(h.has_edge(1, 2)); // 2-4 in g
+        assert!(!h.has_edge(0, 2));
+    }
+
+    #[test]
+    fn input_row_skips_self() {
+        let g = Graph::from_edges(4, &[(1, 0), (1, 3)]);
+        let row = g.input_row(NodeId(1));
+        assert_eq!(row.len(), 3);
+        // Indexed by {0, 2, 3}.
+        assert!(row.get(0));
+        assert!(!row.get(1));
+        assert!(row.get(2));
+    }
+
+    #[test]
+    fn private_split_partitions_all_pairs() {
+        for n in 2..=9 {
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    let o = Graph::private_owner(n, u, v);
+                    let o2 = Graph::private_owner(n, v, u);
+                    assert_eq!(o, o2, "ownership must be symmetric in argument order");
+                    assert!(o == u || o == v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn private_split_is_balanced() {
+        for n in 2..=33 {
+            for v in 0..n {
+                let owned = Graph::owned_slots(n, v).len();
+                assert!(
+                    owned >= (n - 1) / 2,
+                    "node {v} of {n} owns {owned} < floor((n-1)/2) bits"
+                );
+                assert!(owned <= n / 2 + 1);
+            }
+            let total: usize = (0..n).map(|v| Graph::owned_slots(n, v).len()).sum();
+            assert_eq!(total, n * (n - 1) / 2, "every pair owned exactly once (n={n})");
+        }
+    }
+
+    #[test]
+    fn enumerate_all_counts() {
+        assert_eq!(Graph::enumerate_all(3).count(), 8);
+        assert_eq!(Graph::enumerate_all(4).count(), 64);
+        let with_all_edges = Graph::enumerate_all(3).filter(|g| g.edge_count() == 3).count();
+        assert_eq!(with_all_edges, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_from_edges_roundtrip(n in 2usize..12, seed in any::<u64>()) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u+1)..n {
+                    if rng.gen_bool(0.4) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, &edges);
+            prop_assert_eq!(g.edge_count(), edges.len());
+            prop_assert_eq!(g.edges().collect::<Vec<_>>(), edges);
+        }
+
+        #[test]
+        fn prop_private_inputs_reconstruct_graph(n in 2usize..10, seed in any::<u64>()) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut g = Graph::empty(n);
+            for u in 0..n {
+                for v in (u+1)..n {
+                    if rng.gen_bool(0.5) {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            // Reassemble the graph from the private bits alone.
+            let inputs = g.private_inputs();
+            let mut h = Graph::empty(n);
+            for v in 0..n {
+                for (i, u) in Graph::owned_slots(n, v).into_iter().enumerate() {
+                    if inputs[v].get(i) {
+                        h.add_edge(v, u);
+                    }
+                }
+            }
+            prop_assert_eq!(g, h);
+        }
+    }
+}

@@ -1,0 +1,733 @@
+//! Centralised reference solvers.
+//!
+//! Every distributed algorithm in this workspace is tested against these
+//! sequential implementations. They favour obvious correctness over speed:
+//! brute force where brute force is feasible, classic textbook algorithms
+//! otherwise. None of them is ever used *inside* a distributed algorithm's
+//! communication structure (local computation is free in the model, so nodes
+//! may call them on locally known data).
+
+use crate::graph::Graph;
+use crate::weighted::{dist_add, DistMatrix, WeightedGraph, INF};
+
+// ---------------------------------------------------------------------
+// Set predicates
+// ---------------------------------------------------------------------
+
+/// No two vertices of `set` are adjacent.
+pub fn is_independent_set(g: &Graph, set: &[usize]) -> bool {
+    for (i, &u) in set.iter().enumerate() {
+        for &v in set.iter().skip(i + 1) {
+            if u == v || g.has_edge(u, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Every vertex is in `set` or adjacent to a member of `set`.
+pub fn is_dominating_set(g: &Graph, set: &[usize]) -> bool {
+    let n = g.n();
+    let mut dominated = vec![false; n];
+    for &u in set {
+        dominated[u] = true;
+        for v in g.neighbors(u) {
+            dominated[v] = true;
+        }
+    }
+    dominated.into_iter().all(|d| d)
+}
+
+/// Every edge has an endpoint in `set`.
+pub fn is_vertex_cover(g: &Graph, set: &[usize]) -> bool {
+    let mut inset = vec![false; g.n()];
+    for &u in set {
+        inset[u] = true;
+    }
+    g.edges().all(|(u, v)| inset[u] || inset[v])
+}
+
+/// All `set` members pairwise adjacent.
+pub fn is_clique(g: &Graph, set: &[usize]) -> bool {
+    for (i, &u) in set.iter().enumerate() {
+        for &v in set.iter().skip(i + 1) {
+            if !g.has_edge(u, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `colors[u] != colors[v]` for every edge.
+pub fn is_proper_coloring(g: &Graph, colors: &[usize]) -> bool {
+    colors.len() == g.n() && g.edges().all(|(u, v)| colors[u] != colors[v])
+}
+
+/// `order` visits all vertices exactly once and consecutive ones are adjacent.
+pub fn is_hamiltonian_path(g: &Graph, order: &[usize]) -> bool {
+    let n = g.n();
+    if order.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &v in order {
+        if v >= n || seen[v] {
+            return false;
+        }
+        seen[v] = true;
+    }
+    order.windows(2).all(|w| g.has_edge(w[0], w[1]))
+}
+
+// ---------------------------------------------------------------------
+// Combination enumeration
+// ---------------------------------------------------------------------
+
+/// Call `f` on every size-`k` subset of `0..n` (lexicographic order) until
+/// `f` returns `true`; returns the first subset that satisfied `f`.
+pub fn find_combination(
+    n: usize,
+    k: usize,
+    mut f: impl FnMut(&[usize]) -> bool,
+) -> Option<Vec<usize>> {
+    if k > n {
+        return None;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        if f(&idx) {
+            return Some(idx);
+        }
+        // Advance to the next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return None;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return None;
+            }
+        }
+        idx[i] += 1;
+        for j in (i + 1)..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Brute-force decisions (small n / small k only; used as ground truth)
+// ---------------------------------------------------------------------
+
+/// Some independent set of size `k`, if one exists.
+pub fn find_independent_set(g: &Graph, k: usize) -> Option<Vec<usize>> {
+    if k == 0 {
+        return Some(vec![]);
+    }
+    find_combination(g.n(), k, |s| is_independent_set(g, s))
+}
+
+/// Some dominating set of size `k`, if one exists.
+pub fn find_dominating_set(g: &Graph, k: usize) -> Option<Vec<usize>> {
+    find_combination(g.n(), k, |s| is_dominating_set(g, s))
+}
+
+/// Some clique of size `k`, if one exists.
+pub fn find_clique(g: &Graph, k: usize) -> Option<Vec<usize>> {
+    if k == 0 {
+        return Some(vec![]);
+    }
+    find_combination(g.n(), k, |s| is_clique(g, s))
+}
+
+/// Whether G contains a vertex cover of size at most `k`, via the classic
+/// `O(2^k · m)` bounded search tree. Returns a cover if it exists (its size
+/// may be less than `k`).
+pub fn find_vertex_cover(g: &Graph, k: usize) -> Option<Vec<usize>> {
+    fn rec(g: &Graph, k: usize, picked: &mut Vec<usize>, removed: &mut Vec<bool>) -> bool {
+        // Find any uncovered edge.
+        let mut edge = None;
+        'outer: for u in 0..g.n() {
+            if removed[u] {
+                continue;
+            }
+            for v in g.neighbors(u) {
+                if !removed[v] {
+                    edge = Some((u, v));
+                    break 'outer;
+                }
+            }
+        }
+        let Some((u, v)) = edge else { return true };
+        if k == 0 {
+            return false;
+        }
+        for w in [u, v] {
+            picked.push(w);
+            removed[w] = true;
+            if rec(g, k - 1, picked, removed) {
+                return true;
+            }
+            removed[w] = false;
+            picked.pop();
+        }
+        false
+    }
+    let mut picked = Vec::new();
+    let mut removed = vec![false; g.n()];
+    rec(g, k, &mut picked, &mut removed).then_some(picked)
+}
+
+/// Size of a minimum vertex cover (exact; exponential in the answer).
+/// Decomposes by connected component first, so disconnected instances
+/// only pay for their largest component.
+pub fn min_vertex_cover_size(g: &Graph) -> usize {
+    let n = g.n();
+    let comp = components(g);
+    let mut verts_of: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+    for v in 0..n {
+        verts_of.entry(comp[v]).or_default().push(v);
+    }
+    verts_of
+        .values()
+        .map(|verts| {
+            let sub = g.induced(verts);
+            (0..=sub.n())
+                .find(|&k| find_vertex_cover(&sub, k).is_some())
+                .expect("V covers everything")
+        })
+        .sum()
+}
+
+/// Maximum independent set size (exact; uses VC duality on the complement
+/// relationship `α(G) = n − τ(G)`).
+pub fn max_independent_set_size(g: &Graph) -> usize {
+    g.n() - min_vertex_cover_size(g)
+}
+
+/// An explicit maximum independent set (exact): per connected component,
+/// find a minimum vertex cover witness and take its complement.
+pub fn find_maximum_independent_set(g: &Graph) -> Vec<usize> {
+    let n = g.n();
+    let comp = components(g);
+    let mut verts_of: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+    for v in 0..n {
+        verts_of.entry(comp[v]).or_default().push(v);
+    }
+    let mut is = Vec::new();
+    for verts in verts_of.values() {
+        let sub = g.induced(verts);
+        let tau = (0..=sub.n())
+            .find(|&k| find_vertex_cover(&sub, k).is_some())
+            .expect("V covers everything");
+        let cover = find_vertex_cover(&sub, tau).expect("tau is attainable");
+        let covered: Vec<bool> = {
+            let mut m = vec![false; sub.n()];
+            for &c in &cover {
+                m[c] = true;
+            }
+            m
+        };
+        for (i, &v) in verts.iter().enumerate() {
+            if !covered[i] {
+                is.push(v);
+            }
+        }
+    }
+    is.sort_unstable();
+    debug_assert!(is_independent_set(g, &is));
+    is
+}
+
+/// Is G properly colourable with `k` colours? Backtracking; returns a
+/// colouring if one exists.
+pub fn find_coloring(g: &Graph, k: usize) -> Option<Vec<usize>> {
+    let n = g.n();
+    if n == 0 {
+        return Some(vec![]);
+    }
+    if k == 0 {
+        return None;
+    }
+    let mut colors = vec![usize::MAX; n];
+    fn rec(g: &Graph, k: usize, v: usize, colors: &mut Vec<usize>) -> bool {
+        if v == g.n() {
+            return true;
+        }
+        // Symmetry breaking: vertex v may only use a colour already used or
+        // the first fresh one.
+        let used = colors[..v].iter().copied().filter(|&c| c != usize::MAX).max().map_or(0, |m| m + 1);
+        for c in 0..k.min(used + 1) {
+            if g.neighbors(v).all(|u| colors[u] != c) {
+                colors[v] = c;
+                if rec(g, k, v + 1, colors) {
+                    return true;
+                }
+                colors[v] = usize::MAX;
+            }
+        }
+        false
+    }
+    rec(g, k, 0, &mut colors).then_some(colors)
+}
+
+/// Does G contain a Hamiltonian path? Held–Karp bitmask DP, `n ≤ 24`.
+pub fn find_hamiltonian_path(g: &Graph) -> Option<Vec<usize>> {
+    let n = g.n();
+    if n == 0 {
+        return Some(vec![]);
+    }
+    if n == 1 {
+        return Some(vec![0]);
+    }
+    assert!(n <= 24, "Hamiltonian DP limited to n ≤ 24");
+    let full = (1usize << n) - 1;
+    // reach[mask][v] = true if there is a path visiting exactly `mask`
+    // ending at v. Parent pointers let us reconstruct a witness.
+    let mut reach = vec![false; (full + 1) * n];
+    let mut parent = vec![usize::MAX; (full + 1) * n];
+    for v in 0..n {
+        reach[(1 << v) * n + v] = true;
+    }
+    for mask in 1..=full {
+        for v in 0..n {
+            if mask & (1 << v) == 0 || !reach[mask * n + v] {
+                continue;
+            }
+            for u in g.neighbors(v) {
+                if mask & (1 << u) == 0 {
+                    let nm = mask | (1 << u);
+                    if !reach[nm * n + u] {
+                        reach[nm * n + u] = true;
+                        parent[nm * n + u] = v;
+                    }
+                }
+            }
+        }
+    }
+    let end = (0..n).find(|&v| reach[full * n + v])?;
+    let mut order = vec![end];
+    let mut mask = full;
+    let mut v = end;
+    while parent[mask * n + v] != usize::MAX {
+        let p = parent[mask * n + v];
+        mask &= !(1 << v);
+        v = p;
+        order.push(v);
+    }
+    order.reverse();
+    debug_assert!(is_hamiltonian_path(g, &order));
+    Some(order)
+}
+
+/// Find a perfect matching, if one exists, via bitmask DP (`n ≤ 22`).
+/// Returns `partner[v]` for every vertex.
+pub fn find_perfect_matching(g: &Graph) -> Option<Vec<usize>> {
+    let n = g.n();
+    if n == 0 {
+        return Some(vec![]);
+    }
+    if n % 2 == 1 {
+        return None;
+    }
+    assert!(n <= 22, "matching DP limited to n ≤ 22");
+    let full = (1usize << n) - 1;
+    // can[mask]: the vertices in `mask` admit a perfect matching.
+    // Pair the lowest set bit with every neighbour in the mask.
+    let mut can = vec![None::<bool>; full + 1];
+    can[0] = Some(true);
+    fn rec(g: &Graph, mask: usize, can: &mut Vec<Option<bool>>) -> bool {
+        if let Some(v) = can[mask] {
+            return v;
+        }
+        let lo = mask.trailing_zeros() as usize;
+        let mut ok = false;
+        for u in g.neighbors(lo) {
+            if u != lo && (mask >> u) & 1 == 1 && rec(g, mask & !(1 << lo) & !(1 << u), can) {
+                ok = true;
+                break;
+            }
+        }
+        can[mask] = Some(ok);
+        ok
+    }
+    if !rec(g, full, &mut can) {
+        return None;
+    }
+    // Reconstruct.
+    let mut partner = vec![usize::MAX; n];
+    let mut mask = full;
+    while mask != 0 {
+        let lo = mask.trailing_zeros() as usize;
+        let u = g
+            .neighbors(lo)
+            .find(|&u| (mask >> u) & 1 == 1 && rec(g, mask & !(1 << lo) & !(1 << u), &mut can))
+            .expect("matching exists");
+        partner[lo] = u;
+        partner[u] = lo;
+        mask &= !(1 << lo) & !(1 << u);
+    }
+    Some(partner)
+}
+
+/// Is `partner` a perfect matching of G?
+pub fn is_perfect_matching(g: &Graph, partner: &[usize]) -> bool {
+    let n = g.n();
+    partner.len() == n
+        && (0..n).all(|v| {
+            let p = partner[v];
+            p < n && p != v && partner[p] == v && g.has_edge(v, p)
+        })
+}
+
+/// Does G contain `h` as a (not necessarily induced) subgraph? Brute force
+/// over ordered `|V(h)|`-tuples; fine for `|V(h)| ≤ 5` on test graphs.
+pub fn contains_subgraph(g: &Graph, h: &Graph) -> bool {
+    let k = h.n();
+    let n = g.n();
+    if k > n {
+        return false;
+    }
+    let mut map = vec![usize::MAX; k];
+    let mut used = vec![false; n];
+    fn rec(g: &Graph, h: &Graph, i: usize, map: &mut [usize], used: &mut [bool]) -> bool {
+        let k = h.n();
+        if i == k {
+            return true;
+        }
+        for cand in 0..g.n() {
+            if used[cand] {
+                continue;
+            }
+            // Check h-edges from i to already mapped vertices.
+            let ok = (0..i).all(|j| !h.has_edge(i, j) || g.has_edge(cand, map[j]));
+            if ok {
+                map[i] = cand;
+                used[cand] = true;
+                if rec(g, h, i + 1, map, used) {
+                    return true;
+                }
+                used[cand] = false;
+                map[i] = usize::MAX;
+            }
+        }
+        false
+    }
+    rec(g, h, 0, &mut map, &mut used)
+}
+
+/// Number of triangles in G.
+pub fn count_triangles(g: &Graph) -> u64 {
+    let n = g.n();
+    let mut count = 0;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !g.has_edge(u, v) {
+                continue;
+            }
+            for w in (v + 1)..n {
+                if g.has_edge(u, w) && g.has_edge(v, w) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+// ---------------------------------------------------------------------
+// Distances and connectivity
+// ---------------------------------------------------------------------
+
+/// BFS distances (in hops) from `src`; `INF` for unreachable vertices.
+pub fn bfs_distances(g: &Graph, src: usize) -> Vec<u64> {
+    let n = g.n();
+    let mut dist = vec![INF; n];
+    dist[src] = 0;
+    let mut queue = std::collections::VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        for v in g.neighbors(u) {
+            if dist[v] == INF {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Exact APSP via Floyd–Warshall.
+pub fn floyd_warshall(g: &WeightedGraph) -> DistMatrix {
+    let n = g.n();
+    let mut d = DistMatrix::from_rows(n, (0..n).flat_map(|u| g.row(u).to_vec()).collect());
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d.get(i, k);
+            if dik >= INF {
+                continue;
+            }
+            for j in 0..n {
+                let alt = dist_add(dik, d.get(k, j));
+                if alt < d.get(i, j) {
+                    d.set(i, j, alt);
+                }
+            }
+        }
+    }
+    d
+}
+
+/// Dijkstra from a single source (binary-heap, non-negative weights).
+pub fn dijkstra(g: &WeightedGraph, src: usize) -> Vec<u64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.n();
+    let mut dist = vec![INF; n];
+    dist[src] = 0;
+    let mut heap = BinaryHeap::from([(Reverse(0u64), src)]);
+    while let Some((Reverse(d), u)) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for v in 0..n {
+            if !g.has_edge(u, v) {
+                continue;
+            }
+            let alt = dist_add(d, g.weight(u, v));
+            if alt < dist[v] {
+                dist[v] = alt;
+                heap.push((Reverse(alt), v));
+            }
+        }
+    }
+    dist
+}
+
+/// Component label of every vertex (labels are the smallest member).
+pub fn components(g: &Graph) -> Vec<usize> {
+    let n = g.n();
+    let mut label = vec![usize::MAX; n];
+    for s in 0..n {
+        if label[s] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![s];
+        label[s] = s;
+        while let Some(u) = stack.pop() {
+            for v in g.neighbors(u) {
+                if label[v] == usize::MAX {
+                    label[v] = s;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    label
+}
+
+/// Whether G is connected (vacuously true for n ≤ 1).
+pub fn is_connected(g: &Graph) -> bool {
+    let labels = components(g);
+    labels.iter().all(|&l| l == 0) || g.n() <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use proptest::prelude::*;
+
+    #[test]
+    fn predicates_on_a_square() {
+        // 0-1-2-3-0 cycle.
+        let g = gen::cycle(4);
+        assert!(is_independent_set(&g, &[0, 2]));
+        assert!(!is_independent_set(&g, &[0, 1]));
+        assert!(is_dominating_set(&g, &[0, 2]));
+        assert!(!is_dominating_set(&g, &[0]));
+        assert!(is_vertex_cover(&g, &[0, 2]));
+        assert!(!is_vertex_cover(&g, &[0, 1]));
+        assert!(is_proper_coloring(&g, &[0, 1, 0, 1]));
+        assert!(!is_proper_coloring(&g, &[0, 0, 1, 1]));
+    }
+
+    #[test]
+    fn combination_enumeration_is_complete() {
+        let mut count = 0;
+        find_combination(5, 3, |_| {
+            count += 1;
+            false
+        });
+        assert_eq!(count, 10);
+        // Early exit returns the first match.
+        let hit = find_combination(5, 2, |s| s == [1, 3]);
+        assert_eq!(hit, Some(vec![1, 3]));
+        assert_eq!(find_combination(3, 4, |_| true), None);
+        assert_eq!(find_combination(3, 0, |_| true), Some(vec![]));
+    }
+
+    #[test]
+    fn brute_force_is_ds_on_known_graphs() {
+        let star = gen::star(6);
+        assert_eq!(find_dominating_set(&star, 1), Some(vec![0]));
+        assert!(find_independent_set(&star, 5).is_some());
+        assert!(find_independent_set(&star, 6).is_none());
+        let k5 = Graph::complete(5);
+        assert!(find_independent_set(&k5, 2).is_none());
+        assert!(find_clique(&k5, 5).is_some());
+        assert!(find_dominating_set(&k5, 1).is_some());
+    }
+
+    #[test]
+    fn vertex_cover_bounded_search() {
+        let g = gen::cycle(5);
+        assert!(find_vertex_cover(&g, 2).is_none());
+        let c = find_vertex_cover(&g, 3).unwrap();
+        assert!(is_vertex_cover(&g, &c));
+        assert_eq!(min_vertex_cover_size(&g), 3);
+        assert_eq!(max_independent_set_size(&g), 2);
+        assert_eq!(min_vertex_cover_size(&Graph::empty(7)), 0);
+        assert_eq!(min_vertex_cover_size(&Graph::complete(6)), 5);
+    }
+
+    #[test]
+    fn maximum_independent_set_witness() {
+        let g = gen::cliques(12, 3); // 3 components of K4: α = 3
+        let is = find_maximum_independent_set(&g);
+        assert_eq!(is.len(), 3);
+        assert!(is_independent_set(&g, &is));
+        // Decomposition keeps big disconnected instances cheap.
+        let big = gen::cliques(120, 30);
+        let is = find_maximum_independent_set(&big);
+        assert_eq!(is.len(), 30);
+        assert_eq!(min_vertex_cover_size(&big), 120 - 30);
+        // Agreement with the brute-force size on small connected graphs.
+        for seed in 0..4 {
+            let g = gen::gnp(10, 0.35, 400 + seed);
+            assert_eq!(find_maximum_independent_set(&g).len(), max_independent_set_size(&g));
+        }
+    }
+
+    #[test]
+    fn coloring_bounds() {
+        assert!(find_coloring(&gen::cycle(5), 2).is_none(), "odd cycle needs 3");
+        let c = find_coloring(&gen::cycle(5), 3).unwrap();
+        assert!(is_proper_coloring(&gen::cycle(5), &c));
+        assert!(find_coloring(&Graph::complete(4), 3).is_none());
+        assert!(find_coloring(&Graph::complete(4), 4).is_some());
+        assert!(find_coloring(&Graph::empty(4), 1).is_some());
+    }
+
+    #[test]
+    fn hamiltonian_dp() {
+        assert!(find_hamiltonian_path(&gen::path(8)).is_some());
+        assert!(find_hamiltonian_path(&gen::star(4)).is_none());
+        let (g, _) = gen::hamiltonian(12, 0.05, 3);
+        let p = find_hamiltonian_path(&g).unwrap();
+        assert!(is_hamiltonian_path(&g, &p));
+    }
+
+    #[test]
+    fn perfect_matching_dp() {
+        // Even cycle: yes. Odd path count: no.
+        let m = find_perfect_matching(&gen::cycle(6)).unwrap();
+        assert!(is_perfect_matching(&gen::cycle(6), &m));
+        assert!(find_perfect_matching(&gen::path(5)).is_none(), "odd n");
+        assert!(find_perfect_matching(&gen::star(4)).is_none(), "star of 4 has none");
+        let m = find_perfect_matching(&Graph::complete(8)).unwrap();
+        assert!(is_perfect_matching(&Graph::complete(8), &m));
+        // A graph with an isolated vertex has none.
+        let mut g = gen::path(4);
+        g.remove_edge(0, 1);
+        assert!(find_perfect_matching(&g).is_none());
+    }
+
+    #[test]
+    fn subgraph_containment() {
+        let tri = gen::cycle(3);
+        assert!(contains_subgraph(&Graph::complete(4), &tri));
+        assert!(!contains_subgraph(&gen::star(5), &tri));
+        // C4 subgraph of K4 (not induced, but containment is subgraph-wise).
+        assert!(contains_subgraph(&Graph::complete(4), &gen::cycle(4)));
+        assert!(contains_subgraph(&gen::path(5), &gen::path(3)));
+        assert!(!contains_subgraph(&gen::path(3), &gen::path(5)));
+    }
+
+    #[test]
+    fn triangle_count_matches_k4() {
+        assert_eq!(count_triangles(&Graph::complete(4)), 4);
+        assert_eq!(count_triangles(&gen::cycle(5)), 0);
+    }
+
+    #[test]
+    fn distances_agree_on_unit_weights() {
+        let g = gen::gnp(20, 0.2, 11);
+        let wg = WeightedGraph::from_graph(&g);
+        let fw = floyd_warshall(&wg);
+        for src in 0..5 {
+            let bfs = bfs_distances(&g, src);
+            for v in 0..20 {
+                assert_eq!(fw.get(src, v), bfs[v], "src={src} v={v}");
+            }
+            let dj = dijkstra(&wg, src);
+            assert_eq!(dj, bfs);
+        }
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let g = gen::cliques(6, 2);
+        let labels = components(&g);
+        assert_eq!(labels, vec![0, 1, 0, 1, 0, 1]);
+        assert!(!is_connected(&g));
+        assert!(is_connected(&gen::path(5)));
+        assert!(is_connected(&Graph::empty(1)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_floyd_warshall_triangle_inequality(seed in any::<u64>()) {
+            let g = gen::gnp_weighted(12, 0.4, 20, seed);
+            let d = floyd_warshall(&g);
+            for i in 0..12 {
+                prop_assert_eq!(d.get(i, i), 0);
+                for j in 0..12 {
+                    prop_assert_eq!(d.get(i, j), d.get(j, i));
+                    for k in 0..12 {
+                        prop_assert!(d.get(i, j) <= dist_add(d.get(i, k), d.get(k, j)));
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn prop_vc_duality(seed in any::<u64>()) {
+            let g = gen::gnp(10, 0.35, seed);
+            let tau = min_vertex_cover_size(&g);
+            let alpha = max_independent_set_size(&g);
+            prop_assert_eq!(tau + alpha, 10);
+            // The found IS of that size must verify.
+            let is = find_independent_set(&g, alpha).unwrap();
+            prop_assert!(is_independent_set(&g, &is));
+            prop_assert!(find_independent_set(&g, alpha + 1).is_none());
+        }
+
+        #[test]
+        fn prop_dijkstra_matches_fw(seed in any::<u64>()) {
+            let g = gen::gnp_weighted(10, 0.4, 15, seed);
+            let fw = floyd_warshall(&g);
+            for src in 0..10 {
+                let dj = dijkstra(&g, src);
+                for v in 0..10 {
+                    prop_assert_eq!(dj[v], fw.get(src, v));
+                }
+            }
+        }
+    }
+}

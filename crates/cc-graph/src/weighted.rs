@@ -1,0 +1,233 @@
+//! Weighted graphs and distance matrices.
+//!
+//! Section 7 of the paper considers weighted variants of APSP/SSSP and
+//! matrix problems, always under the convention that "edge weights and
+//! matrix entries are assumed to be encodable in O(log n) bits". We use
+//! `u64` weights with an explicit [`INF`] marker for absent edges; the
+//! simulator-side encodings bound entries to the bandwidth budget.
+
+use crate::graph::Graph;
+
+/// Distance value for "unreachable" / "no edge". Chosen so that
+/// `INF + w` never overflows for any legal weight.
+pub const INF: u64 = u64::MAX / 4;
+
+/// Saturating addition that keeps `INF` absorbing.
+pub fn dist_add(a: u64, b: u64) -> u64 {
+    if a >= INF || b >= INF {
+        INF
+    } else {
+        (a + b).min(INF)
+    }
+}
+
+/// An undirected graph with non-negative integer edge weights.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WeightedGraph {
+    n: usize,
+    /// Row-major `n × n`; `w[u][v] == INF` means no edge; diagonal is 0.
+    w: Vec<u64>,
+}
+
+impl WeightedGraph {
+    /// Graph with no edges.
+    pub fn empty(n: usize) -> Self {
+        let mut w = vec![INF; n * n];
+        for v in 0..n {
+            w[v * n + v] = 0;
+        }
+        Self { n, w }
+    }
+
+    /// Lift an unweighted graph (every edge gets weight 1).
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut wg = Self::empty(g.n());
+        for (u, v) in g.edges() {
+            wg.set_weight(u, v, 1);
+        }
+        wg
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Weight of edge `{u,v}`, `INF` if absent, 0 on the diagonal.
+    pub fn weight(&self, u: usize, v: usize) -> u64 {
+        self.w[u * self.n + v]
+    }
+
+    /// Insert/overwrite edge `{u,v}` with weight `w` (symmetric).
+    pub fn set_weight(&mut self, u: usize, v: usize, weight: u64) {
+        assert!(u != v, "no self-loop weights");
+        assert!(weight < INF, "weight too large");
+        self.w[u * self.n + v] = weight;
+        self.w[v * self.n + u] = weight;
+    }
+
+    /// Whether `{u,v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u != v && self.w[u * self.n + v] < INF
+    }
+
+    /// The underlying unweighted graph.
+    pub fn skeleton(&self) -> Graph {
+        let mut g = Graph::empty(self.n);
+        for u in 0..self.n {
+            for v in (u + 1)..self.n {
+                if self.has_edge(u, v) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// The largest finite weight, or 0 for the empty graph.
+    pub fn max_weight(&self) -> u64 {
+        self.w.iter().copied().filter(|&x| x < INF).max().unwrap_or(0)
+    }
+
+    /// Row `u` of the weight matrix (the input of node `u` in the simulator).
+    pub fn row(&self, u: usize) -> &[u64] {
+        &self.w[u * self.n..(u + 1) * self.n]
+    }
+}
+
+/// A dense `n × n` distance (or generic `u64`) matrix, row-major.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DistMatrix {
+    n: usize,
+    d: Vec<u64>,
+}
+
+impl DistMatrix {
+    /// All-`INF` matrix with zero diagonal.
+    pub fn infinite(n: usize) -> Self {
+        let mut d = vec![INF; n * n];
+        for v in 0..n {
+            d[v * n + v] = 0;
+        }
+        Self { n, d }
+    }
+
+    /// Build from row-major data.
+    pub fn from_rows(n: usize, d: Vec<u64>) -> Self {
+        assert_eq!(d.len(), n * n);
+        Self { n, d }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(u, v)`.
+    pub fn get(&self, u: usize, v: usize) -> u64 {
+        self.d[u * self.n + v]
+    }
+
+    /// Set entry `(u, v)`.
+    pub fn set(&mut self, u: usize, v: usize, val: u64) {
+        self.d[u * self.n + v] = val;
+    }
+
+    /// Row `u` as a slice.
+    pub fn row(&self, u: usize) -> &[u64] {
+        &self.d[u * self.n..(u + 1) * self.n]
+    }
+
+    /// Maximum *finite* entry (0 if none).
+    pub fn max_finite(&self) -> u64 {
+        self.d.iter().copied().filter(|&x| x < INF).max().unwrap_or(0)
+    }
+
+    /// Largest relative error of `self` against a reference matrix, over
+    /// entries where the reference is finite and nonzero; used to validate
+    /// `(1+ε)`-approximate APSP. Entries where the reference is `INF` must
+    /// be `INF` in `self` too (else returns `f64::INFINITY`).
+    pub fn max_relative_error(&self, exact: &DistMatrix) -> f64 {
+        assert_eq!(self.n, exact.n);
+        let mut worst: f64 = 0.0;
+        for i in 0..self.n * self.n {
+            let (a, e) = (self.d[i], exact.d[i]);
+            if e >= INF {
+                if a < INF {
+                    return f64::INFINITY;
+                }
+                continue;
+            }
+            if a >= INF {
+                return f64::INFINITY;
+            }
+            if e == 0 {
+                if a != 0 {
+                    return f64::INFINITY;
+                }
+                continue;
+            }
+            worst = worst.max((a as f64 - e as f64).abs() / e as f64);
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_add_saturates() {
+        assert_eq!(dist_add(3, 4), 7);
+        assert_eq!(dist_add(INF, 4), INF);
+        assert_eq!(dist_add(4, INF), INF);
+        assert_eq!(dist_add(INF, INF), INF);
+    }
+
+    #[test]
+    fn weighted_graph_symmetric() {
+        let mut g = WeightedGraph::empty(3);
+        g.set_weight(0, 2, 5);
+        assert_eq!(g.weight(0, 2), 5);
+        assert_eq!(g.weight(2, 0), 5);
+        assert_eq!(g.weight(0, 1), INF);
+        assert_eq!(g.weight(1, 1), 0);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn from_graph_unit_weights() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let wg = WeightedGraph::from_graph(&g);
+        assert_eq!(wg.weight(0, 1), 1);
+        assert_eq!(wg.weight(0, 2), INF);
+        assert_eq!(wg.skeleton(), g);
+    }
+
+    #[test]
+    fn dist_matrix_roundtrip() {
+        let mut d = DistMatrix::infinite(3);
+        d.set(0, 1, 7);
+        assert_eq!(d.get(0, 1), 7);
+        assert_eq!(d.get(1, 0), INF);
+        assert_eq!(d.get(2, 2), 0);
+        assert_eq!(d.row(0), &[0, 7, INF]);
+        assert_eq!(d.max_finite(), 7);
+    }
+
+    #[test]
+    fn relative_error_checks() {
+        let mut exact = DistMatrix::infinite(2);
+        exact.set(0, 1, 10);
+        exact.set(1, 0, 10);
+        let mut approx = exact.clone();
+        approx.set(0, 1, 12);
+        assert!((approx.max_relative_error(&exact) - 0.2).abs() < 1e-12);
+        // INF mismatch is flagged.
+        let mut bad = exact.clone();
+        bad.set(1, 0, INF);
+        assert_eq!(bad.max_relative_error(&exact), f64::INFINITY);
+    }
+}

@@ -1,0 +1,338 @@
+//! All-pairs shortest paths via distance-product squaring.
+//!
+//! The upper bounds in Figure 1 route APSP through matrix multiplication:
+//! squaring the weight matrix over the `(min,+)` semiring `⌈log₂ n⌉` times
+//! yields all distances, so `δ(APSP) ≤ δ((min,+) MM) ≤ 1/3` with the 3D
+//! semiring algorithm, for an `O(n^{1/3} log n)`-round protocol.
+
+use cc_graph::{DistMatrix, Graph, WeightedGraph, INF};
+use cc_matmul::{mm_three_d, MatmulError, TropicalSemiring};
+use cliquesim::Session;
+
+/// Exact weighted undirected APSP.
+///
+/// Node `v` holds row `v` of the weight matrix; afterwards it holds row `v`
+/// of the distance matrix (assembled here into a [`DistMatrix`] for the
+/// caller). Costs `O(n^{1/3} log n)` rounds.
+pub fn apsp_exact(session: &mut Session, g: &WeightedGraph) -> Result<DistMatrix, MatmulError> {
+    let n = session.n();
+    assert_eq!(g.n(), n, "graph size must match the clique size");
+    // Distances are bounded by (n−1) · max weight.
+    let max_dist = (n.max(2) as u64 - 1).saturating_mul(g.max_weight().max(1));
+    let sr = TropicalSemiring::for_max_value(max_dist);
+
+    let mut rows: Vec<Vec<u64>> = (0..n).map(|v| g.row(v).to_vec()).collect();
+    // After s squarings, rows hold exact distances for paths of ≤ 2^s hops,
+    // so ⌈log₂(n−1)⌉ squarings suffice.
+    let mut hops = 1usize;
+    while hops < n.saturating_sub(1).max(1) {
+        rows = mm_three_d(session, &sr, &rows, &rows)?;
+        hops *= 2;
+    }
+    Ok(DistMatrix::from_rows(n, rows.into_iter().flatten().collect()))
+}
+
+/// Exact unweighted undirected APSP (hop distances).
+pub fn apsp_unweighted(session: &mut Session, g: &Graph) -> Result<DistMatrix, MatmulError> {
+    apsp_exact(session, &WeightedGraph::from_graph(g))
+}
+
+/// `(1+ε)`-approximate weighted APSP by scale-wise rounding (Zwick-style).
+///
+/// For each weight scale `s = 2^0, 2^1, …` up to `n·W`, weights are rounded
+/// up to multiples of `ε·s/n` and capped, giving a cheap exact APSP per
+/// scale whose entries fit in `O(log(n/ε))` bits; a path of true length
+/// `≈ s` picks up at most `n · ε·s/n = ε·s` additive error at scale `s`.
+/// The final estimate is the minimum over scales.
+///
+/// The paper relates `(1+ε)`-APSP to *ring* MM (Figure 1); running the
+/// scales over the `(min,+)` semiring keeps every reduction arrow intact at
+/// semiring exponent (see DESIGN.md substitutions).
+pub fn apsp_approx(
+    session: &mut Session,
+    g: &WeightedGraph,
+    eps: f64,
+) -> Result<DistMatrix, MatmulError> {
+    assert!(eps > 0.0, "ε must be positive");
+    let n = session.n();
+    assert_eq!(g.n(), n);
+    let w_max = g.max_weight();
+    if w_max == 0 {
+        // No edges (or all zero weights): exact APSP is trivial anyway.
+        return apsp_exact(session, g);
+    }
+
+    // Per-scale capped instance: entries in units of μ = max(1, ⌊ε·s/(2n)⌋),
+    // capped at cap = ⌈2s/μ⌉+1 (paths longer than 2s are served by a larger
+    // scale; edges on a ≤2s path are never capped). Rounding is upward, so
+    // every scale overestimates; the scale with s/2 < d ≤ s adds at most
+    // (n−1)·μ ≤ ε·s/2 ≤ ε·d, giving the (1+ε) guarantee.
+    let mut best = DistMatrix::infinite(n);
+    for v in 0..n {
+        for u in 0..n {
+            if v == u {
+                best.set(v, u, 0);
+            }
+        }
+    }
+    let max_dist = (n as u64 - 1).saturating_mul(w_max);
+    let mut s = 1u64;
+    loop {
+        let mu = ((eps * s as f64) / (2.0 * n as f64)).floor().max(1.0) as u64;
+        let cap = (2 * s).div_ceil(mu) + 1;
+        let mut rows: Vec<Vec<u64>> = Vec::with_capacity(n);
+        for v in 0..n {
+            rows.push(
+                g.row(v)
+                    .iter()
+                    .map(|&w| {
+                        if w >= INF {
+                            INF
+                        } else {
+                            let r = w.div_ceil(mu);
+                            if r > cap {
+                                INF
+                            } else {
+                                r
+                            }
+                        }
+                    })
+                    .collect(),
+            );
+        }
+        let sr = TropicalSemiring::for_max_value(cap.saturating_mul(n as u64));
+        let mut hops = 1usize;
+        while hops < n.saturating_sub(1).max(1) {
+            rows = mm_three_d(session, &sr, &rows, &rows)?;
+            hops *= 2;
+        }
+        for v in 0..n {
+            for u in 0..n {
+                let d = rows[v][u];
+                if d < INF {
+                    // Upward rounding makes every scale an overestimate, so
+                    // taking the minimum over scales is always sound.
+                    let est = d.saturating_mul(mu);
+                    if est < best.get(v, u) {
+                        best.set(v, u, est);
+                    }
+                }
+            }
+        }
+        if s >= max_dist {
+            break;
+        }
+        s = s.saturating_mul(2);
+    }
+    Ok(best)
+}
+
+/// Exact **directed** weighted APSP (Figure 1's "APSP w/d" node): node
+/// `v` holds `rows[v]`, the out-weights of its arcs (`INF` when absent,
+/// 0 on the diagonal). Distance-product squaring is oblivious to
+/// symmetry, so the cost is the same `O(n^{1/3} log n)` rounds.
+///
+/// (Le Gall \[42\] improves the *unweighted* directed case to `O(n^{0.2096})`
+/// via fast rectangular matrix multiplication — out of scope per
+/// DESIGN.md; the arrows of Figure 1 are unaffected.)
+pub fn apsp_directed(
+    session: &mut Session,
+    rows: &[Vec<u64>],
+) -> Result<Vec<Vec<u64>>, MatmulError> {
+    let n = session.n();
+    assert_eq!(rows.len(), n);
+    let max_w = rows
+        .iter()
+        .flat_map(|r| r.iter())
+        .copied()
+        .filter(|&w| w < INF)
+        .max()
+        .unwrap_or(0);
+    let max_dist = (n.max(2) as u64 - 1).saturating_mul(max_w.max(1));
+    let sr = TropicalSemiring::for_max_value(max_dist);
+    let mut cur: Vec<Vec<u64>> = rows.to_vec();
+    let mut hops = 1usize;
+    while hops < n.saturating_sub(1).max(1) {
+        cur = mm_three_d(session, &sr, &cur, &cur)?;
+        hops *= 2;
+    }
+    Ok(cur)
+}
+
+/// The diameter of `g` in hops: `None` when disconnected. Runs unweighted
+/// APSP and takes the maximum — every node can compute it from its
+/// distance row plus one max-aggregation broadcast (driver-side here).
+pub fn diameter(session: &mut Session, g: &Graph) -> Result<Option<u64>, MatmulError> {
+    let d = apsp_unweighted(session, g)?;
+    let n = g.n();
+    let mut worst = 0u64;
+    for u in 0..n {
+        for v in 0..n {
+            let x = d.get(u, v);
+            if x >= INF {
+                return Ok(None);
+            }
+            worst = worst.max(x);
+        }
+    }
+    Ok(Some(worst))
+}
+
+/// Transitive closure (reachability) via Boolean squaring of `A ∨ I`:
+/// `O(n^{1/3} log n)` rounds.
+pub fn transitive_closure(session: &mut Session, g: &Graph) -> Result<Vec<Vec<bool>>, MatmulError> {
+    let n = session.n();
+    assert_eq!(g.n(), n);
+    let sr = cc_matmul::BoolSemiring;
+    let mut rows: Vec<Vec<bool>> = (0..n)
+        .map(|v| (0..n).map(|u| u == v || g.has_edge(u, v)).collect())
+        .collect();
+    let mut hops = 1usize;
+    while hops < n.saturating_sub(1).max(1) {
+        rows = mm_three_d(session, &sr, &rows, &rows)?;
+        hops *= 2;
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::{gen, reference};
+    use cliquesim::Engine;
+
+    fn session(n: usize) -> Session {
+        Session::new(Engine::new(n))
+    }
+
+    #[test]
+    fn apsp_matches_floyd_warshall() {
+        for seed in 0..3 {
+            let n = 12;
+            let g = gen::gnp_weighted(n, 0.35, 20, seed);
+            let expect = reference::floyd_warshall(&g);
+            let mut s = session(n);
+            let got = apsp_exact(&mut s, &g).unwrap();
+            assert_eq!(got, expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn apsp_unweighted_matches_bfs() {
+        let n = 14;
+        let g = gen::gnp(n, 0.25, 5);
+        let mut s = session(n);
+        let got = apsp_unweighted(&mut s, &g).unwrap();
+        for src in 0..n {
+            let bfs = reference::bfs_distances(&g, src);
+            for v in 0..n {
+                assert_eq!(got.get(src, v), bfs[v], "src={src} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn apsp_handles_disconnected_graphs() {
+        let g = WeightedGraph::from_graph(&gen::cliques(8, 2));
+        let mut s = session(8);
+        let got = apsp_exact(&mut s, &g).unwrap();
+        assert_eq!(got.get(0, 2), 1);
+        assert_eq!(got.get(0, 1), INF);
+    }
+
+    #[test]
+    fn approx_apsp_within_eps() {
+        for seed in 0..3 {
+            let n = 10;
+            let g = gen::gnp_weighted(n, 0.4, 50, seed);
+            let exact = reference::floyd_warshall(&g);
+            let mut s = session(n);
+            let got = apsp_approx(&mut s, &g, 0.25).unwrap();
+            let err = got.max_relative_error(&exact);
+            assert!(err <= 0.25 + 1e-9, "seed {seed}: error {err}");
+            // Approximation never underestimates (rounding is upward).
+            for i in 0..n {
+                for j in 0..n {
+                    assert!(got.get(i, j) >= exact.get(i, j), "({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn directed_apsp_matches_directed_floyd_warshall() {
+        use rand::{Rng, SeedableRng};
+        let n = 12;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+        // Asymmetric weights; about half the arcs absent.
+        let rows: Vec<Vec<u64>> = (0..n)
+            .map(|v| {
+                (0..n)
+                    .map(|u| {
+                        if u == v {
+                            0
+                        } else if rng.gen_bool(0.4) {
+                            rng.gen_range(1..30)
+                        } else {
+                            INF
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        // Reference: directed Floyd–Warshall.
+        let mut expect = rows.clone();
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    let alt = cc_graph::dist_add(expect[i][k], expect[k][j]);
+                    if alt < expect[i][j] {
+                        expect[i][j] = alt;
+                    }
+                }
+            }
+        }
+        let mut s = session(n);
+        let got = apsp_directed(&mut s, &rows).unwrap();
+        assert_eq!(got, expect);
+        // Directedness matters: check at least one asymmetric pair exists.
+        assert!(
+            (0..n).any(|i| (0..n).any(|j| expect[i][j] != expect[j][i])),
+            "test instance should be genuinely directed"
+        );
+    }
+
+    #[test]
+    fn diameter_of_known_graphs() {
+        let mut s = session(9);
+        assert_eq!(diameter(&mut s, &gen::path(9)).unwrap(), Some(8));
+        let mut s = session(8);
+        assert_eq!(diameter(&mut s, &Graph::complete(8)).unwrap(), Some(1));
+        let mut s = session(8);
+        assert_eq!(diameter(&mut s, &gen::cliques(8, 2)).unwrap(), None);
+    }
+
+    #[test]
+    fn transitive_closure_matches_components() {
+        let g = gen::cliques(9, 3);
+        let mut s = session(9);
+        let tc = transitive_closure(&mut s, &g).unwrap();
+        let comp = reference::components(&g);
+        for u in 0..9 {
+            for v in 0..9 {
+                assert_eq!(tc[u][v], comp[u] == comp[v], "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn apsp_rounds_scale_sublinearly() {
+        // Sanity: APSP on 27 nodes should cost far fewer than the ~n·log W
+        // rounds a naive row-broadcast APSP would need.
+        let n = 27;
+        let g = gen::gnp_weighted(n, 0.3, 10, 1);
+        let mut s = session(n);
+        apsp_exact(&mut s, &g).unwrap();
+        assert!(s.stats().rounds < 2000, "rounds = {}", s.stats().rounds);
+    }
+}

@@ -1,0 +1,385 @@
+//! Figure 1 as data: the fine-grained map of the congested clique.
+//!
+//! Every problem in the paper's Figure 1 is a [`ProblemId`]; every arrow
+//! ("arrow to L1 from L2 indicates δ(L1) ≤ δ(L2)") is an [`Arrow`] with
+//! its provenance. The atlas is self-checking: recorded exponent upper
+//! bounds must equal the closure of the arrow relation
+//! ([`Atlas::validate`]), and it renders to Graphviz for visual comparison
+//! with the paper's figure ([`Atlas::to_dot`]).
+
+/// `ω < 2.3728639`, the matrix multiplication exponent (Le Gall \[41\]).
+pub const OMEGA: f64 = 2.372_863_9;
+
+/// An exponent upper bound, kept symbolic so the `k`-parameterised entries
+/// evaluate correctly for every `k`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Bound {
+    /// `δ = 0` (round complexity independent of n).
+    Zero,
+    /// The trivial gather bound `δ ≤ 1`.
+    One,
+    /// `δ ≤ 1/3` (semiring MM, \[10\]).
+    Third,
+    /// `δ ≤ 1 − 2/ω` (ring MM, \[10, 41\]).
+    OneMinusTwoOverOmega,
+    /// `δ ≤ 0.2096` (unweighted directed APSP, Le Gall \[42\]).
+    LeGallApsp,
+    /// `δ ≤ 1 − 2/k` (Dolev et al. \[16\]).
+    OneMinusTwoOverK,
+    /// `δ ≤ 1 − 1/k` (Theorem 9).
+    OneMinusOneOverK,
+}
+
+impl Bound {
+    /// Numeric value for a given `k` (ignored by non-parameterised bounds).
+    pub fn value(self, k: usize) -> f64 {
+        match self {
+            Bound::Zero => 0.0,
+            Bound::One => 1.0,
+            Bound::Third => 1.0 / 3.0,
+            Bound::OneMinusTwoOverOmega => 1.0 - 2.0 / OMEGA,
+            Bound::LeGallApsp => 0.2096,
+            Bound::OneMinusTwoOverK => 1.0 - 2.0 / k as f64,
+            Bound::OneMinusOneOverK => 1.0 - 1.0 / k as f64,
+        }
+    }
+
+    /// Human-readable formula.
+    pub fn formula(self) -> &'static str {
+        match self {
+            Bound::Zero => "0",
+            Bound::One => "1",
+            Bound::Third => "1/3",
+            Bound::OneMinusTwoOverOmega => "1-2/ω",
+            Bound::LeGallApsp => "0.2096",
+            Bound::OneMinusTwoOverK => "1-2/k",
+            Bound::OneMinusOneOverK => "1-1/k",
+        }
+    }
+}
+
+/// The problems of Figure 1 (plus k-VC from §7.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // variant names mirror the figure's labels
+pub enum ProblemId {
+    ApspWeightedDirected,
+    ApspWeightedUndirected,
+    ApspWeightedUndirected2MinusEps,
+    ApspWeightedUndirected1PlusEps,
+    ApspUnweightedDirected,
+    ApspUnweightedUndirected,
+    SsspWeightedDirected,
+    SsspWeightedUndirected,
+    SsspWeightedUndirected1PlusEps,
+    SsspUnweightedDirected,
+    SsspUnweightedUndirected,
+    BfsTree,
+    TransitiveClosure,
+    BooleanMM,
+    MinPlusMM,
+    RingMM,
+    SemiringMM,
+    Triangle3IS,
+    Size3Subgraph,
+    KCycle,
+    SizeKSubgraph,
+    KIndependentSet,
+    KDominatingSet,
+    KVertexCover,
+    MaxIndependentSet,
+    MinVertexCover,
+    KColoring,
+}
+
+impl ProblemId {
+    /// All problems, in a stable order.
+    pub fn all() -> Vec<ProblemId> {
+        use ProblemId::*;
+        vec![
+            ApspWeightedDirected,
+            ApspWeightedUndirected,
+            ApspWeightedUndirected2MinusEps,
+            ApspWeightedUndirected1PlusEps,
+            ApspUnweightedDirected,
+            ApspUnweightedUndirected,
+            SsspWeightedDirected,
+            SsspWeightedUndirected,
+            SsspWeightedUndirected1PlusEps,
+            SsspUnweightedDirected,
+            SsspUnweightedUndirected,
+            BfsTree,
+            TransitiveClosure,
+            BooleanMM,
+            MinPlusMM,
+            RingMM,
+            SemiringMM,
+            Triangle3IS,
+            Size3Subgraph,
+            KCycle,
+            SizeKSubgraph,
+            KIndependentSet,
+            KDominatingSet,
+            KVertexCover,
+            MaxIndependentSet,
+            MinVertexCover,
+            KColoring,
+        ]
+    }
+
+    /// The label used in Figure 1.
+    pub fn label(self) -> &'static str {
+        use ProblemId::*;
+        match self {
+            ApspWeightedDirected => "APSP w/d",
+            ApspWeightedUndirected => "APSP w/ud",
+            ApspWeightedUndirected2MinusEps => "APSP w/ud/(2-eps)",
+            ApspWeightedUndirected1PlusEps => "APSP w/ud/(1+eps)",
+            ApspUnweightedDirected => "APSP uw/d",
+            ApspUnweightedUndirected => "APSP uw/ud",
+            SsspWeightedDirected => "SSSP w/d",
+            SsspWeightedUndirected => "SSSP w/ud",
+            SsspWeightedUndirected1PlusEps => "SSSP w/ud/(1+eps)",
+            SsspUnweightedDirected => "SSSP uw/d",
+            SsspUnweightedUndirected => "SSSP uw/ud",
+            BfsTree => "BFS tree",
+            TransitiveClosure => "Transitive closure",
+            BooleanMM => "Boolean MM",
+            MinPlusMM => "(min,+) MM",
+            RingMM => "Ring MM",
+            SemiringMM => "Semiring MM",
+            Triangle3IS => "Triangle/3-IS",
+            Size3Subgraph => "size 3 subgraph",
+            KCycle => "k-cycle",
+            SizeKSubgraph => "size k subgraph",
+            KIndependentSet => "k-IS",
+            KDominatingSet => "k-DS",
+            KVertexCover => "k-VC",
+            MaxIndependentSet => "MaxIS",
+            MinVertexCover => "MinVC",
+            KColoring => "k-COL",
+        }
+    }
+
+    /// The best exponent upper bound recorded in the paper.
+    pub fn upper_bound(self) -> Bound {
+        use ProblemId::*;
+        match self {
+            KVertexCover | SsspWeightedUndirected1PlusEps => Bound::Zero,
+            MaxIndependentSet | MinVertexCover | KColoring => Bound::One,
+            ApspWeightedDirected | ApspWeightedUndirected | SsspWeightedDirected
+            | SsspWeightedUndirected | MinPlusMM | SemiringMM => Bound::Third,
+            RingMM | BooleanMM | TransitiveClosure | Triangle3IS | Size3Subgraph | KCycle
+            | ApspWeightedUndirected1PlusEps | ApspWeightedUndirected2MinusEps => {
+                Bound::OneMinusTwoOverOmega
+            }
+            ApspUnweightedDirected | ApspUnweightedUndirected | SsspUnweightedDirected
+            | SsspUnweightedUndirected | BfsTree => Bound::LeGallApsp,
+            SizeKSubgraph | KIndependentSet => Bound::OneMinusTwoOverK,
+            KDominatingSet => Bound::OneMinusOneOverK,
+        }
+    }
+
+    /// Where the recorded upper bound comes from.
+    pub fn upper_provenance(self) -> &'static str {
+        use ProblemId::*;
+        match self {
+            KVertexCover => "Theorem 11 (this paper)",
+            KDominatingSet => "Theorem 9 (this paper)",
+            SsspWeightedUndirected1PlusEps => "Becker et al. [5]",
+            MaxIndependentSet | MinVertexCover | KColoring => "trivial gather",
+            SemiringMM | MinPlusMM => "Censor-Hillel et al. [10]",
+            RingMM => "Censor-Hillel et al. [10] + Le Gall [41]",
+            ApspUnweightedDirected => "Le Gall [42]",
+            SizeKSubgraph | KIndependentSet => "Dolev et al. [16]",
+            _ => "via Figure 1 arrows",
+        }
+    }
+}
+
+/// One arrow of Figure 1: δ(`to`) ≤ δ(`from`).
+#[derive(Clone, Copy, Debug)]
+pub struct Arrow {
+    /// The easier problem.
+    pub to: ProblemId,
+    /// The problem it reduces to.
+    pub from: ProblemId,
+    /// Why (reduction or specialisation, with reference).
+    pub provenance: &'static str,
+}
+
+/// The full map.
+#[derive(Clone, Debug, Default)]
+pub struct Atlas;
+
+impl Atlas {
+    /// All arrows of Figure 1, as justified in §7 of the paper.
+    pub fn arrows() -> Vec<Arrow> {
+        use ProblemId::*;
+        let a = |to, from, provenance| Arrow { to, from, provenance };
+        vec![
+            // Matrix multiplication backbone.
+            a(BooleanMM, RingMM, "Boolean product embeds in the integer ring"),
+            a(BooleanMM, SemiringMM, "Boolean semiring is a semiring"),
+            a(MinPlusMM, SemiringMM, "(min,+) is a semiring"),
+            a(TransitiveClosure, BooleanMM, "O(log n) Boolean squarings"),
+            // Subgraph detection [10, 16].
+            a(Triangle3IS, BooleanMM, "Censor-Hillel et al. [10]"),
+            a(Triangle3IS, Size3Subgraph, "triangle is a 3-vertex pattern"),
+            a(Size3Subgraph, BooleanMM, "Censor-Hillel et al. [10]"),
+            a(KCycle, BooleanMM, "Censor-Hillel et al. [10], exp(k)·n^{0.157}"),
+            a(KCycle, SizeKSubgraph, "a k-cycle is a k-vertex pattern"),
+            // Parameterised problems (§7.1–7.3).
+            a(KIndependentSet, KDominatingSet, "Theorem 10 (this paper)"),
+            a(KIndependentSet, MaxIndependentSet, "trivial: MaxIS answers k-IS"),
+            // APSP family.
+            a(ApspWeightedDirected, MinPlusMM, "O(log n) distance-product squarings"),
+            a(ApspWeightedUndirected, ApspWeightedDirected, "undirected is a special case"),
+            a(ApspUnweightedUndirected, ApspWeightedUndirected, "unit weights"),
+            a(ApspUnweightedUndirected, ApspUnweightedDirected, "undirected is a special case"),
+            a(ApspUnweightedDirected, ApspWeightedDirected, "unit weights"),
+            a(ApspWeightedUndirected1PlusEps, RingMM, "Censor-Hillel et al. [10]"),
+            a(
+                ApspWeightedUndirected2MinusEps,
+                ApspWeightedUndirected1PlusEps,
+                "a (1+eps) approximation is a (2-eps') approximation",
+            ),
+            a(ApspWeightedUndirected2MinusEps, ApspWeightedUndirected, "exact answers approximate"),
+            a(BooleanMM, ApspWeightedUndirected2MinusEps, "Dor, Halperin & Zwick [17]"),
+            // SSSP family (all trivial specialisations).
+            a(SsspWeightedDirected, ApspWeightedDirected, "single source of APSP"),
+            a(SsspWeightedUndirected, ApspWeightedUndirected, "single source of APSP"),
+            a(SsspUnweightedDirected, ApspUnweightedDirected, "single source of APSP"),
+            a(SsspUnweightedUndirected, ApspUnweightedUndirected, "single source of APSP"),
+            a(SsspUnweightedUndirected, SsspWeightedUndirected, "unit weights"),
+            a(SsspWeightedUndirected, SsspWeightedDirected, "undirected is a special case"),
+            a(
+                SsspWeightedUndirected1PlusEps,
+                SsspWeightedUndirected,
+                "exact answers approximate",
+            ),
+            a(BfsTree, SsspUnweightedUndirected, "BFS tree from unweighted SSSP"),
+            // Local problems.
+            a(KColoring, MaxIndependentSet, "clique blow-up reduction [46]"),
+            a(MaxIndependentSet, MinVertexCover, "complement: α(G) = n − τ(G)"),
+            a(MinVertexCover, MaxIndependentSet, "complement: τ(G) = n − α(G)"),
+        ]
+    }
+
+    /// Check that the recorded upper bounds are the closure of the arrow
+    /// relation: for every problem, its bound equals the minimum over its
+    /// own bound and the (transitively) reachable problems' bounds.
+    pub fn validate(k: usize) -> Result<(), String> {
+        let problems = ProblemId::all();
+        let arrows = Self::arrows();
+        for &p in &problems {
+            // Bellman-Ford style closure over the reachability.
+            let mut best = p.upper_bound().value(k);
+            let mut frontier = vec![p];
+            let mut seen = std::collections::HashSet::from([p]);
+            while let Some(q) = frontier.pop() {
+                for arr in arrows.iter().filter(|a| a.to == q) {
+                    if seen.insert(arr.from) {
+                        best = best.min(arr.from.upper_bound().value(k));
+                        frontier.push(arr.from);
+                    } else {
+                        best = best.min(arr.from.upper_bound().value(k));
+                    }
+                }
+            }
+            let recorded = p.upper_bound().value(k);
+            if recorded > best + 1e-9 {
+                return Err(format!(
+                    "{}: recorded bound {} exceeds arrow-implied bound {:.4} (k={k})",
+                    p.label(),
+                    recorded,
+                    best
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the map as Graphviz DOT (arrow to L1 from L2 = edge L2 → L1,
+    /// matching the figure's visual direction).
+    pub fn to_dot() -> String {
+        let mut out = String::from("digraph figure1 {\n  rankdir=LR;\n  node [shape=box];\n");
+        for p in ProblemId::all() {
+            out.push_str(&format!(
+                "  \"{}\" [label=\"{}\\nδ ≤ {}\"];\n",
+                p.label(),
+                p.label(),
+                p.upper_bound().formula()
+            ));
+        }
+        for a in Self::arrows() {
+            out.push_str(&format!(
+                "  \"{}\" -> \"{}\" [tooltip=\"{}\"];\n",
+                a.from.label(),
+                a.to.label(),
+                a.provenance
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_evaluate() {
+        assert_eq!(Bound::Zero.value(3), 0.0);
+        assert_eq!(Bound::One.value(3), 1.0);
+        assert!((Bound::OneMinusTwoOverOmega.value(3) - 0.157_1).abs() < 1e-3);
+        assert!((Bound::OneMinusTwoOverK.value(4) - 0.5).abs() < 1e-12);
+        assert!((Bound::OneMinusOneOverK.value(4) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atlas_is_closed_under_arrows() {
+        for k in [3usize, 4, 5, 8] {
+            Atlas::validate(k).unwrap();
+        }
+    }
+
+    #[test]
+    fn paper_highlights_hold() {
+        use ProblemId::*;
+        let k = 3;
+        // Theorem 10's punchline: δ(k-IS) ≤ δ(k-DS), and the recorded
+        // bounds respect it with room to spare (1−2/k < 1−1/k).
+        assert!(
+            KIndependentSet.upper_bound().value(k) < KDominatingSet.upper_bound().value(k)
+        );
+        // Theorem 11: k-VC is constant-round.
+        assert_eq!(KVertexCover.upper_bound().value(k), 0.0);
+        // The MM backbone ordering.
+        assert!(RingMM.upper_bound().value(k) < SemiringMM.upper_bound().value(k));
+    }
+
+    #[test]
+    fn arrows_reference_known_problems_and_dot_renders() {
+        let all: std::collections::HashSet<_> = ProblemId::all().into_iter().collect();
+        for a in Atlas::arrows() {
+            assert!(all.contains(&a.to) && all.contains(&a.from));
+        }
+        let dot = Atlas::to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("Boolean MM"));
+        assert!(dot.contains("Theorem 10"));
+        // Every problem appears as a node.
+        for p in ProblemId::all() {
+            assert!(dot.contains(p.label()), "{} missing from DOT", p.label());
+        }
+    }
+
+    #[test]
+    fn every_problem_has_provenance() {
+        for p in ProblemId::all() {
+            assert!(!p.upper_provenance().is_empty());
+            assert!(!p.label().is_empty());
+        }
+    }
+}

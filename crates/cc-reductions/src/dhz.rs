@@ -1,0 +1,115 @@
+//! The Dor–Halperin–Zwick reduction: Boolean MM ≤ (2−ε)-approximate APSP.
+//!
+//! Figure 1's arrow from "APSP w/ud/(2−ε)" to "Boolean MM" (\[17\]): to
+//! compute the Boolean product `C = A·B`, build the 3n-vertex tripartite
+//! graph with layers `X, Y, Z` where `x_i ∼ y_k` iff `A_{ik}` and
+//! `y_k ∼ z_j` iff `B_{kj}`. Then `C_{ij} = 1` iff `d(x_i, z_j) = 2`, and
+//! otherwise `d(x_i, z_j) ≥ 4`; any better-than-2 approximation separates
+//! the two cases. The paper notes the reduction *breaks down* at exactly
+//! 2-approximate APSP — the gap this module makes concrete.
+
+use cc_graph::{WeightedGraph, INF};
+use cc_matmul::MatmulError;
+use cc_paths::apsp_approx;
+use cliquesim::{Engine, RunStats, Session};
+
+/// Build the tripartite reduction graph on `3n` vertices:
+/// `X = 0..n`, `Y = n..2n`, `Z = 2n..3n`, unit weights.
+pub fn mm_to_apsp_graph(a: &[Vec<bool>], b: &[Vec<bool>]) -> WeightedGraph {
+    let n = a.len();
+    assert!(a.iter().all(|r| r.len() == n) && b.len() == n && b.iter().all(|r| r.len() == n));
+    let mut g = WeightedGraph::empty(3 * n);
+    for i in 0..n {
+        for k in 0..n {
+            if a[i][k] {
+                g.set_weight(i, n + k, 1);
+            }
+        }
+    }
+    for k in 0..n {
+        for j in 0..n {
+            if b[k][j] {
+                g.set_weight(n + k, 2 * n + j, 1);
+            }
+        }
+    }
+    g
+}
+
+/// Compute the Boolean product through a `(2−ε)`-approximate APSP oracle
+/// (our scale-rounding `(1+ε′)`-APSP with `ε′ < 1`). Runs on a `3n`-node
+/// clique; returns the product and the oracle's cost.
+pub fn boolean_mm_via_approx_apsp(
+    a: &[Vec<bool>],
+    b: &[Vec<bool>],
+    eps: f64,
+) -> Result<(Vec<Vec<bool>>, RunStats), MatmulError> {
+    assert!(eps > 0.0 && eps < 1.0, "need a strictly better-than-2 approximation");
+    let n = a.len();
+    let g = mm_to_apsp_graph(a, b);
+    let mut session = Session::new(Engine::new(3 * n));
+    let dist = apsp_approx(&mut session, &g, eps)?;
+    let mut c = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            let d = dist.get(i, 2 * n + j);
+            // True distance is 2 or ≥ 4; a (1+ε)-approximation with ε < 1
+            // reports < 4 exactly in the first case.
+            c[i][j] = d < INF && (d as f64) < 4.0;
+        }
+    }
+    Ok((c, session.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::reference;
+    use cc_matmul::{mm_local, BoolSemiring, Matrix};
+    use rand::{Rng, SeedableRng};
+
+    fn random(n: usize, p: f64, seed: u64) -> Vec<Vec<bool>> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| (0..n).map(|_| rng.gen_bool(p)).collect()).collect()
+    }
+
+    #[test]
+    fn tripartite_distances_are_2_or_at_least_4() {
+        let a = random(5, 0.4, 1);
+        let b = random(5, 0.4, 2);
+        let g = mm_to_apsp_graph(&a, &b);
+        let d = reference::floyd_warshall(&g);
+        for i in 0..5 {
+            for j in 0..5 {
+                let dij = d.get(i, 10 + j);
+                assert!(dij == 2 || dij >= 4, "d(x{i}, z{j}) = {dij}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_computes_boolean_product() {
+        for seed in 0..3 {
+            let n = 5;
+            let a = random(n, 0.45, 10 + seed);
+            let b = random(n, 0.45, 20 + seed);
+            let (got, stats) = boolean_mm_via_approx_apsp(&a, &b, 0.5).unwrap();
+            let am = Matrix::from_rows(a.clone());
+            let bm = Matrix::from_rows(b.clone());
+            let expect = mm_local(&BoolSemiring, &am, &bm);
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(got[i][j], expect.get(i, j), "seed {seed} ({i},{j})");
+                }
+            }
+            assert!(stats.rounds > 0);
+        }
+    }
+
+    #[test]
+    fn empty_matrices_give_empty_product() {
+        let z = vec![vec![false; 4]; 4];
+        let (got, _) = boolean_mm_via_approx_apsp(&z, &z, 0.5).unwrap();
+        assert!(got.iter().flatten().all(|&b| !b));
+    }
+}

@@ -1,0 +1,300 @@
+//! Theorem 10 / Figure 2: reducing k-independent-set to k-dominating-set.
+//!
+//! Given `G` on `n` vertices, the gadget graph `G′` has
+//! `(k + k(k−1)/2)·n + 2k ≤ (k² + k + 2)·n` vertices:
+//!
+//! * `k` cliques `K_1, …, K_k`, each a copy of `V` (`v_i` denotes copy of
+//!   `v` in `K_i`);
+//! * for each pair `i < j` a *compatibility gadget*: an independent set
+//!   `I_{i,j}` (again a copy of `V`) where `v_i` is adjacent to every
+//!   `u_{i,j}` with `u ≠ v`, and `v_j` is adjacent to every `u_{i,j}` with
+//!   `u ∉ N_G(v) ∪ {v}`;
+//! * two *special* vertices `x_i, y_i` per clique, adjacent to all of
+//!   `K_i` and nothing else.
+//!
+//! `G` has an independent set of size `k` **iff** `G′` has a dominating
+//! set of size `k`: the specials force one dominator per clique, and the
+//! compatibility gadgets force the chosen copies to name distinct,
+//! non-adjacent vertices of `G`.
+
+use cc_graph::Graph;
+
+/// Vertex naming inside the gadget graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GadgetVertex {
+    /// Copy `v` in clique `K_i` (`clique < k`).
+    Clique {
+        /// Which clique.
+        clique: usize,
+        /// Which original vertex.
+        v: usize,
+    },
+    /// Copy `v` in the compatibility gadget of pair `(i, j)`, `i < j`.
+    Compat {
+        /// Smaller clique index of the pair.
+        i: usize,
+        /// Larger clique index of the pair.
+        j: usize,
+        /// Which original vertex.
+        v: usize,
+    },
+    /// Special vertex `x_i` (`which = 0`) or `y_i` (`which = 1`).
+    Special {
+        /// Which clique the special guards.
+        clique: usize,
+        /// 0 for `x`, 1 for `y`.
+        which: usize,
+    },
+}
+
+/// The gadget graph together with its vertex-naming scheme.
+#[derive(Clone, Debug)]
+pub struct IsToDsGadget {
+    /// The constructed graph `G′`.
+    pub graph: Graph,
+    n: usize,
+    k: usize,
+    pairs: Vec<(usize, usize)>,
+}
+
+impl IsToDsGadget {
+    /// Build the gadget for parameter `k ≥ 1`.
+    pub fn build(g: &Graph, k: usize) -> Self {
+        assert!(k >= 1);
+        let n = g.n();
+        assert!(n >= 1);
+        let pairs: Vec<(usize, usize)> =
+            (0..k).flat_map(|i| ((i + 1)..k).map(move |j| (i, j))).collect();
+        let total = (k + pairs.len()) * n + 2 * k;
+        let me = Self { graph: Graph::empty(total), n, k, pairs };
+        let mut gp = me.graph.clone();
+
+        // Cliques K_i.
+        for i in 0..k {
+            for v in 0..n {
+                for u in (v + 1)..n {
+                    gp.add_edge(me.id(GadgetVertex::Clique { clique: i, v }), me.id(GadgetVertex::Clique { clique: i, v: u }));
+                }
+            }
+        }
+        // Compatibility gadgets.
+        for (pi, &(i, j)) in me.pairs.iter().enumerate() {
+            let _ = pi;
+            for v in 0..n {
+                let vi = me.id(GadgetVertex::Clique { clique: i, v });
+                let vj = me.id(GadgetVertex::Clique { clique: j, v });
+                for u in 0..n {
+                    if u == v {
+                        continue;
+                    }
+                    let uij = me.id(GadgetVertex::Compat { i, j, v: u });
+                    gp.add_edge(vi, uij);
+                    if !g.has_edge(v, u) {
+                        gp.add_edge(vj, uij);
+                    }
+                }
+            }
+        }
+        // Specials.
+        for i in 0..k {
+            for which in 0..2 {
+                let s = me.id(GadgetVertex::Special { clique: i, which });
+                for v in 0..n {
+                    gp.add_edge(s, me.id(GadgetVertex::Clique { clique: i, v }));
+                }
+            }
+        }
+        Self { graph: gp, ..me }
+    }
+
+    /// Number of vertices of `G`.
+    pub fn original_n(&self) -> usize {
+        self.n
+    }
+
+    /// Parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Flat vertex id of a named gadget vertex.
+    pub fn id(&self, v: GadgetVertex) -> usize {
+        let (n, k) = (self.n, self.k);
+        match v {
+            GadgetVertex::Clique { clique, v } => {
+                assert!(clique < k && v < n);
+                clique * n + v
+            }
+            GadgetVertex::Compat { i, j, v } => {
+                let p = self
+                    .pairs
+                    .iter()
+                    .position(|&q| q == (i, j))
+                    .expect("valid pair (i < j < k)");
+                assert!(v < n);
+                (k + p) * n + v
+            }
+            GadgetVertex::Special { clique, which } => {
+                assert!(clique < k && which < 2);
+                (k + self.pairs.len()) * n + 2 * clique + which
+            }
+        }
+    }
+
+    /// Inverse of [`IsToDsGadget::id`].
+    pub fn name(&self, id: usize) -> GadgetVertex {
+        let (n, k) = (self.n, self.k);
+        assert!(id < self.graph.n());
+        if id < k * n {
+            GadgetVertex::Clique { clique: id / n, v: id % n }
+        } else if id < (k + self.pairs.len()) * n {
+            let p = (id - k * n) / n;
+            let (i, j) = self.pairs[p];
+            GadgetVertex::Compat { i, j, v: id % n }
+        } else {
+            let r = id - (k + self.pairs.len()) * n;
+            GadgetVertex::Special { clique: r / 2, which: r % 2 }
+        }
+    }
+
+    /// The dominating set of `G′` induced by an independent set of `G`
+    /// (the forward direction of the correspondence): `{v_i^i}`.
+    pub fn dominating_set_for(&self, independent_set: &[usize]) -> Vec<usize> {
+        assert_eq!(independent_set.len(), self.k);
+        independent_set
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| self.id(GadgetVertex::Clique { clique: i, v }))
+            .collect()
+    }
+
+    /// Recover an independent set of `G` from a dominating set of `G′`
+    /// (the backward direction). Returns `None` if the set does not have
+    /// the structure every size-≤k dominating set must have (one clique
+    /// copy per clique) — which, by the theorem, only happens if the input
+    /// was not actually dominating.
+    pub fn extract_independent_set(&self, dominating: &[usize]) -> Option<Vec<usize>> {
+        if dominating.len() > self.k {
+            return None;
+        }
+        let mut per_clique: Vec<Option<usize>> = vec![None; self.k];
+        for &d in dominating {
+            match self.name(d) {
+                GadgetVertex::Clique { clique, v } => {
+                    if per_clique[clique].is_some() {
+                        return None; // two dominators in one clique
+                    }
+                    per_clique[clique] = Some(v);
+                }
+                _ => return None, // specials/compat vertices never dominate x_i & y_i
+            }
+        }
+        let picks: Vec<usize> = per_clique.into_iter().collect::<Option<Vec<_>>>()?;
+        Some(picks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::{gen, reference};
+    use proptest::prelude::*;
+
+    #[test]
+    fn gadget_size_bound_holds() {
+        for (n, k) in [(4, 2), (5, 3), (3, 4), (6, 2)] {
+            let g = gen::gnp(n, 0.5, (n * k) as u64);
+            let gd = IsToDsGadget::build(&g, k);
+            assert!(
+                gd.graph.n() <= (k * k + k + 2) * n,
+                "n={n} k={k}: {} > {}",
+                gd.graph.n(),
+                (k * k + k + 2) * n
+            );
+        }
+    }
+
+    #[test]
+    fn naming_roundtrip() {
+        let g = gen::gnp(5, 0.4, 1);
+        let gd = IsToDsGadget::build(&g, 3);
+        for id in 0..gd.graph.n() {
+            assert_eq!(gd.id(gd.name(id)), id);
+        }
+    }
+
+    #[test]
+    fn forward_direction_dominates() {
+        for seed in 0..6 {
+            let n = 6;
+            let g = gen::gnp(n, 0.4, seed);
+            let k = 2;
+            if let Some(is) = reference::find_independent_set(&g, k) {
+                let gd = IsToDsGadget::build(&g, k);
+                let ds = gd.dominating_set_for(&is);
+                assert!(
+                    reference::is_dominating_set(&gd.graph, &ds),
+                    "seed {seed}: IS {is:?} must dominate the gadget"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_direction_extracts_an_is() {
+        for seed in 0..6 {
+            let n = 5;
+            let g = gen::gnp(n, 0.5, 100 + seed);
+            let k = 2;
+            let gd = IsToDsGadget::build(&g, k);
+            if let Some(ds) = reference::find_dominating_set(&gd.graph, k) {
+                let is = gd.extract_independent_set(&ds).expect("DS must be structured");
+                assert!(
+                    reference::is_independent_set(&g, &is),
+                    "seed {seed}: extracted {is:?} from {ds:?}"
+                );
+                // Distinctness.
+                let mut sorted = is.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), k);
+            }
+        }
+    }
+
+    #[test]
+    fn equivalence_on_all_small_graphs() {
+        // Exhaustive over all 4-vertex graphs at k = 2: the heart of the
+        // theorem as a finite check.
+        for g in Graph::enumerate_all(4) {
+            let gd = IsToDsGadget::build(&g, 2);
+            let has_is = reference::find_independent_set(&g, 2).is_some();
+            let has_ds = reference::find_dominating_set(&gd.graph, 2).is_some();
+            assert_eq!(has_is, has_ds, "graph {g:?}");
+        }
+    }
+
+    #[test]
+    fn equivalence_spot_checks_k3() {
+        for seed in 0..3 {
+            let n = 4;
+            let g = gen::gnp(n, 0.5, 200 + seed);
+            let gd = IsToDsGadget::build(&g, 3);
+            let has_is = reference::find_independent_set(&g, 3).is_some();
+            let has_ds = reference::find_dominating_set(&gd.graph, 3).is_some();
+            assert_eq!(has_is, has_ds, "seed {seed}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_equivalence_k2(seed in any::<u64>(), n in 3usize..7) {
+            let g = gen::gnp(n, 0.5, seed);
+            let gd = IsToDsGadget::build(&g, 2);
+            let has_is = reference::find_independent_set(&g, 2).is_some();
+            let has_ds = reference::find_dominating_set(&gd.graph, 2).is_some();
+            prop_assert_eq!(has_is, has_ds);
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Two-phase balanced routing for globally known demand patterns.
+//!
+//! The direct schedule of [`crate::route`] pays the *maximum per-link* load.
+//! Lenzen's protocol \[43\] pays only the maximum *per-node* load (divided by
+//! the node's `n−1` links) — the difference matters for patterns like the
+//! matrix-multiplication redistribution, where each node talks to only
+//! `n^{2/3}` of the other nodes.
+//!
+//! For patterns whose demand *sizes* are globally known (every pattern in
+//! this workspace: they depend on `n` and `k`, not on input values), the
+//! rebalancing can be done without Lenzen's sorting machinery:
+//!
+//! 1. every sender concatenates its outgoing streams (ordered by
+//!    destination) into one megastream and scatters it in `n` near-equal
+//!    contiguous segments, segment `j` going to intermediate
+//!    `(j + u) mod n` — the rotation decorrelates different senders;
+//! 2. every intermediate, knowing the global layout, slices the segments it
+//!    holds by final destination and forwards them; receivers reassemble by
+//!    position.
+//!
+//! Phase 1 is perfectly balanced (`⌈T_u/n⌉` bits per link). Phase 2 is
+//! balanced for the regular patterns produced by the workspace's algorithms;
+//! adversarially skewed patterns can degrade it, which is why the full
+//! Lenzen protocol needs sorting — see DESIGN.md for the substitution
+//! argument. Tests verify both delivery correctness on random patterns and
+//! the round advantage on the patterns that motivated this module.
+
+use cliquesim::{BitString, NodeId, Session};
+
+use crate::frames::{frame_all, parse_frames};
+use crate::router::{route, Delivered, RouteError};
+
+/// Bit-range bookkeeping: layout of one sender's megastream.
+#[derive(Clone, Debug)]
+struct MegaLayout {
+    /// For each destination `w`, the megastream range `[start, end)` of the
+    /// framed stream headed to `w` (empty ranges allowed).
+    ranges: Vec<(usize, usize)>,
+    /// Total megastream length.
+    total: usize,
+}
+
+fn layout_for(stream_sizes: &[usize]) -> MegaLayout {
+    let mut ranges = Vec::with_capacity(stream_sizes.len());
+    let mut pos = 0;
+    for &s in stream_sizes {
+        ranges.push((pos, pos + s));
+        pos += s;
+    }
+    MegaLayout { ranges, total: pos }
+}
+
+/// Segment `j` of a megastream of length `total` split into `n` near-equal
+/// contiguous parts: `[j*ceil(total/n), min((j+1)*ceil(total/n), total))`.
+fn segment_range(total: usize, n: usize, j: usize) -> (usize, usize) {
+    let seg = total.div_ceil(n).max(1);
+    let start = (j * seg).min(total);
+    let end = ((j + 1) * seg).min(total);
+    (start, end)
+}
+
+/// Which intermediate holds segment `j` of sender `u`'s megastream.
+fn intermediate_for(u: usize, j: usize, n: usize) -> usize {
+    (j + u) % n
+}
+
+/// Route a demand set with the two-phase balanced schedule.
+///
+/// Semantics are identical to [`route`]; only the round cost differs. The
+/// demand **sizes** are treated as globally known: every node derives the
+/// same global layout, which is legitimate for the information-oblivious
+/// patterns of the paper's algorithms (the sizes are functions of `n`, `k`).
+pub fn route_balanced(
+    session: &mut Session,
+    demands: Vec<Vec<(NodeId, BitString)>>,
+) -> Result<Vec<Delivered>, RouteError> {
+    let n = session.n();
+    assert_eq!(demands.len(), n);
+
+    // Build framed per-destination streams and megastreams.
+    let mut streams: Vec<Vec<BitString>> = Vec::with_capacity(n);
+    for (u, list) in demands.into_iter().enumerate() {
+        let mut per_dst: Vec<Vec<BitString>> = vec![Vec::new(); n];
+        for (dst, payload) in list {
+            assert_ne!(dst.index(), u, "demand from node {u} to itself");
+            per_dst[dst.index()].push(payload);
+        }
+        streams.push(
+            per_dst
+                .into_iter()
+                .map(|ps| if ps.is_empty() { BitString::new() } else { frame_all(ps.iter()) })
+                .collect(),
+        );
+    }
+    let layouts: Vec<MegaLayout> = streams
+        .iter()
+        .map(|row| layout_for(&row.iter().map(|s| s.len()).collect::<Vec<_>>()))
+        .collect();
+    let megas: Vec<BitString> = streams
+        .iter()
+        .map(|row| {
+            let mut m = BitString::new();
+            for s in row {
+                m.extend_from(s);
+            }
+            m
+        })
+        .collect();
+
+    // ---------------- Phase 1: scatter megastream segments ----------------
+    let mut phase1: Vec<Vec<(NodeId, BitString)>> = vec![Vec::new(); n];
+    // held[p][u] = the segment of u's megastream that intermediate p holds.
+    let mut held: Vec<Vec<BitString>> = vec![vec![BitString::new(); n]; n];
+    for u in 0..n {
+        for j in 0..n {
+            let (a, b) = segment_range(layouts[u].total, n, j);
+            if a >= b {
+                continue;
+            }
+            let mut r = megas[u].reader();
+            r.skip(a).expect("in range");
+            let seg = r.read_bits(b - a).expect("in range");
+            let p = intermediate_for(u, j, n);
+            if p == u {
+                held[p][u] = seg; // kept locally, free
+            } else {
+                phase1[u].push((NodeId::from(p), seg));
+            }
+        }
+    }
+    let delivered1 = route(session, phase1)?;
+    for (p, list) in delivered1.into_iter().enumerate() {
+        for (src, seg) in list {
+            held[p][src.index()] = seg;
+        }
+    }
+
+    // ------------- Phase 2: slice by destination and forward -------------
+    // Intermediate p holds segment j_u = (p - u) mod n of each sender u.
+    // Forwarded blob p→w = concat over u of (segment_{j_u}(u) ∩ stream(u,w)).
+    let mut phase2: Vec<Vec<(NodeId, BitString)>> = vec![Vec::new(); n];
+    // keep[w][...] pieces p == w holds for itself.
+    let mut kept: Vec<Vec<(usize, usize, BitString)>> = vec![Vec::new(); n]; // (u, order p, bits)
+    for p in 0..n {
+        for w in 0..n {
+            let mut blob = BitString::new();
+            for u in 0..n {
+                let j = (p + n - u) % n;
+                let (sa, sb) = segment_range(layouts[u].total, n, j);
+                let (ra, rb) = layouts[u].ranges[w];
+                let (ia, ib) = (sa.max(ra), sb.min(rb));
+                if ia >= ib {
+                    continue;
+                }
+                // Bits [ia, ib) of u's megastream, offset within the held segment.
+                let seg = &held[p][u];
+                let mut r = seg.reader();
+                r.skip(ia - sa).expect("in range");
+                let piece = r.read_bits(ib - ia).expect("in range");
+                blob.extend_from(&piece);
+            }
+            if blob.is_empty() {
+                continue;
+            }
+            if p == w {
+                kept[w].push((usize::MAX, p, blob)); // whole blob, parsed below
+            } else {
+                phase2[p].push((NodeId::from(w), blob));
+            }
+        }
+    }
+    let delivered2 = route(session, phase2)?;
+
+    // ------------------- Reassembly at the receivers ---------------------
+    // Receiver w reconstructs each framed stream(u, w) by collecting, for
+    // each intermediate p in a canonical order, the piece sizes it knows
+    // from the global layout.
+    let mut result: Vec<Delivered> = Vec::with_capacity(n);
+    for w in 0..n {
+        // blob_from[p] = the blob w received from intermediate p.
+        let mut blob_from: Vec<Option<BitString>> = vec![None; n];
+        for (src, blob) in &delivered2[w] {
+            blob_from[src.index()] = Some(blob.clone());
+        }
+        for (_, p, blob) in &kept[w] {
+            blob_from[*p] = Some(blob.clone());
+        }
+        // Per sender u, gather pieces in megastream order.
+        let mut per_sender: Vec<BitString> = vec![BitString::new(); n];
+        // Walk blobs in the same (p, u) order they were written.
+        let mut cursors: Vec<usize> = vec![0; n];
+        for p in 0..n {
+            for u in 0..n {
+                let j = (p + n - u) % n;
+                let (sa, sb) = segment_range(layouts[u].total, n, j);
+                let (ra, rb) = layouts[u].ranges[w];
+                let (ia, ib) = (sa.max(ra), sb.min(rb));
+                if ia >= ib {
+                    continue;
+                }
+                let blob = blob_from[p]
+                    .as_ref()
+                    .ok_or_else(|| RouteError::Malformed(NodeId::from(w), missing_blob(p)))?;
+                let mut r = blob.reader();
+                r.skip(cursors[p]).map_err(|e| RouteError::Malformed(NodeId::from(w), e))?;
+                let piece = r
+                    .read_bits(ib - ia)
+                    .map_err(|e| RouteError::Malformed(NodeId::from(w), e))?;
+                cursors[p] += ib - ia;
+                // Pieces for sender u arrive with ascending (ia); insert at
+                // the right megastream offset by construction of the walk
+                // order? Offsets per u are ascending in j, not in p; collect
+                // with explicit position instead.
+                let _ = piece;
+                // Store with position for later ordered assembly.
+                per_sender[u] = {
+                    let mut acc = std::mem::take(&mut per_sender[u]);
+                    // We rely on ascending (ia) per u across the p-walk; see
+                    // assemble() below which re-sorts explicitly.
+                    acc.extend_from(&piece_with_pos(ia, &piece));
+                    acc
+                };
+            }
+        }
+        // Decode (pos, piece) records and stitch streams in offset order.
+        let mut delivered = Vec::new();
+        for u in 0..n {
+            let (ra, rb) = layouts[u].ranges[w];
+            if ra == rb {
+                continue;
+            }
+            let stream = stitch(&per_sender[u], rb - ra, ra)
+                .map_err(|e| RouteError::Malformed(NodeId::from(w), e))?;
+            let payloads =
+                parse_frames(&stream).map_err(|e| RouteError::Malformed(NodeId::from(w), e))?;
+            for payload in payloads {
+                delivered.push((NodeId::from(u), payload));
+            }
+        }
+        result.push(delivered);
+    }
+    Ok(result)
+}
+
+/// Internal record: `pos:32 || len:32 || bits` (local bookkeeping only —
+/// never crosses the wire, so it does not count against bandwidth).
+fn piece_with_pos(pos: usize, piece: &BitString) -> BitString {
+    let mut out = BitString::with_capacity(64 + piece.len());
+    out.push_uint(pos as u64, 32);
+    out.push_uint(piece.len() as u64, 32);
+    out.extend_from(piece);
+    out
+}
+
+fn stitch(records: &BitString, want: usize, base: usize) -> Result<BitString, cliquesim::DecodeError> {
+    let mut pieces: Vec<(usize, BitString)> = Vec::new();
+    let mut r = records.reader();
+    while r.remaining() > 0 {
+        let pos = r.read_uint(32)? as usize;
+        let len = r.read_uint(32)? as usize;
+        pieces.push((pos, r.read_bits(len)?));
+    }
+    pieces.sort_by_key(|(pos, _)| *pos);
+    let mut out = BitString::with_capacity(want);
+    let mut expect = base;
+    for (pos, bits) in pieces {
+        if pos != expect {
+            return Err(cliquesim::DecodeError { at: pos, wanted: want, len: out.len() });
+        }
+        expect += bits.len();
+        out.extend_from(&bits);
+    }
+    if out.len() != want {
+        return Err(cliquesim::DecodeError { at: expect, wanted: want, len: out.len() });
+    }
+    Ok(out)
+}
+
+fn missing_blob(p: usize) -> cliquesim::DecodeError {
+    cliquesim::DecodeError { at: p, wanted: 0, len: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliquesim::Engine;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn session(n: usize) -> Session {
+        Session::new(Engine::new(n))
+    }
+
+    fn normalise(mut d: Vec<Delivered>) -> Vec<Vec<(usize, Vec<bool>)>> {
+        d.iter_mut()
+            .map(|list| {
+                let mut v: Vec<(usize, Vec<bool>)> = list
+                    .iter()
+                    .map(|(s, p)| (s.index(), p.iter().collect()))
+                    .collect();
+                v.sort();
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn balanced_matches_direct_on_simple_pattern() {
+        let n = 6;
+        let mk = |seed: u64| {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut demands: Vec<Vec<(NodeId, BitString)>> = vec![Vec::new(); n];
+            for v in 0..n {
+                for _ in 0..rng.gen_range(0..3) {
+                    let dst = (v + rng.gen_range(1..n)) % n;
+                    let len = rng.gen_range(0..30);
+                    let payload: BitString = (0..len).map(|_| rng.gen_bool(0.5)).collect();
+                    demands[v].push((NodeId::from(dst), payload));
+                }
+            }
+            demands
+        };
+        for seed in 0..8 {
+            let mut s1 = session(n);
+            let direct = route(&mut s1, mk(seed)).unwrap();
+            let mut s2 = session(n);
+            let balanced = route_balanced(&mut s2, mk(seed)).unwrap();
+            assert_eq!(normalise(direct), normalise(balanced), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn balanced_beats_direct_on_skewed_pattern() {
+        // One node sends a large payload to a single destination: the direct
+        // schedule serialises it over one link; the balanced schedule
+        // spreads it over all links.
+        let n = 16;
+        let payload = BitString::from_bits((0..n * 4 * 8).map(|i| i % 5 == 0));
+        let mk = || {
+            let mut d: Vec<Vec<(NodeId, BitString)>> = vec![Vec::new(); n];
+            d[0].push((NodeId(9), payload.clone()));
+            d
+        };
+        let mut s1 = session(n);
+        route(&mut s1, mk()).unwrap();
+        let mut s2 = session(n);
+        let got = route_balanced(&mut s2, mk()).unwrap();
+        assert_eq!(got[9].len(), 1);
+        assert_eq!(got[9][0].1, payload);
+        assert!(
+            s2.stats().rounds < s1.stats().rounds,
+            "balanced {} should beat direct {}",
+            s2.stats().rounds,
+            s1.stats().rounds
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_balanced_delivers_exactly(seed in any::<u64>()) {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let n = rng.gen_range(2..8);
+            let mut demands: Vec<Vec<(NodeId, BitString)>> = vec![Vec::new(); n];
+            for v in 0..n {
+                for _ in 0..rng.gen_range(0..4) {
+                    let dst = (v + rng.gen_range(1..n)) % n;
+                    let len = rng.gen_range(0..60);
+                    let payload: BitString = (0..len).map(|_| rng.gen_bool(0.5)).collect();
+                    demands[v].push((NodeId::from(dst), payload));
+                }
+            }
+            let mut s1 = session(n);
+            let direct = route(&mut s1, demands.clone()).unwrap();
+            let mut s2 = session(n);
+            let balanced = route_balanced(&mut s2, demands).unwrap();
+            prop_assert_eq!(normalise(direct), normalise(balanced));
+        }
+    }
+}

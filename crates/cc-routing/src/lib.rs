@@ -1,0 +1,34 @@
+//! # cc-routing — routing substrate for the congested clique
+//!
+//! Stand-in for Lenzen's `O(1)`-round deterministic routing and sorting
+//! protocol (reference \[43\] of Korhonen & Suomela, SPAA 2018), which the
+//! paper's Theorem 9 invokes as a black box.
+//!
+//! Two primitives are provided:
+//!
+//! * [`route`] — the oblivious **static direct schedule**: every ordered
+//!   pair ships its (length-framed) stream over its private link, all links
+//!   in parallel; the phase costs exactly the maximum per-link load in
+//!   messages. This is optimal for the globally predictable, per-link
+//!   balanced patterns used by every algorithm in this workspace.
+//! * [`relay_broadcast`] / [`all_to_all_broadcast`] — collective operations
+//!   built on `route`, including the classic scatter-then-rebroadcast
+//!   doubling trick for large single-source broadcasts.
+//!
+//! [`lenzen_round_bound`] gives the accounting bound of the full Lenzen
+//! protocol for per-node balanced instances; the substitution rationale is
+//! documented in DESIGN.md.
+
+#![warn(missing_docs)]
+// Index-driven loops over multiple parallel per-node arrays are the
+// dominant shape in this codebase; the iterator rewrites clippy suggests
+// obscure the node-id arithmetic.
+#![allow(clippy::needless_range_loop)]
+
+pub mod balanced;
+pub mod frames;
+pub mod router;
+
+pub use balanced::route_balanced;
+pub use frames::{frame, frame_all, parse_frames, rounds_for, LEN_HEADER_BITS};
+pub use router::{all_to_all_broadcast, lenzen_round_bound, relay_broadcast, route, Delivered, RouteError};

@@ -1,0 +1,121 @@
+//! Triangle detection through Boolean matrix multiplication.
+//!
+//! Figure 1's arrow "Triangle ≤ Boolean MM" (Censor-Hillel et al. \[10\]):
+//! a triangle exists iff some edge `{v,u}` has `(A²)_{v,u} = 1`. Node `v`
+//! ends the multiplication holding row `v` of `A²` and its own adjacency
+//! row, so the check is local; one agreement phase publishes the verdict.
+//! This is the ablation partner of the combinatorial Dolev et al. detector
+//! in `crate::detect` — both run at exponent 1/3 here (the `1 − 2/ω` bound
+//! needs fast ring MM; see DESIGN.md).
+
+use cc_graph::Graph;
+use cc_matmul::{mm_three_d, BoolSemiring, MatmulError};
+use cc_routing::{all_to_all_broadcast, RouteError};
+use cliquesim::{BitString, Session};
+
+/// Errors from the MM-based detector.
+#[derive(Debug)]
+pub enum MmDetectError {
+    /// Matrix multiplication failed.
+    Matmul(MatmulError),
+    /// Verdict agreement failed.
+    Route(RouteError),
+}
+
+impl std::fmt::Display for MmDetectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmDetectError::Matmul(e) => write!(f, "mm triangle: {e}"),
+            MmDetectError::Route(e) => write!(f, "mm triangle: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MmDetectError {}
+
+impl From<MatmulError> for MmDetectError {
+    fn from(e: MatmulError) -> Self {
+        MmDetectError::Matmul(e)
+    }
+}
+
+impl From<RouteError> for MmDetectError {
+    fn from(e: RouteError) -> Self {
+        MmDetectError::Route(e)
+    }
+}
+
+/// Detect a triangle via `A²∧A`; returns one witness edge `(v, u)` that
+/// closes a triangle (the third vertex is a common neighbour of `v` and
+/// `u`), or `None`. Costs one Boolean MM (`O(n^{1/3})` rounds) plus `O(1)`.
+pub fn triangle_via_mm(
+    session: &mut Session,
+    g: &Graph,
+) -> Result<Option<(usize, usize)>, MmDetectError> {
+    let n = session.n();
+    assert_eq!(g.n(), n);
+    let rows: Vec<Vec<bool>> = (0..n).map(|v| (0..n).map(|u| g.has_edge(v, u)).collect()).collect();
+    let sq = mm_three_d(session, &BoolSemiring, &rows, &rows)?;
+
+    // Node v's local verdict: some u with {v,u} ∈ E and (A²)_{v,u} = 1.
+    let idw = BitString::width_for(n);
+    let payloads: Vec<BitString> = (0..n)
+        .map(|v| {
+            let hit = (0..n).find(|&u| rows[v][u] && sq[v][u]);
+            let mut bits = BitString::new();
+            match hit {
+                Some(u) => {
+                    bits.push(true);
+                    bits.push_uint(u as u64, idw);
+                }
+                None => bits.push(false),
+            }
+            bits
+        })
+        .collect();
+    let views = all_to_all_broadcast(session, payloads)?;
+    for (v, bits) in views[0].iter().enumerate() {
+        let mut r = bits.reader();
+        if r.read_bit().unwrap_or(false) {
+            let u = r.read_uint(idw).expect("well-formed verdict") as usize;
+            return Ok(Some((v, u)));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::{gen, reference};
+    use cliquesim::Engine;
+
+    #[test]
+    fn mm_triangle_agrees_with_reference() {
+        for seed in 0..6 {
+            let n = 16;
+            let g = gen::gnp(n, 0.22, seed);
+            let expect = reference::count_triangles(&g) > 0;
+            let mut s = Session::new(Engine::new(n));
+            let got = triangle_via_mm(&mut s, &g).unwrap();
+            assert_eq!(got.is_some(), expect, "seed {seed}");
+            if let Some((v, u)) = got {
+                assert!(g.has_edge(v, u));
+                assert!((0..n).any(|w| g.has_edge(v, w) && g.has_edge(u, w)));
+            }
+        }
+    }
+
+    #[test]
+    fn mm_and_dolev_agree() {
+        for seed in 0..4 {
+            let n = 16;
+            let g = gen::gnp(n, 0.18, 100 + seed);
+            let mut s1 = Session::new(Engine::new(n));
+            let mm = triangle_via_mm(&mut s1, &g).unwrap();
+            let mut s2 = Session::new(Engine::new(n));
+            let dolev = crate::detect::detect_triangle(&mut s2, &g).unwrap();
+            assert_eq!(mm.is_some(), dolev.is_some(), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The Dolev–Lenzen–Peled partition scheme.
+//!
+//! §7.1 of the paper: "Partition the node set V arbitrarily into sets
+//! `S_1, …, S_{n^{1/k}}` of size `O(n^{1−1/k})`" and "assign each node
+//! `v ∈ V` a label `ℓ(v) ∈ [n^{1/k}]^k` so that each possible label is
+//! assigned to some node". A node labelled `(j_1, …, j_k)` is responsible
+//! for the union `S_{j_1} ∪ … ∪ S_{j_k}`; every k-subset of V lies inside
+//! at least one such union.
+
+/// The partition-and-label structure shared by the Dolev et al. subgraph
+/// detector (`O(n^{1−2/k})` rounds) and Theorem 9's k-dominating-set
+/// algorithm (`O(n^{1−1/k})` rounds).
+#[derive(Clone, Copy, Debug)]
+pub struct Partition {
+    n: usize,
+    k: usize,
+    /// Number of parts, `q = ⌊n^{1/k}⌋` (at least 1).
+    q: usize,
+    /// Vertices per part (last part may be smaller).
+    part_size: usize,
+}
+
+impl Partition {
+    /// Partition for detecting size-`k` structures on `n` vertices.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k >= 1, "k must be positive");
+        assert!(n >= 1);
+        // Largest q with q^k ≤ n.
+        let mut q = 1usize;
+        while (q + 1).checked_pow(k as u32).is_some_and(|p| p <= n) {
+            q += 1;
+        }
+        Self { n, k, q, part_size: n.div_ceil(q) }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Structure size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of parts `q`.
+    pub fn parts(&self) -> usize {
+        self.q
+    }
+
+    /// Part of vertex `u`.
+    pub fn part_of(&self, u: usize) -> usize {
+        (u / self.part_size).min(self.q - 1)
+    }
+
+    /// Vertices of part `j`, in increasing order.
+    pub fn members(&self, j: usize) -> std::ops::Range<usize> {
+        let start = j * self.part_size;
+        let end = if j + 1 == self.q { self.n } else { ((j + 1) * self.part_size).min(self.n) };
+        start..end
+    }
+
+    /// The label of detector node `v`: its base-`q` digits, or `None` for
+    /// nodes `v ≥ q^k` (which sit out the detection but still relay).
+    pub fn label(&self, v: usize) -> Option<Vec<usize>> {
+        let total = self.q.pow(self.k as u32);
+        if v >= total {
+            return None;
+        }
+        let mut digits = Vec::with_capacity(self.k);
+        let mut x = v;
+        for _ in 0..self.k {
+            digits.push(x % self.q);
+            x /= self.q;
+        }
+        Some(digits)
+    }
+
+    /// Number of detector nodes, `q^k ≤ n`.
+    pub fn detectors(&self) -> usize {
+        self.q.pow(self.k as u32)
+    }
+
+    /// The union of parts a detector is responsible for, as a sorted,
+    /// deduplicated vertex list.
+    pub fn union_of(&self, v: usize) -> Option<Vec<usize>> {
+        let label = self.label(v)?;
+        let mut parts: Vec<usize> = label;
+        parts.sort_unstable();
+        parts.dedup();
+        let mut verts = Vec::new();
+        for j in parts {
+            verts.extend(self.members(j));
+        }
+        Some(verts)
+    }
+
+    /// The detector node responsible for a given k-subset of vertices (the
+    /// canonical witness checker used in proofs/tests).
+    pub fn detector_for(&self, subset: &[usize]) -> usize {
+        assert_eq!(subset.len(), self.k);
+        let mut v = 0usize;
+        for (pos, &u) in subset.iter().enumerate() {
+            v += self.part_of(u) * self.q.pow(pos as u32);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn q_is_floor_root() {
+        assert_eq!(Partition::new(27, 3).parts(), 3);
+        assert_eq!(Partition::new(26, 3).parts(), 2);
+        assert_eq!(Partition::new(64, 3).parts(), 4);
+        assert_eq!(Partition::new(64, 2).parts(), 8);
+        assert_eq!(Partition::new(5, 3).parts(), 1);
+        assert_eq!(Partition::new(1, 4).parts(), 1);
+    }
+
+    #[test]
+    fn parts_cover_vertices() {
+        for n in [5, 8, 27, 30, 64] {
+            for k in 1..=4 {
+                let p = Partition::new(n, k);
+                let mut seen = vec![false; n];
+                for j in 0..p.parts() {
+                    for u in p.members(j) {
+                        assert_eq!(p.part_of(u), j);
+                        assert!(!seen[u]);
+                        seen[u] = true;
+                    }
+                }
+                assert!(seen.into_iter().all(|s| s), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_enumerate_all_tuples() {
+        let p = Partition::new(27, 3);
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..p.detectors() {
+            let l = p.label(v).unwrap();
+            assert_eq!(l.len(), 3);
+            assert!(l.iter().all(|&d| d < p.parts()));
+            assert!(seen.insert(l));
+        }
+        assert_eq!(seen.len(), 27);
+        assert_eq!(p.label(p.detectors()), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_every_subset_has_a_detector(seed in any::<u64>(), n in 8usize..40, k in 2usize..4) {
+            use rand::{seq::SliceRandom, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let p = Partition::new(n, k);
+            let mut verts: Vec<usize> = (0..n).collect();
+            verts.shuffle(&mut rng);
+            let subset: Vec<usize> = verts[..k].to_vec();
+            let det = p.detector_for(&subset);
+            prop_assert!(det < p.detectors());
+            let union = p.union_of(det).unwrap();
+            for u in &subset {
+                prop_assert!(union.contains(u), "vertex {u} missing from union of detector {det}");
+            }
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! Bit-exact message payloads.
+//!
+//! The congested clique model measures bandwidth in *bits*: each ordered pair
+//! of nodes may exchange at most `O(log n)` bits per round. Byte-oriented
+//! buffers would make it too easy to silently leak a factor of 8, so every
+//! message in the simulator is a [`BitString`] and the engine enforces the
+//! bound at bit granularity.
+
+use std::fmt;
+
+/// A growable, bit-addressed string of bits.
+///
+/// Bits are stored little-endian within `u64` words: bit `i` lives in word
+/// `i / 64` at position `i % 64`. All append operations keep the unused tail
+/// of the last word zeroed, so equality and hashing of the word vector agree
+/// with logical equality of the bit sequences.
+#[derive(Clone, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct BitString {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitString {
+    /// The empty bit string. In the model, sending an empty message is the
+    /// same as sending no message at all.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty bit string with room for `bits` bits pre-allocated.
+    pub fn with_capacity(bits: usize) -> Self {
+        Self { len: 0, words: Vec::with_capacity(bits.div_ceil(64)) }
+    }
+
+    /// Build from an iterator of booleans, preserving order.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut s = Self::new();
+        for b in bits {
+            s.push(b);
+        }
+        s
+    }
+
+    /// A bit string of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        Self { len, words: vec![0; len.div_ceil(64)] }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the string holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`. Panics if out of range.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i`. Panics if out of range.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        let w = &mut self.words[i / 64];
+        if value {
+            *w |= 1u64 << (i % 64);
+        } else {
+            *w &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Append a single bit.
+    pub fn push(&mut self, bit: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        if bit {
+            *self.words.last_mut().expect("word just ensured") |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Append the low `width` bits of `value`, least-significant bit first.
+    ///
+    /// Panics if `width > 64` or if `value` has bits above `width` set; the
+    /// latter catches encoding bugs where a field silently overflows its
+    /// allotted width (which in a bandwidth-bounded model is data loss).
+    pub fn push_uint(&mut self, value: u64, width: usize) {
+        assert!(width <= 64, "width {width} exceeds u64");
+        if width < 64 {
+            assert!(
+                value < (1u64 << width),
+                "value {value} does not fit in {width} bits"
+            );
+        }
+        for i in 0..width {
+            self.push((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Append all bits of another string (word-level; hot path for the
+    /// routing layer's stream assembly).
+    pub fn extend_from(&mut self, other: &BitString) {
+        if other.len == 0 {
+            return;
+        }
+        let shift = self.len % 64;
+        self.len += other.len;
+        let needed = self.len.div_ceil(64);
+        let src_words = other.len.div_ceil(64);
+        if shift == 0 {
+            // Word-aligned: plain copy (the old last word was full).
+            self.words.extend_from_slice(&other.words[..src_words]);
+            self.words.truncate(needed);
+        } else {
+            for &w in &other.words[..src_words] {
+                // Source invariant: bits past `other.len` are zero.
+                *self.words.last_mut().expect("shift != 0 implies non-empty") |= w << shift;
+                if self.words.len() < needed {
+                    self.words.push(w >> (64 - shift));
+                }
+            }
+            self.words.truncate(needed);
+        }
+    }
+
+    /// Concatenation convenience.
+    pub fn concat(mut self, other: &BitString) -> Self {
+        self.extend_from(other);
+        self
+    }
+
+    /// Iterate over bits in order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// The minimum number of bits needed to encode values in `0..domain`,
+    /// i.e. `ceil(log2(domain))`, with the convention that a singleton
+    /// domain still needs one bit (so a message is never zero-width).
+    pub fn width_for(domain: usize) -> usize {
+        match domain {
+            0..=2 => 1,
+            d => (usize::BITS - (d - 1).leading_zeros()) as usize,
+        }
+    }
+
+    /// Interpret the whole string as a little-endian unsigned integer.
+    /// Panics if longer than 64 bits.
+    pub fn as_uint(&self) -> u64 {
+        assert!(self.len <= 64, "bit string of {} bits does not fit in u64", self.len);
+        let mut v = 0u64;
+        for i in 0..self.len {
+            if self.get(i) {
+                v |= 1u64 << i;
+            }
+        }
+        v
+    }
+
+    /// A reader positioned at the first bit.
+    pub fn reader(&self) -> BitReader<'_> {
+        BitReader { bits: self, pos: 0 }
+    }
+}
+
+impl fmt::Debug for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitString[{}]\"", self.len)?;
+        // Long payloads are truncated: debug output is for humans.
+        for i in 0..self.len.min(96) {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        if self.len > 96 {
+            write!(f, "…")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl FromIterator<bool> for BitString {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Self::from_bits(iter)
+    }
+}
+
+/// Sequential decoder over a [`BitString`].
+///
+/// Reads must consume exactly the encoded layout; all methods return
+/// [`DecodeError`] instead of panicking so that *verifiers* (which receive
+/// adversarial certificates) can reject malformed inputs gracefully.
+#[derive(Clone)]
+pub struct BitReader<'a> {
+    bits: &'a BitString,
+    pos: usize,
+}
+
+/// Error produced when a [`BitReader`] runs past the end of its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Position at which the read was attempted.
+    pub at: usize,
+    /// Number of bits requested.
+    pub wanted: usize,
+    /// Total length of the underlying string.
+    pub len: usize,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bit decode error: wanted {} bits at position {} of {}",
+            self.wanted, self.at, self.len
+        )
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl<'a> BitReader<'a> {
+    /// Bits not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bits.len() - self.pos
+    }
+
+    /// Current read position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Read one bit.
+    pub fn read_bit(&mut self) -> Result<bool, DecodeError> {
+        if self.pos >= self.bits.len() {
+            return Err(DecodeError { at: self.pos, wanted: 1, len: self.bits.len() });
+        }
+        let b = self.bits.get(self.pos);
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Read `width` bits as a little-endian unsigned integer.
+    pub fn read_uint(&mut self, width: usize) -> Result<u64, DecodeError> {
+        assert!(width <= 64, "width {width} exceeds u64");
+        if self.remaining() < width {
+            return Err(DecodeError { at: self.pos, wanted: width, len: self.bits.len() });
+        }
+        let mut v = 0u64;
+        for i in 0..width {
+            if self.bits.get(self.pos + i) {
+                v |= 1u64 << i;
+            }
+        }
+        self.pos += width;
+        Ok(v)
+    }
+
+    /// Advance the cursor by `len` bits without materialising them (O(1)).
+    pub fn skip(&mut self, len: usize) -> Result<(), DecodeError> {
+        if self.remaining() < len {
+            return Err(DecodeError { at: self.pos, wanted: len, len: self.bits.len() });
+        }
+        self.pos += len;
+        Ok(())
+    }
+
+    /// Read `len` bits as a fresh [`BitString`] (word-level).
+    pub fn read_bits(&mut self, len: usize) -> Result<BitString, DecodeError> {
+        if self.remaining() < len {
+            return Err(DecodeError { at: self.pos, wanted: len, len: self.bits.len() });
+        }
+        let out_words = len.div_ceil(64);
+        let mut words = Vec::with_capacity(out_words);
+        let off = self.pos % 64;
+        let base = self.pos / 64;
+        for j in 0..out_words {
+            let lo = self.bits.words.get(base + j).copied().unwrap_or(0) >> off;
+            let hi = if off == 0 {
+                0
+            } else {
+                self.bits.words.get(base + j + 1).copied().unwrap_or(0) << (64 - off)
+            };
+            words.push(lo | hi);
+        }
+        // Keep the zero-tail invariant.
+        let tail = len % 64;
+        if tail != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        self.pos += len;
+        Ok(BitString { len, words })
+    }
+
+    /// Succeeds only if every bit has been consumed; verifiers use this to
+    /// reject certificates with trailing garbage.
+    pub fn expect_end(&self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError { at: self.pos, wanted: 0, len: self.bits.len() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_string_basics() {
+        let s = BitString::new();
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s, BitString::default());
+    }
+
+    #[test]
+    fn push_and_get_across_word_boundary() {
+        let mut s = BitString::new();
+        for i in 0..130 {
+            s.push(i % 3 == 0);
+        }
+        assert_eq!(s.len(), 130);
+        for i in 0..130 {
+            assert_eq!(s.get(i), i % 3 == 0, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn set_flips_bits() {
+        let mut s = BitString::zeros(70);
+        s.set(0, true);
+        s.set(69, true);
+        assert!(s.get(0));
+        assert!(s.get(69));
+        assert!(!s.get(35));
+        s.set(0, false);
+        assert!(!s.get(0));
+    }
+
+    #[test]
+    fn uint_roundtrip_simple() {
+        let mut s = BitString::new();
+        s.push_uint(0b1011, 4);
+        s.push_uint(7, 3);
+        let mut r = s.reader();
+        assert_eq!(r.read_uint(4).unwrap(), 0b1011);
+        assert_eq!(r.read_uint(3).unwrap(), 7);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn push_uint_overflow_panics() {
+        let mut s = BitString::new();
+        s.push_uint(4, 2);
+    }
+
+    #[test]
+    fn width_for_domains() {
+        assert_eq!(BitString::width_for(0), 1);
+        assert_eq!(BitString::width_for(1), 1);
+        assert_eq!(BitString::width_for(2), 1);
+        assert_eq!(BitString::width_for(3), 2);
+        assert_eq!(BitString::width_for(4), 2);
+        assert_eq!(BitString::width_for(5), 3);
+        assert_eq!(BitString::width_for(1024), 10);
+        assert_eq!(BitString::width_for(1025), 11);
+    }
+
+    #[test]
+    fn reader_rejects_overrun() {
+        let mut s = BitString::new();
+        s.push_uint(3, 2);
+        let mut r = s.reader();
+        assert_eq!(r.read_uint(2).unwrap(), 3);
+        assert!(r.read_bit().is_err());
+        assert!(r.read_uint(1).is_err());
+    }
+
+    #[test]
+    fn skip_is_equivalent_to_discarding_reads() {
+        let s = BitString::from_bits((0..200).map(|i| i % 7 < 3));
+        let mut a = s.reader();
+        let mut b = s.reader();
+        a.skip(67).unwrap();
+        let _ = b.read_bits(67).unwrap();
+        assert_eq!(a.position(), b.position());
+        assert_eq!(a.read_bits(70).unwrap(), b.read_bits(70).unwrap());
+        let mut c = s.reader();
+        assert!(c.skip(201).is_err());
+        assert_eq!(c.position(), 0, "failed skip must not move the cursor");
+    }
+
+    #[test]
+    fn expect_end_detects_trailing_bits() {
+        let mut s = BitString::new();
+        s.push(true);
+        let r = s.reader();
+        assert!(r.expect_end().is_err());
+    }
+
+    #[test]
+    fn extend_concatenates_in_order() {
+        let a = BitString::from_bits([true, false, true]);
+        let b = BitString::from_bits([false, false]);
+        let c = a.clone().concat(&b);
+        assert_eq!(c.len(), 5);
+        let expect = [true, false, true, false, false];
+        for (i, e) in expect.iter().enumerate() {
+            assert_eq!(c.get(i), *e);
+        }
+    }
+
+    #[test]
+    fn equality_ignores_capacity() {
+        let mut a = BitString::with_capacity(1000);
+        a.push(true);
+        let b = BitString::from_bits([true]);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn as_uint_little_endian() {
+        let s = BitString::from_bits([true, false, false, true]); // 1 + 8
+        assert_eq!(s.as_uint(), 9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bit_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+            let s = BitString::from_bits(bits.iter().copied());
+            prop_assert_eq!(s.len(), bits.len());
+            for (i, b) in bits.iter().enumerate() {
+                prop_assert_eq!(s.get(i), *b);
+            }
+            let back: Vec<bool> = s.iter().collect();
+            prop_assert_eq!(back, bits);
+        }
+
+        #[test]
+        fn prop_uint_roundtrip(values in proptest::collection::vec((any::<u64>(), 1usize..=64), 0..20)) {
+            let mut s = BitString::new();
+            let mut expected = Vec::new();
+            for (v, w) in &values {
+                let v = if *w == 64 { *v } else { v & ((1u64 << w) - 1) };
+                s.push_uint(v, *w);
+                expected.push((v, *w));
+            }
+            let mut r = s.reader();
+            for (v, w) in expected {
+                prop_assert_eq!(r.read_uint(w).unwrap(), v);
+            }
+            r.expect_end().unwrap();
+        }
+
+        #[test]
+        fn prop_concat_is_associative(
+            a in proptest::collection::vec(any::<bool>(), 0..50),
+            b in proptest::collection::vec(any::<bool>(), 0..50),
+            c in proptest::collection::vec(any::<bool>(), 0..50),
+        ) {
+            let (sa, sb, sc) = (
+                BitString::from_bits(a),
+                BitString::from_bits(b),
+                BitString::from_bits(c),
+            );
+            let left = sa.clone().concat(&sb).concat(&sc);
+            let right = sa.concat(&sb.concat(&sc));
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn prop_read_bits_matches_slice(
+            bits in proptest::collection::vec(any::<bool>(), 0..120),
+            cut in 0usize..=120,
+        ) {
+            let cut = cut.min(bits.len());
+            let s = BitString::from_bits(bits.iter().copied());
+            let mut r = s.reader();
+            let head = r.read_bits(cut).unwrap();
+            let tail = r.read_bits(bits.len() - cut).unwrap();
+            prop_assert_eq!(head.iter().collect::<Vec<_>>(), bits[..cut].to_vec());
+            prop_assert_eq!(tail.iter().collect::<Vec<_>>(), bits[cut..].to_vec());
+        }
+    }
+}

@@ -1,0 +1,813 @@
+//! The synchronous lockstep engine.
+//!
+//! Executes `n` copies of a [`NodeProgram`] in rounds, enforcing the model of
+//! §3 of the paper: per round, every ordered pair of nodes may exchange at
+//! most `bandwidth` bits (default `⌈log₂ n⌉`), local computation is free, and
+//! the complexity of a run is its number of communication rounds.
+//!
+//! Node steps within a round are independent, so the engine can execute them
+//! on multiple OS threads; parallel and sequential execution produce
+//! bit-identical results.
+
+use std::fmt;
+
+use crate::bits::BitString;
+use crate::node::{Inbox, NodeCtx, NodeId, NodeProgram, Outbox, Status};
+use crate::stats::RunStats;
+use crate::transcript::{RoundTranscript, Transcript};
+
+/// Errors surfaced by a run. Bandwidth violations are *bugs in the algorithm
+/// under test* — the engine's job is to catch them, not to work around them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// In broadcast mode, a node sent different messages to different
+    /// peers in the same round.
+    BroadcastViolated {
+        /// Offending sender.
+        from: NodeId,
+        /// Round in which the violation happened.
+        round: usize,
+    },
+    /// In CONGEST mode, a node addressed a non-neighbour.
+    TopologyViolated {
+        /// Offending sender.
+        from: NodeId,
+        /// Illegal recipient (not adjacent in the communication graph).
+        to: NodeId,
+        /// Round in which the violation happened.
+        round: usize,
+    },
+    /// A node emitted a message wider than the model allows.
+    BandwidthExceeded {
+        /// Offending sender.
+        from: NodeId,
+        /// Intended recipient.
+        to: NodeId,
+        /// Round in which the violation happened.
+        round: usize,
+        /// Size of the offending message.
+        bits: usize,
+        /// The engine's per-message budget.
+        limit: usize,
+    },
+    /// The run did not terminate within the configured round limit.
+    RoundLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// `run` was called with the wrong number of programs.
+    WrongProgramCount {
+        /// Number of nodes in the clique.
+        expected: usize,
+        /// Number of programs supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BroadcastViolated { from, round } => write!(
+                f,
+                "broadcast mode violated in round {round}: node {} sent distinct messages",
+                from.display()
+            ),
+            SimError::TopologyViolated { from, to, round } => write!(
+                f,
+                "CONGEST topology violated in round {round}: node {} sent to non-neighbour {}",
+                from.display(),
+                to.display()
+            ),
+            SimError::BandwidthExceeded { from, to, round, bits, limit } => write!(
+                f,
+                "bandwidth exceeded in round {round}: node {} sent {bits} bits to node {} (limit {limit})",
+                from.display(),
+                to.display()
+            ),
+            SimError::RoundLimit { limit } => {
+                write!(f, "run exceeded the round limit of {limit}")
+            }
+            SimError::WrongProgramCount { expected, got } => {
+                write!(f, "expected {expected} node programs, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of a completed run.
+#[derive(Debug)]
+pub struct RunOutcome<T> {
+    /// Local output of each node, indexed by node.
+    pub outputs: Vec<T>,
+    /// Accounting for the run.
+    pub stats: RunStats,
+    /// Per-node communication transcripts, if recording was enabled.
+    pub transcripts: Option<Vec<Transcript>>,
+}
+
+impl<T: PartialEq> RunOutcome<T> {
+    /// The common output if all nodes agree (the paper requires decision
+    /// algorithms to be unanimous), `None` otherwise.
+    pub fn unanimous(&self) -> Option<&T> {
+        let first = self.outputs.first()?;
+        self.outputs.iter().all(|o| o == first).then_some(first)
+    }
+}
+
+/// Engine configuration and entry point. Construct with [`Engine::new`] and
+/// customise with the builder methods.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    n: usize,
+    bandwidth: usize,
+    max_rounds: usize,
+    record_transcripts: bool,
+    threads: usize,
+    broadcast_only: bool,
+    /// CONGEST mode: `topology[v*n + u]` = v may send to u. Empty = clique.
+    topology: std::sync::Arc<[bool]>,
+}
+
+/// Default cap on rounds; generous enough for every algorithm in this
+/// workspace while still catching livelocks quickly.
+const DEFAULT_MAX_ROUNDS: usize = 1 << 20;
+
+impl Engine {
+    /// An engine for an `n`-node clique with the standard bandwidth of
+    /// `⌈log₂ n⌉` bits per ordered pair per round.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "a clique needs at least one node");
+        Self {
+            n,
+            bandwidth: BitString::width_for(n),
+            max_rounds: DEFAULT_MAX_ROUNDS,
+            record_transcripts: false,
+            threads: 1,
+            broadcast_only: false,
+            topology: std::sync::Arc::from(Vec::new().into_boxed_slice()),
+        }
+    }
+
+    /// Restrict communication to the edges of a graph — the classic
+    /// **CONGEST** model, of which the congested clique is the
+    /// fully-connected special case (§3 of the paper). `adjacent[v*n+u]`
+    /// must be true iff `{u, v}` is a communication link; sending to a
+    /// non-neighbour becomes a runtime error. Used by the workbench to
+    /// contrast bottlenecked topologies with the clique (§2).
+    pub fn with_topology(mut self, adjacent: Vec<bool>) -> Self {
+        assert_eq!(adjacent.len(), self.n * self.n, "need an n×n adjacency table");
+        for v in 0..self.n {
+            for u in 0..self.n {
+                assert_eq!(adjacent[v * self.n + u], adjacent[u * self.n + v], "must be symmetric");
+            }
+            assert!(!adjacent[v * self.n + v], "no self-loops");
+        }
+        self.topology = std::sync::Arc::from(adjacent.into_boxed_slice());
+        self
+    }
+
+    /// Restrict the engine to the **broadcast congested clique** (§2 of
+    /// the paper): each round every node must send the *same* message to
+    /// every other node (or nothing at all). Violations are runtime
+    /// errors, so a unicast algorithm cannot silently pass as a broadcast
+    /// one.
+    pub fn broadcast_only(mut self, on: bool) -> Self {
+        self.broadcast_only = on;
+        self
+    }
+
+    /// Override the per-message bit budget.
+    ///
+    /// The paper normalises algorithms to exactly `⌈log₂ n⌉` bits by moving
+    /// constant factors into the round count; passing a multiple of
+    /// `⌈log₂ n⌉` here models an `O(log n)`-bandwidth algorithm directly.
+    pub fn with_bandwidth(mut self, bits: usize) -> Self {
+        assert!(bits >= 1, "bandwidth must be at least one bit");
+        self.bandwidth = bits;
+        self
+    }
+
+    /// Bandwidth `c · ⌈log₂ n⌉` for an algorithm using `O(log n)`-bit
+    /// messages with constant `c`.
+    pub fn with_bandwidth_multiplier(self, c: usize) -> Self {
+        let b = BitString::width_for(self.n) * c;
+        self.with_bandwidth(b)
+    }
+
+    /// Cap the number of rounds (defense against non-terminating programs).
+    pub fn with_max_rounds(mut self, limit: usize) -> Self {
+        self.max_rounds = limit;
+        self
+    }
+
+    /// Record full per-node communication transcripts (memory-heavy; used
+    /// by the Theorem 3 normal-form machinery and by debugging).
+    pub fn with_transcripts(mut self, on: bool) -> Self {
+        self.record_transcripts = on;
+        self
+    }
+
+    /// Step nodes on `threads` OS threads. Results are identical to the
+    /// sequential engine; only wall-clock changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1);
+        self.threads = threads;
+        self
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Per-message bit budget.
+    pub fn bandwidth(&self) -> usize {
+        self.bandwidth
+    }
+
+    /// Run one program instance per node to completion.
+    pub fn run<P: NodeProgram>(&self, mut programs: Vec<P>) -> Result<RunOutcome<P::Output>, SimError> {
+        let n = self.n;
+        if programs.len() != n {
+            return Err(SimError::WrongProgramCount { expected: n, got: programs.len() });
+        }
+        let ctxs: Vec<NodeCtx> = (0..n)
+            .map(|v| NodeCtx { id: NodeId::from(v), n, bandwidth: self.bandwidth })
+            .collect();
+        for (p, ctx) in programs.iter_mut().zip(&ctxs) {
+            p.init(ctx);
+        }
+
+        // `recv` is receiver-major: slot `u*n + v` holds the message from v
+        // to u delivered this round. `sent` is sender-major: slot `v*n + u`
+        // is where v writes its message for u.
+        let mut recv: Vec<BitString> = vec![BitString::new(); n * n];
+        let mut sent: Vec<BitString> = vec![BitString::new(); n * n];
+        let mut halted = vec![false; n];
+        let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
+        let mut transcripts: Option<Vec<Transcript>> =
+            self.record_transcripts.then(|| vec![Transcript::default(); n]);
+        let mut stats = RunStats::default();
+
+        let mut round = 0usize;
+        loop {
+            if round > self.max_rounds {
+                return Err(SimError::RoundLimit { limit: self.max_rounds });
+            }
+            let active_before: Vec<bool> = halted.iter().map(|h| !h).collect();
+
+            let acc = if self.threads > 1 && n >= 2 * self.threads {
+                self.step_parallel(&mut programs, &ctxs, round, &recv, &mut sent, &mut halted, &mut outputs)?
+            } else {
+                self.step_sequential(&mut programs, &ctxs, round, &recv, &mut sent, &mut halted, &mut outputs)?
+            };
+            stats.messages += acc.messages;
+            stats.bits += acc.bits;
+            stats.max_message_bits = stats.max_message_bits.max(acc.max_message_bits);
+
+            if let Some(ts) = transcripts.as_mut() {
+                record_round(ts, &active_before, &recv, &sent, n, round);
+            }
+
+            if halted.iter().all(|h| *h) {
+                stats.rounds = round;
+                break;
+            }
+
+            // Deliver: transpose `sent` into `recv`, draining `sent` so the
+            // next round starts from empty outboxes.
+            for v in 0..n {
+                for u in 0..n {
+                    if u != v {
+                        recv[u * n + v] = std::mem::take(&mut sent[v * n + u]);
+                    }
+                }
+            }
+            round += 1;
+        }
+
+        let outputs = outputs
+            .into_iter()
+            .map(|o| o.expect("halted node must have produced an output"))
+            .collect();
+        Ok(RunOutcome { outputs, stats, transcripts })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn step_sequential<P: NodeProgram>(
+        &self,
+        programs: &mut [P],
+        ctxs: &[NodeCtx],
+        round: usize,
+        recv: &[BitString],
+        sent: &mut [BitString],
+        halted: &mut [bool],
+        outputs: &mut [Option<P::Output>],
+    ) -> Result<ChunkAcc, SimError> {
+        let n = self.n;
+        let mut acc = ChunkAcc::default();
+        for v in 0..n {
+            if halted[v] {
+                continue;
+            }
+            step_one(
+                &mut programs[v],
+                &ctxs[v],
+                round,
+                &recv[v * n..(v + 1) * n],
+                &mut sent[v * n..(v + 1) * n],
+                self.bandwidth,
+                self.broadcast_only,
+                &self.topology,
+                &mut halted[v],
+                &mut outputs[v],
+                &mut acc,
+            )?;
+        }
+        Ok(acc)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn step_parallel<P: NodeProgram>(
+        &self,
+        programs: &mut [P],
+        ctxs: &[NodeCtx],
+        round: usize,
+        recv: &[BitString],
+        sent: &mut [BitString],
+        halted: &mut [bool],
+        outputs: &mut [Option<P::Output>],
+    ) -> Result<ChunkAcc, SimError> {
+        let n = self.n;
+        let bw = self.bandwidth;
+        let bcast = self.broadcast_only;
+        let topo: &[bool] = &self.topology;
+        let chunk = n.div_ceil(self.threads);
+        let results: Vec<Result<ChunkAcc, SimError>> = std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            let iter = programs
+                .chunks_mut(chunk)
+                .zip(sent.chunks_mut(chunk * n))
+                .zip(halted.chunks_mut(chunk).zip(outputs.chunks_mut(chunk)))
+                .enumerate();
+            for (ci, ((progs, sent_rows), (halts, outs))) in iter {
+                let base = ci * chunk;
+                handles.push(s.spawn(move || {
+                    let mut acc = ChunkAcc::default();
+                    for (i, prog) in progs.iter_mut().enumerate() {
+                        let v = base + i;
+                        if halts[i] {
+                            continue;
+                        }
+                        step_one(
+                            prog,
+                            &ctxs[v],
+                            round,
+                            &recv[v * n..(v + 1) * n],
+                            &mut sent_rows[i * n..(i + 1) * n],
+                            bw,
+                            bcast,
+                            topo,
+                            &mut halts[i],
+                            &mut outs[i],
+                            &mut acc,
+                        )?;
+                    }
+                    Ok(acc)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("node step panicked")).collect()
+        });
+        let mut total = ChunkAcc::default();
+        for r in results {
+            let a = r?;
+            total.messages += a.messages;
+            total.bits += a.bits;
+            total.max_message_bits = total.max_message_bits.max(a.max_message_bits);
+        }
+        Ok(total)
+    }
+}
+
+#[derive(Default, Clone, Copy)]
+struct ChunkAcc {
+    messages: u64,
+    bits: u64,
+    max_message_bits: usize,
+}
+
+/// Step a single node and validate its outbox against the bandwidth bound.
+#[allow(clippy::too_many_arguments)]
+fn step_one<P: NodeProgram>(
+    prog: &mut P,
+    ctx: &NodeCtx,
+    round: usize,
+    recv_row: &[BitString],
+    sent_row: &mut [BitString],
+    bandwidth: usize,
+    broadcast_only: bool,
+    topology: &[bool],
+    halted: &mut bool,
+    output: &mut Option<P::Output>,
+    acc: &mut ChunkAcc,
+) -> Result<(), SimError> {
+    let n = recv_row.len();
+    let v = ctx.id.index();
+    let inbox = Inbox { slots: recv_row, n, me: v };
+    let mut outbox = Outbox::new(sent_row, v);
+    match prog.step(ctx, round, &inbox, &mut outbox) {
+        Status::Continue => {}
+        Status::Halt(out) => {
+            *halted = true;
+            *output = Some(out);
+        }
+    }
+    if !topology.is_empty() {
+        for (u, m) in sent_row.iter().enumerate() {
+            if !m.is_empty() && !topology[v * n + u] {
+                return Err(SimError::TopologyViolated {
+                    from: ctx.id,
+                    to: NodeId::from(u),
+                    round,
+                });
+            }
+        }
+    }
+    if broadcast_only {
+        // All non-empty outgoing messages must be identical, and a node
+        // either addresses everyone or no one.
+        let mut common: Option<&BitString> = None;
+        let mut nonempty = 0;
+        for (u, m) in sent_row.iter().enumerate() {
+            if u == v {
+                continue;
+            }
+            if m.is_empty() {
+                continue;
+            }
+            nonempty += 1;
+            match common {
+                None => common = Some(m),
+                Some(c) if c == m => {}
+                _ => return Err(SimError::BroadcastViolated { from: ctx.id, round }),
+            }
+        }
+        if nonempty != 0 && nonempty != n - 1 {
+            return Err(SimError::BroadcastViolated { from: ctx.id, round });
+        }
+    }
+    for (u, m) in sent_row.iter().enumerate() {
+        if m.is_empty() {
+            continue;
+        }
+        if m.len() > bandwidth {
+            return Err(SimError::BandwidthExceeded {
+                from: ctx.id,
+                to: NodeId::from(u),
+                round,
+                bits: m.len(),
+                limit: bandwidth,
+            });
+        }
+        acc.messages += 1;
+        acc.bits += m.len() as u64;
+        acc.max_message_bits = acc.max_message_bits.max(m.len());
+    }
+    Ok(())
+}
+
+/// Append this round's sends and receives to the transcripts of the nodes
+/// that were active when the round started.
+fn record_round(
+    transcripts: &mut [Transcript],
+    active: &[bool],
+    recv: &[BitString],
+    sent: &[BitString],
+    n: usize,
+    _round: usize,
+) {
+    for v in 0..n {
+        if !active[v] {
+            continue;
+        }
+        let mut rt = RoundTranscript::default();
+        for u in 0..n {
+            let got = &recv[v * n + u];
+            if !got.is_empty() {
+                rt.received.push((NodeId::from(u), got.clone()));
+            }
+            let put = &sent[v * n + u];
+            if !put.is_empty() {
+                rt.sent.push((NodeId::from(u), put.clone()));
+            }
+        }
+        transcripts[v].rounds.push(rt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every node broadcasts its id, collects everyone else's, outputs the sum.
+    struct SumIds {
+        seen: u64,
+    }
+
+    impl NodeProgram for SumIds {
+        type Output = u64;
+
+        fn step(
+            &mut self,
+            ctx: &NodeCtx,
+            round: usize,
+            inbox: &Inbox<'_>,
+            outbox: &mut Outbox<'_>,
+        ) -> Status<u64> {
+            match round {
+                0 => {
+                    let mut m = BitString::new();
+                    m.push_uint(ctx.id.0 as u64, ctx.id_width());
+                    outbox.broadcast(&m);
+                    self.seen = ctx.id.0 as u64;
+                    Status::Continue
+                }
+                _ => {
+                    for (_, msg) in inbox.iter() {
+                        self.seen += msg.reader().read_uint(ctx.id_width()).unwrap();
+                    }
+                    Status::Halt(self.seen)
+                }
+            }
+        }
+    }
+
+    fn sum_ids(n: usize) -> Vec<SumIds> {
+        (0..n).map(|_| SumIds { seen: 0 }).collect()
+    }
+
+    #[test]
+    fn broadcast_sum_of_ids() {
+        let n = 8;
+        let out = Engine::new(n).run(sum_ids(n)).unwrap();
+        let expect = (0..n as u64).sum::<u64>();
+        assert_eq!(out.outputs, vec![expect; n]);
+        assert_eq!(out.stats.rounds, 1);
+        assert_eq!(out.stats.messages, (n * (n - 1)) as u64);
+        assert_eq!(out.stats.max_message_bits, 3);
+        assert_eq!(*out.unanimous().unwrap(), expect);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 23;
+        let seq = Engine::new(n).run(sum_ids(n)).unwrap();
+        let par = Engine::new(n).with_threads(4).run(sum_ids(n)).unwrap();
+        assert_eq!(seq.outputs, par.outputs);
+        assert_eq!(seq.stats, par.stats);
+    }
+
+    struct Silent;
+    impl NodeProgram for Silent {
+        type Output = ();
+        fn step(&mut self, _: &NodeCtx, _: usize, _: &Inbox<'_>, _: &mut Outbox<'_>) -> Status<()> {
+            Status::Halt(())
+        }
+    }
+
+    #[test]
+    fn zero_round_algorithm() {
+        let out = Engine::new(5).run(vec![Silent, Silent, Silent, Silent, Silent]).unwrap();
+        assert_eq!(out.stats.rounds, 0);
+        assert_eq!(out.stats.messages, 0);
+    }
+
+    struct TooWide;
+    impl NodeProgram for TooWide {
+        type Output = ();
+        fn step(&mut self, ctx: &NodeCtx, _: usize, _: &Inbox<'_>, ob: &mut Outbox<'_>) -> Status<()> {
+            if ctx.id.0 == 0 {
+                ob.send(NodeId(1), BitString::zeros(ctx.bandwidth + 1));
+            }
+            Status::Halt(())
+        }
+    }
+
+    #[test]
+    fn bandwidth_violation_detected() {
+        let err = Engine::new(4).run(vec![TooWide, TooWide, TooWide, TooWide]).unwrap_err();
+        match err {
+            SimError::BandwidthExceeded { from, to, bits, limit, .. } => {
+                assert_eq!(from, NodeId(0));
+                assert_eq!(to, NodeId(1));
+                assert_eq!(bits, limit + 1);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    struct Forever;
+    impl NodeProgram for Forever {
+        type Output = ();
+        fn step(&mut self, _: &NodeCtx, _: usize, _: &Inbox<'_>, _: &mut Outbox<'_>) -> Status<()> {
+            Status::Continue
+        }
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        let err = Engine::new(2).with_max_rounds(10).run(vec![Forever, Forever]).unwrap_err();
+        assert_eq!(err, SimError::RoundLimit { limit: 10 });
+    }
+
+    #[test]
+    fn wrong_program_count_rejected() {
+        let err = Engine::new(3).run(vec![Silent, Silent]).unwrap_err();
+        assert_eq!(err, SimError::WrongProgramCount { expected: 3, got: 2 });
+    }
+
+    /// Two nodes ping-pong a counter for a fixed number of rounds; checks
+    /// that messages cross exactly one round later.
+    struct PingPong {
+        rounds: usize,
+    }
+    impl NodeProgram for PingPong {
+        type Output = u64;
+        fn step(&mut self, ctx: &NodeCtx, round: usize, inbox: &Inbox<'_>, ob: &mut Outbox<'_>) -> Status<u64> {
+            let peer = NodeId(1 - ctx.id.0);
+            let got = if round == 0 {
+                0
+            } else {
+                inbox.from(peer).reader().read_uint(ctx.bandwidth.min(8)).unwrap_or(0)
+            };
+            if round == self.rounds {
+                return Status::Halt(got);
+            }
+            let mut m = BitString::new();
+            m.push_uint((got + 1).min(255), 8.min(ctx.bandwidth));
+            ob.send(peer, m);
+            Status::Continue
+        }
+    }
+
+    #[test]
+    fn ping_pong_counts_rounds() {
+        let n = 2;
+        let out = Engine::new(n)
+            .with_bandwidth(8)
+            .run(vec![PingPong { rounds: 5 }, PingPong { rounds: 5 }])
+            .unwrap();
+        // After 5 exchanges each node has seen a counter of 5.
+        assert_eq!(out.outputs, vec![5, 5]);
+        assert_eq!(out.stats.rounds, 5);
+    }
+
+    #[test]
+    fn transcripts_record_both_directions() {
+        let n = 4;
+        let out = Engine::new(n).with_transcripts(true).run(sum_ids(n)).unwrap();
+        let ts = out.transcripts.unwrap();
+        assert_eq!(ts.len(), n);
+        for (v, t) in ts.iter().enumerate() {
+            assert_eq!(t.rounds.len(), 2, "node {v} took part in 2 step phases");
+            assert_eq!(t.rounds[0].sent.len(), n - 1);
+            assert_eq!(t.rounds[0].received.len(), 0);
+            assert_eq!(t.rounds[1].sent.len(), 0);
+            assert_eq!(t.rounds[1].received.len(), n - 1);
+        }
+        // Sent/received must be symmetric across nodes.
+        for v in 0..n {
+            for (dst, msg) in &ts[v].rounds[0].sent {
+                let got = ts[dst.index()].rounds[1]
+                    .received
+                    .iter()
+                    .find(|(src, _)| src.index() == v)
+                    .expect("matching receive");
+                assert_eq!(&got.1, msg);
+            }
+        }
+    }
+
+    /// Broadcasts its id (legal in broadcast mode).
+    struct Broadcaster;
+    impl NodeProgram for Broadcaster {
+        type Output = ();
+        fn step(&mut self, ctx: &NodeCtx, round: usize, _: &Inbox<'_>, ob: &mut Outbox<'_>) -> Status<()> {
+            if round == 0 {
+                let mut m = BitString::new();
+                m.push_uint(ctx.id.0 as u64, ctx.id_width());
+                ob.broadcast(&m);
+                Status::Continue
+            } else {
+                Status::Halt(())
+            }
+        }
+    }
+
+    /// Sends distinct messages (illegal in broadcast mode).
+    struct Unicaster;
+    impl NodeProgram for Unicaster {
+        type Output = ();
+        fn step(&mut self, ctx: &NodeCtx, _: usize, _: &Inbox<'_>, ob: &mut Outbox<'_>) -> Status<()> {
+            for u in 0..ctx.n {
+                if u != ctx.id.index() {
+                    let mut m = BitString::new();
+                    m.push_uint((u % 2) as u64, 1);
+                    ob.send(NodeId::from(u), m);
+                }
+            }
+            Status::Halt(())
+        }
+    }
+
+    #[test]
+    fn broadcast_mode_accepts_broadcasts() {
+        let out = Engine::new(5)
+            .broadcast_only(true)
+            .run((0..5).map(|_| Broadcaster).collect::<Vec<_>>())
+            .unwrap();
+        assert_eq!(out.stats.rounds, 1);
+    }
+
+    #[test]
+    fn broadcast_mode_rejects_unicasts() {
+        let err = Engine::new(5)
+            .broadcast_only(true)
+            .run((0..5).map(|_| Unicaster).collect::<Vec<_>>())
+            .unwrap_err();
+        assert!(matches!(err, SimError::BroadcastViolated { .. }), "got {err:?}");
+        // The same program is fine in the unrestricted model.
+        Engine::new(5).run((0..5).map(|_| Unicaster).collect::<Vec<_>>()).unwrap();
+    }
+
+    #[test]
+    fn congest_topology_enforced() {
+        // A 4-path topology: node 0 may talk to 1 only.
+        let n = 4;
+        let mut adj = vec![false; n * n];
+        for v in 1..n {
+            adj[(v - 1) * n + v] = true;
+            adj[v * n + (v - 1)] = true;
+        }
+        struct SendTo(u32);
+        impl NodeProgram for SendTo {
+            type Output = ();
+            fn step(&mut self, ctx: &NodeCtx, _: usize, _: &Inbox<'_>, ob: &mut Outbox<'_>) -> Status<()> {
+                if ctx.id.0 == 0 {
+                    let mut m = BitString::new();
+                    m.push(true);
+                    ob.send(NodeId(self.0), m);
+                }
+                Status::Halt(())
+            }
+        }
+        // Legal: 0 → 1.
+        Engine::new(n)
+            .with_topology(adj.clone())
+            .run(vec![SendTo(1), SendTo(1), SendTo(1), SendTo(1)])
+            .unwrap();
+        // Illegal: 0 → 3 (not adjacent on the path).
+        let err = Engine::new(n)
+            .with_topology(adj)
+            .run(vec![SendTo(3), SendTo(3), SendTo(3), SendTo(3)])
+            .unwrap_err();
+        assert!(matches!(err, SimError::TopologyViolated { from: NodeId(0), to: NodeId(3), .. }));
+    }
+
+    #[test]
+    fn broadcast_mode_rejects_partial_addressing() {
+        struct Partial;
+        impl NodeProgram for Partial {
+            type Output = ();
+            fn step(&mut self, ctx: &NodeCtx, _: usize, _: &Inbox<'_>, ob: &mut Outbox<'_>) -> Status<()> {
+                if ctx.id.0 == 0 {
+                    let mut m = BitString::new();
+                    m.push(true);
+                    ob.send(NodeId(1), m); // only one recipient
+                }
+                Status::Halt(())
+            }
+        }
+        let err = Engine::new(4)
+            .broadcast_only(true)
+            .run((0..4).map(|_| Partial).collect::<Vec<_>>())
+            .unwrap_err();
+        assert!(matches!(err, SimError::BroadcastViolated { from: NodeId(0), .. }));
+    }
+
+    #[test]
+    fn single_node_clique_is_degenerate_but_legal() {
+        struct Lonely;
+        impl NodeProgram for Lonely {
+            type Output = u32;
+            fn step(&mut self, ctx: &NodeCtx, _: usize, _: &Inbox<'_>, _: &mut Outbox<'_>) -> Status<u32> {
+                Status::Halt(ctx.id.0)
+            }
+        }
+        let out = Engine::new(1).run(vec![Lonely]).unwrap();
+        assert_eq!(out.outputs, vec![0]);
+        assert_eq!(out.stats.rounds, 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Sequential composition of algorithm phases.
+//!
+//! Congested clique algorithms are routinely built from phases ("run matrix
+//! multiplication, then redistribute, then …"). Synchronisation is free in
+//! the model, so running phases as separate engine executions and summing
+//! their round counts is semantically identical to one monolithic program —
+//! and far easier to write. A [`Session`] wraps an [`Engine`] and accumulates
+//! statistics across such phase runs.
+//!
+//! Distributed fidelity is a *discipline* at this layer: driver code must
+//! construct each phase's per-node programs only from that node's previous
+//! outputs (plus globally known parameters). Every algorithm crate in this
+//! workspace follows that rule.
+
+use crate::engine::{Engine, RunOutcome, SimError};
+use crate::node::NodeProgram;
+use crate::stats::RunStats;
+
+/// An engine plus cumulative statistics across phase runs.
+#[derive(Debug)]
+pub struct Session {
+    engine: Engine,
+    stats: RunStats,
+    phases: usize,
+}
+
+impl Session {
+    /// Start a session on the given engine.
+    pub fn new(engine: Engine) -> Self {
+        Self { engine, stats: RunStats::default(), phases: 0 }
+    }
+
+    /// Number of nodes in the clique.
+    pub fn n(&self) -> usize {
+        self.engine.n()
+    }
+
+    /// Per-message bit budget of the underlying engine.
+    pub fn bandwidth(&self) -> usize {
+        self.engine.bandwidth()
+    }
+
+    /// Access the underlying engine (e.g. to run with transcripts).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Run one phase; its rounds/bits are added to the session totals.
+    pub fn run<P: NodeProgram>(&mut self, programs: Vec<P>) -> Result<RunOutcome<P::Output>, SimError> {
+        let out = self.engine.run(programs)?;
+        self.stats.absorb(&out.stats);
+        self.phases += 1;
+        Ok(out)
+    }
+
+    /// Cumulative statistics over all phases so far.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Number of phases executed.
+    pub fn phases(&self) -> usize {
+        self.phases
+    }
+
+    /// Add rounds charged by an analytical sub-protocol (used when a phase's
+    /// cost is accounted rather than simulated; see `cc-routing`'s oracle).
+    pub fn charge(&mut self, stats: &RunStats) {
+        self.stats.absorb(stats);
+        self.phases += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitString;
+    use crate::node::{Inbox, NodeCtx, NodeId, Outbox, Status};
+
+    struct OneRound;
+    impl NodeProgram for OneRound {
+        type Output = ();
+        fn step(&mut self, ctx: &NodeCtx, round: usize, _: &Inbox<'_>, ob: &mut Outbox<'_>) -> Status<()> {
+            if round == 0 {
+                let mut m = BitString::new();
+                m.push_uint(1, 1);
+                if ctx.n > 1 {
+                    ob.send(NodeId((ctx.id.0 + 1) % ctx.n as u32), m);
+                }
+                Status::Continue
+            } else {
+                Status::Halt(())
+            }
+        }
+    }
+
+    #[test]
+    fn session_accumulates_rounds_across_phases() {
+        let mut s = Session::new(Engine::new(4));
+        for _ in 0..3 {
+            s.run((0..4).map(|_| OneRound).collect()).unwrap();
+        }
+        assert_eq!(s.stats().rounds, 3);
+        assert_eq!(s.phases(), 3);
+        assert_eq!(s.stats().messages, 12);
+    }
+
+    #[test]
+    fn charge_adds_analytical_costs() {
+        let mut s = Session::new(Engine::new(2));
+        s.charge(&RunStats { rounds: 7, messages: 0, bits: 0, max_message_bits: 0 });
+        assert_eq!(s.stats().rounds, 7);
+    }
+}

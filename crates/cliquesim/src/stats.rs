@@ -1,0 +1,43 @@
+//! Execution accounting.
+//!
+//! Round counts are the paper's complexity measure; bit and message totals
+//! let experiments check bandwidth-sensitive claims (e.g. Theorem 3's
+//! certificate bound) without trusting the algorithm under test.
+
+/// Totals for one run (or one session of composed runs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RunStats {
+    /// Synchronous communication rounds. An algorithm that halts before any
+    /// message exchange has `rounds == 0`.
+    pub rounds: usize,
+    /// Total messages delivered (non-empty payloads).
+    pub messages: u64,
+    /// Total payload bits delivered.
+    pub bits: u64,
+    /// Largest single message observed, in bits.
+    pub max_message_bits: usize,
+}
+
+impl RunStats {
+    /// Fold another run's totals into this one; rounds add (sequential
+    /// composition of phases is free synchronisation in this model).
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.bits += other.bits;
+        self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_adds_rounds_and_maxes_width() {
+        let mut a = RunStats { rounds: 3, messages: 10, bits: 50, max_message_bits: 5 };
+        let b = RunStats { rounds: 2, messages: 1, bits: 3, max_message_bits: 9 };
+        a.absorb(&b);
+        assert_eq!(a, RunStats { rounds: 5, messages: 11, bits: 53, max_message_bits: 9 });
+    }
+}

@@ -1,0 +1,102 @@
+//! Problem exponents (§7): `δ(L) = inf{δ : L solvable in O(n^δ) rounds}`.
+//!
+//! The fine-grained experiments measure round counts across a range of
+//! `n` and fit `rounds ≈ c · n^δ` by least squares in log-log space; the
+//! fitted `δ̂` is compared against the paper's exponent upper bounds
+//! (Figure 1 / `cc-reductions::atlas`).
+
+/// Result of a log-log regression `ln rounds = δ·ln n + ln c`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExponentFit {
+    /// Fitted exponent `δ̂`.
+    pub delta: f64,
+    /// Fitted constant `c` (rounds at n = 1 by extrapolation).
+    pub coeff: f64,
+    /// Coefficient of determination of the fit.
+    pub r_squared: f64,
+}
+
+/// Fit an exponent to `(n, rounds)` samples. Requires ≥ 2 samples with
+/// distinct `n` and positive round counts.
+pub fn fit_exponent(samples: &[(usize, usize)]) -> ExponentFit {
+    assert!(samples.len() >= 2, "need at least two samples");
+    let pts: Vec<(f64, f64)> = samples
+        .iter()
+        .map(|&(n, r)| {
+            assert!(n >= 1 && r >= 1, "samples must be positive");
+            ((n as f64).ln(), (r as f64).ln())
+        })
+        .collect();
+    let count = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = count * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "need at least two distinct n values");
+    let delta = (count * sxy - sx * sy) / denom;
+    let intercept = (sy - delta * sx) / count;
+
+    let mean_y = sy / count;
+    let ss_tot: f64 = pts.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = pts.iter().map(|p| (p.1 - (delta * p.0 + intercept)).powi(2)).sum();
+    let r_squared = if ss_tot < 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    ExponentFit { delta, coeff: intercept.exp(), r_squared }
+}
+
+/// Measure an algorithm's round counts across sizes: `run(n)` must return
+/// the number of rounds consumed at size `n`.
+pub fn measure_rounds(ns: &[usize], mut run: impl FnMut(usize) -> usize) -> Vec<(usize, usize)> {
+    ns.iter().map(|&n| (n, run(n))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_planted_exponents() {
+        for (delta, coeff) in [(0.5, 2.0), (1.0, 1.0), (1.0 / 3.0, 5.0)] {
+            let samples: Vec<(usize, usize)> = [32usize, 64, 128, 256, 512]
+                .iter()
+                .map(|&n| (n, (coeff * (n as f64).powf(delta)).round() as usize))
+                .collect();
+            let fit = fit_exponent(&samples);
+            assert!(
+                (fit.delta - delta).abs() < 0.05,
+                "planted {delta}, fitted {}",
+                fit.delta
+            );
+            assert!(fit.r_squared > 0.99);
+        }
+    }
+
+    #[test]
+    fn flat_data_fits_zero_exponent() {
+        let samples = vec![(16, 7), (32, 7), (64, 7), (128, 7)];
+        let fit = fit_exponent(&samples);
+        assert!(fit.delta.abs() < 1e-9);
+        assert!((fit.coeff - 7.0).abs() < 1e-6);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn noisy_data_reports_imperfect_r2() {
+        let samples = vec![(16, 10), (32, 30), (64, 25), (128, 90)];
+        let fit = fit_exponent(&samples);
+        assert!(fit.r_squared < 1.0);
+        assert!(fit.delta > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct n")]
+    fn rejects_degenerate_input() {
+        fit_exponent(&[(8, 3), (8, 4)]);
+    }
+
+    #[test]
+    fn measure_helper() {
+        let samples = measure_rounds(&[2, 4, 8], |n| n * n);
+        assert_eq!(samples, vec![(2, 4), (4, 16), (8, 64)]);
+    }
+}

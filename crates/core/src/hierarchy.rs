@@ -1,0 +1,658 @@
+//! The constant-round decision hierarchy (§6.2) and Theorem 7.
+//!
+//! A `k`-labelling algorithm takes `k` certificate labellings
+//! `z_1, …, z_k`; the class Σ_k quantifies them alternately starting with
+//! ∃, Π_k starting with ∀. Two flavours matter:
+//!
+//! * **unlimited** label size — Theorem 7 shows the hierarchy collapses:
+//!   *every* decision problem is in Σ₂ = Π₂, via the guess-the-whole-graph
+//!   protocol implemented here as [`Sigma2Universal`];
+//! * **logarithmic** (`O(n log n)` bits per node) — Theorem 8 shows some
+//!   problems escape every level; that separation is non-constructive and
+//!   lives in [`crate::counting`].
+
+use std::sync::Arc;
+
+use cc_graph::Graph;
+use cliquesim::{
+    BitString, Engine, Inbox, NodeCtx, NodeId, NodeProgram, Outbox, Session, SimError, Status,
+};
+
+use crate::nondet::{BoolNode, Labelling};
+
+/// A constant-round algorithm taking `k` labellings (§6.2).
+pub trait KLabelling {
+    /// Report name.
+    fn name(&self) -> String;
+
+    /// Number of quantified labellings.
+    fn k(&self) -> usize;
+
+    /// Per-node, per-labelling certificate size in bits.
+    fn label_size(&self, n: usize) -> usize;
+
+    /// Bandwidth constant (multiples of `⌈log₂ n⌉`).
+    fn bandwidth_multiplier(&self) -> usize {
+        1
+    }
+
+    /// Build node `v` from local data and its `k` local labels.
+    fn node(&self, n: usize, v: NodeId, row: &BitString, labels: &[BitString]) -> BoolNode;
+}
+
+/// Run a k-labelling algorithm on `(g, z_1, …, z_k)`; true iff every node
+/// accepts.
+pub fn run_klabelling<A: KLabelling + ?Sized>(
+    alg: &A,
+    g: &Graph,
+    labellings: &[Labelling],
+) -> Result<bool, SimError> {
+    let n = g.n();
+    assert_eq!(labellings.len(), alg.k(), "need exactly k labellings");
+    for z in labellings {
+        assert_eq!(z.n(), n);
+    }
+    let engine = Engine::new(n).with_bandwidth_multiplier(alg.bandwidth_multiplier());
+    let mut session = Session::new(engine);
+    let programs: Vec<BoolNode> = (0..n)
+        .map(|v| {
+            let id = NodeId::from(v);
+            let labels: Vec<BitString> = labellings.iter().map(|z| z.0[v].clone()).collect();
+            alg.node(n, id, &g.input_row(id), &labels)
+        })
+        .collect();
+    let out = session.run(programs)?;
+    Ok(out.outputs.iter().all(|a| *a))
+}
+
+/// Exhaustively evaluate the alternating quantifier prefix over all
+/// labellings in which every node's label has exactly `bits` bits.
+/// `first_existential = true` gives Σ_k semantics, `false` gives Π_k.
+/// Exponential (`2^{k·n·bits}` runs) — toy sizes only.
+pub fn eval_alternating<A: KLabelling + ?Sized>(
+    alg: &A,
+    g: &Graph,
+    bits: usize,
+    first_existential: bool,
+) -> Result<bool, SimError> {
+    let n = g.n();
+    assert!(n * bits <= 12, "quantifier evaluation is exponential; keep n·bits ≤ 12");
+
+    fn labelling_from_mask(n: usize, bits: usize, mask: u64) -> Labelling {
+        Labelling(
+            (0..n)
+                .map(|v| {
+                    let mut b = BitString::with_capacity(bits);
+                    for i in 0..bits {
+                        b.push((mask >> (v * bits + i)) & 1 == 1);
+                    }
+                    b
+                })
+                .collect(),
+        )
+    }
+
+    fn rec<A: KLabelling + ?Sized>(
+        alg: &A,
+        g: &Graph,
+        bits: usize,
+        existential: bool,
+        chosen: &mut Vec<Labelling>,
+    ) -> Result<bool, SimError> {
+        if chosen.len() == alg.k() {
+            return run_klabelling(alg, g, chosen);
+        }
+        let n = g.n();
+        let combos: u64 = 1 << (n * bits);
+        for mask in 0..combos {
+            chosen.push(labelling_from_mask(n, bits, mask));
+            let sub = rec(alg, g, bits, !existential, chosen)?;
+            chosen.pop();
+            if existential && sub {
+                return Ok(true);
+            }
+            if !existential && !sub {
+                return Ok(false);
+            }
+        }
+        Ok(!existential)
+    }
+
+    rec(alg, g, bits, first_existential, &mut Vec::new())
+}
+
+/// The logarithmic-hierarchy label budget: `O(n log n)` bits per node
+/// (`O(log n)` per edge). [`run_klabelling`] callers can police labellings
+/// against it when exercising the Σ^log_k regime of Theorem 8.
+pub fn log_hierarchy_label_budget(n: usize) -> usize {
+    n * BitString::width_for(n)
+}
+
+// =====================================================================
+// Complementation: if L ∈ Σ_k then L̄ ∈ Π_k (§6.2 "Basic properties")
+// =====================================================================
+
+/// The complement of a k-labelling algorithm.
+///
+/// `A` accepts when *every* node outputs 1, so its negation must accept
+/// when *some* node outputs 0 — which takes one extra verdict-broadcast
+/// round, after which all nodes agree on `¬(∧ verdicts)`. Swapping the
+/// quantifier prefix (Σ ↔ Π) then decides exactly the complement
+/// language: `∃z₁∀z₂… A = 1` fails iff `∀z₁∃z₂… ¬A = 1` holds.
+pub struct Negation<A>(pub A);
+
+impl<A: KLabelling> KLabelling for Negation<A> {
+    fn name(&self) -> String {
+        format!("not({})", self.0.name())
+    }
+
+    fn k(&self) -> usize {
+        self.0.k()
+    }
+
+    fn label_size(&self, n: usize) -> usize {
+        self.0.label_size(n)
+    }
+
+    fn bandwidth_multiplier(&self) -> usize {
+        self.0.bandwidth_multiplier()
+    }
+
+    fn node(&self, n: usize, v: NodeId, row: &BitString, labels: &[BitString]) -> BoolNode {
+        Box::new(NegationNode { inner: self.0.node(n, v, row, labels), verdict: None })
+    }
+}
+
+struct NegationNode {
+    inner: BoolNode,
+    /// The inner node's verdict, once it halts.
+    verdict: Option<bool>,
+}
+
+impl cliquesim::NodeProgram for NegationNode {
+    type Output = bool;
+
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.inner.init(ctx);
+    }
+
+    fn step(
+        &mut self,
+        ctx: &NodeCtx,
+        round: usize,
+        inbox: &Inbox<'_>,
+        outbox: &mut Outbox<'_>,
+    ) -> Status<bool> {
+        match self.verdict {
+            None => {
+                // Drive the inner verifier until it halts; then broadcast
+                // its local verdict.
+                match self.inner.step(ctx, round, inbox, outbox) {
+                    Status::Continue => Status::Continue,
+                    Status::Halt(v) => {
+                        self.verdict = Some(v);
+                        let mut m = BitString::new();
+                        m.push(v);
+                        outbox.broadcast(&m);
+                        Status::Continue
+                    }
+                }
+            }
+            Some(mine) => {
+                // Collect everyone's verdicts; accept iff some node
+                // rejected. (All inner verifiers in this workspace halt in
+                // the same round, so every verdict arrives together.)
+                let mut all_accepted = mine;
+                for (_, msg) in inbox.iter() {
+                    if msg.len() == 1 && !msg.get(0) {
+                        all_accepted = false;
+                    }
+                }
+                Status::Halt(!all_accepted)
+            }
+        }
+    }
+}
+
+// =====================================================================
+// Theorem 7: the Σ₂ universal protocol
+// =====================================================================
+
+/// Shared decision predicate (the arbitrary, centrally computable language
+/// `L` of Theorem 7).
+pub type Predicate = Arc<dyn Fn(&Graph) -> bool + Send + Sync>;
+
+/// Theorem 7's two-labelling algorithm showing every decision problem is
+/// in Σ₂:
+///
+/// * `z_1` (existential): every node guesses the *entire* input graph
+///   (`n(n−1)/2` bits — this needs the unlimited hierarchy);
+/// * `z_2` (universal): every node picks one bit position of the encoding;
+///   it broadcasts that bit of its own guess with its index, and everyone
+///   cross-checks the announcements against their own guess and their
+///   local view of `G`;
+/// * finally every node locally evaluates `L` on its guess.
+pub struct Sigma2Universal {
+    /// The language being decided.
+    pub predicate: Predicate,
+}
+
+impl Sigma2Universal {
+    /// Wrap a predicate.
+    pub fn new(predicate: impl Fn(&Graph) -> bool + Send + Sync + 'static) -> Self {
+        Self { predicate: Arc::new(predicate) }
+    }
+
+    /// Bits in the graph encoding.
+    pub fn encoding_len(n: usize) -> usize {
+        n * (n - 1) / 2
+    }
+
+    /// Canonical position of pair `(a, c)`, `a < c`.
+    pub fn pair_index(n: usize, a: usize, c: usize) -> usize {
+        assert!(a < c && c < n);
+        a * n - a * (a + 1) / 2 + (c - a - 1)
+    }
+
+    /// Inverse of [`Sigma2Universal::pair_index`].
+    pub fn index_pair(n: usize, idx: usize) -> (usize, usize) {
+        let mut a = 0;
+        let mut base = 0;
+        loop {
+            let row = n - a - 1;
+            if idx < base + row {
+                return (a, a + 1 + (idx - base));
+            }
+            base += row;
+            a += 1;
+        }
+    }
+
+    /// Encode a graph as its canonical edge bit vector.
+    pub fn encode_graph(g: &Graph) -> BitString {
+        let n = g.n();
+        let mut bits = BitString::with_capacity(Self::encoding_len(n));
+        for a in 0..n {
+            for c in (a + 1)..n {
+                bits.push(g.has_edge(a, c));
+            }
+        }
+        bits
+    }
+
+    /// The honest existential labelling: everyone guesses `g` itself.
+    pub fn honest_guess(g: &Graph) -> Labelling {
+        Labelling(vec![Self::encode_graph(g); g.n()])
+    }
+
+    /// A universal labelling from per-node index choices.
+    pub fn challenge(n: usize, indices: &[usize]) -> Labelling {
+        let m = Self::encoding_len(n);
+        let iw = BitString::width_for(m.max(2));
+        Labelling(
+            indices
+                .iter()
+                .map(|&i| {
+                    assert!(i < m);
+                    let mut b = BitString::new();
+                    b.push_uint(i as u64, iw);
+                    b
+                })
+                .collect(),
+        )
+    }
+
+    /// Run `A(G, z1, z2)`.
+    pub fn run(&self, g: &Graph, z1: &Labelling, z2: &Labelling) -> Result<bool, SimError> {
+        run_klabelling(self, g, &[z1.clone(), z2.clone()])
+    }
+
+    /// `∀z2` over all per-node index choices (`m^n` runs — toy sizes).
+    pub fn accepts_all_challenges(&self, g: &Graph, z1: &Labelling) -> Result<bool, SimError> {
+        let n = g.n();
+        let m = Self::encoding_len(n);
+        assert!(m.pow(n as u32) <= 200_000, "challenge enumeration too large");
+        let mut indices = vec![0usize; n];
+        loop {
+            let z2 = Self::challenge(n, &indices);
+            if !self.run(g, z1, &z2)? {
+                return Ok(false);
+            }
+            // Increment the mixed-radix counter.
+            let mut pos = 0;
+            loop {
+                if pos == n {
+                    return Ok(true);
+                }
+                indices[pos] += 1;
+                if indices[pos] < m {
+                    break;
+                }
+                indices[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+
+    /// Search for a rejecting universal challenge (`∃z2 : A = 0`).
+    pub fn find_rejecting_challenge(
+        &self,
+        g: &Graph,
+        z1: &Labelling,
+    ) -> Result<Option<Vec<usize>>, SimError> {
+        let n = g.n();
+        let m = Self::encoding_len(n);
+        // Single-deviation challenges suffice by the theorem's proof: some
+        // node points at a disputed position, everyone else at 0.
+        for v in 0..n {
+            for i in 0..m {
+                let mut indices = vec![0usize; n];
+                indices[v] = i;
+                if !self.run(g, z1, &Self::challenge(n, &indices))? {
+                    return Ok(Some(indices));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl KLabelling for Sigma2Universal {
+    fn name(&self) -> String {
+        "sigma2-universal".into()
+    }
+
+    fn k(&self) -> usize {
+        2
+    }
+
+    fn label_size(&self, n: usize) -> usize {
+        Self::encoding_len(n) // dominated by the existential guess
+    }
+
+    fn bandwidth_multiplier(&self) -> usize {
+        3 // index (≤ 2·log n bits) + announced bit
+    }
+
+    fn node(&self, n: usize, v: NodeId, row: &BitString, labels: &[BitString]) -> BoolNode {
+        Box::new(Sigma2Node {
+            predicate: Arc::clone(&self.predicate),
+            me: v,
+            row: row.clone(),
+            guess: labels[0].clone(),
+            chall: labels[1].clone(),
+            n,
+        })
+    }
+}
+
+struct Sigma2Node {
+    predicate: Predicate,
+    me: NodeId,
+    row: BitString,
+    guess: BitString,
+    chall: BitString,
+    n: usize,
+}
+
+impl NodeProgram for Sigma2Node {
+    type Output = bool;
+
+    fn step(
+        &mut self,
+        ctx: &NodeCtx,
+        round: usize,
+        inbox: &Inbox<'_>,
+        outbox: &mut Outbox<'_>,
+    ) -> Status<bool> {
+        let n = self.n;
+        let m = Sigma2Universal::encoding_len(n);
+        let iw = BitString::width_for(m.max(2));
+        match round {
+            0 => {
+                // Validate own labels.
+                if self.guess.len() != m {
+                    return Status::Halt(false);
+                }
+                let idx = match self.chall.reader().read_uint(iw) {
+                    Ok(i) if (i as usize) < m => i,
+                    _ => return Status::Halt(false),
+                };
+                let mut msg = BitString::new();
+                msg.push_uint(idx, iw);
+                msg.push(self.guess.get(idx as usize));
+                outbox.broadcast(&msg);
+                Status::Continue
+            }
+            _ => {
+                let me = self.me.index();
+                // Own announcement also gets checked against the local view.
+                let mut announcements: Vec<(usize, bool)> = Vec::with_capacity(n);
+                let own_idx =
+                    self.chall.reader().read_uint(iw).expect("validated in round 0") as usize;
+                announcements.push((own_idx, self.guess.get(own_idx)));
+                for (_, msg) in inbox.iter() {
+                    let mut r = msg.reader();
+                    match (r.read_uint(iw), r.read_bit()) {
+                        (Ok(i), Ok(b)) if (i as usize) < m => announcements.push((i as usize, b)),
+                        _ => return Status::Halt(false),
+                    }
+                }
+                if announcements.len() != n {
+                    return Status::Halt(false);
+                }
+                for (i, b) in announcements {
+                    // Consistent with my guess?
+                    if self.guess.get(i) != b {
+                        return Status::Halt(false);
+                    }
+                    // Consistent with my local view of G, if I can see it?
+                    let (a, c) = Sigma2Universal::index_pair(n, i);
+                    if a == me || c == me {
+                        let other = if a == me { c } else { a };
+                        let slot = if other < me { other } else { other - 1 };
+                        if self.row.get(slot) != b {
+                            return Status::Halt(false);
+                        }
+                    }
+                }
+                // Step 3: evaluate L on the guess locally.
+                let mut guessed = Graph::empty(n);
+                for i in 0..m {
+                    if self.guess.get(i) {
+                        let (a, c) = Sigma2Universal::index_pair(n, i);
+                        guessed.add_edge(a, c);
+                    }
+                }
+                let _ = ctx;
+                Status::Halt((self.predicate)(&guessed))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::{gen, reference};
+
+    #[test]
+    fn pair_index_roundtrip() {
+        for n in [2usize, 3, 5, 8] {
+            let m = Sigma2Universal::encoding_len(n);
+            for i in 0..m {
+                let (a, c) = Sigma2Universal::index_pair(n, i);
+                assert!(a < c && c < n);
+                assert_eq!(Sigma2Universal::pair_index(n, a, c), i, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn honest_guess_accepted_for_all_challenges_iff_in_language() {
+        // L = "G is connected". Theorem 7 completeness: the honest z1
+        // passes every universal challenge exactly when G ∈ L.
+        let alg = Sigma2Universal::new(reference::is_connected);
+        for (g, expect) in [
+            (gen::path(4), true),
+            (gen::cliques(4, 2), false),
+            (Graph::complete(4), true),
+            (Graph::empty(4), false),
+        ] {
+            let z1 = Sigma2Universal::honest_guess(&g);
+            assert_eq!(
+                alg.accepts_all_challenges(&g, &z1).unwrap(),
+                expect,
+                "graph {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lying_guess_caught_by_some_challenge() {
+        // L = "G has a triangle". G = C4 (no triangle). A prover whose
+        // guess adds a chord to fake a triangle must be caught by some
+        // universal challenge.
+        let alg = Sigma2Universal::new(|g: &Graph| reference::count_triangles(g) > 0);
+        let g = gen::cycle(4);
+        let mut lying = g.clone();
+        lying.add_edge(0, 2); // now contains a triangle
+        let z1 = Labelling(vec![Sigma2Universal::encode_graph(&lying); 4]);
+        let reject = alg.find_rejecting_challenge(&g, &z1).unwrap();
+        assert!(reject.is_some(), "the lie must be catchable");
+        // And indeed the honest guess fails only because G ∉ L (step 3).
+        let honest = Sigma2Universal::honest_guess(&g);
+        assert!(!alg.accepts_all_challenges(&g, &honest).unwrap());
+    }
+
+    #[test]
+    fn disagreeing_guesses_caught() {
+        // Nodes guessing *different* graphs are caught by cross-checking
+        // (the case analysis in the proof of Theorem 7).
+        let alg = Sigma2Universal::new(|_| true); // trivial L: everything accepted at step 3
+        let g = gen::path(4);
+        let mut z1 = Sigma2Universal::honest_guess(&g);
+        // Node 2 guesses the complement instead.
+        z1.0[2] = Sigma2Universal::encode_graph(&g.complement());
+        let reject = alg.find_rejecting_challenge(&g, &z1).unwrap();
+        assert!(reject.is_some());
+    }
+
+    #[test]
+    fn full_sigma2_semantics_exhaustive_n3() {
+        // For every graph on 3 nodes and L = "has at least one edge":
+        // ∃z1 ∀z2 A(G, z1, z2) = 1 ⟺ G ∈ L, quantifiers fully enumerated.
+        let alg = Sigma2Universal::new(|g: &Graph| g.edge_count() >= 1);
+        let n = 3;
+        let m = Sigma2Universal::encoding_len(n);
+        for g in Graph::enumerate_all(n) {
+            let mut exists = false;
+            'z1: for mask in 0u64..(1 << (m * n)) {
+                let z1 = Labelling(
+                    (0..n)
+                        .map(|v| {
+                            let mut b = BitString::with_capacity(m);
+                            for i in 0..m {
+                                b.push((mask >> (v * m + i)) & 1 == 1);
+                            }
+                            b
+                        })
+                        .collect(),
+                );
+                if alg.accepts_all_challenges(&g, &z1).unwrap() {
+                    exists = true;
+                    break 'z1;
+                }
+            }
+            assert_eq!(exists, g.edge_count() >= 1, "graph {g:?}");
+        }
+    }
+
+    /// A 1-labelling toy algorithm for the generic quantifier evaluator:
+    /// "accept iff node 0's label bit equals [graph has an edge]".
+    struct EdgeFlag;
+    struct EdgeFlagNode {
+        label: bool,
+        row_has_edge: bool,
+        any_edge: bool,
+    }
+    impl NodeProgram for EdgeFlagNode {
+        type Output = bool;
+        fn step(
+            &mut self,
+            _ctx: &NodeCtx,
+            round: usize,
+            inbox: &Inbox<'_>,
+            outbox: &mut Outbox<'_>,
+        ) -> Status<bool> {
+            if round == 0 {
+                let mut m = BitString::new();
+                m.push(self.row_has_edge);
+                outbox.broadcast(&m);
+                Status::Continue
+            } else {
+                self.any_edge = self.row_has_edge || inbox.iter().any(|(_, m)| m.get(0));
+                Status::Halt(self.label == self.any_edge)
+            }
+        }
+    }
+    impl KLabelling for EdgeFlag {
+        fn name(&self) -> String {
+            "edge-flag".into()
+        }
+        fn k(&self) -> usize {
+            1
+        }
+        fn label_size(&self, _n: usize) -> usize {
+            1
+        }
+        fn node(&self, _n: usize, _v: NodeId, row: &BitString, labels: &[BitString]) -> BoolNode {
+            Box::new(EdgeFlagNode {
+                label: !labels[0].is_empty() && labels[0].get(0),
+                row_has_edge: row.iter().any(|b| b),
+                any_edge: false,
+            })
+        }
+    }
+
+    #[test]
+    fn generic_quantifier_evaluator() {
+        let g_edge = gen::path(3);
+        let g_empty = Graph::empty(3);
+        // Σ₁ (∃): some label works on both graphs (the correct flag).
+        assert!(eval_alternating(&EdgeFlag, &g_edge, 1, true).unwrap());
+        assert!(eval_alternating(&EdgeFlag, &g_empty, 1, true).unwrap());
+        // Π₁ (∀): fails, because the wrong flag is always rejected.
+        assert!(!eval_alternating(&EdgeFlag, &g_edge, 1, false).unwrap());
+    }
+
+    #[test]
+    fn complementation_de_morgan() {
+        // §6.2: L ∈ Σ₁ ⟹ L̄ ∈ Π₁, via the Negation wrapper and fully
+        // enumerated quantifiers: ∃z A = 1 ⟺ ¬(∀z ¬A = 1).
+        for g in [gen::path(3), Graph::empty(3), Graph::complete(3)] {
+            let sigma = eval_alternating(&EdgeFlag, &g, 1, true).unwrap();
+            let pi_not = eval_alternating(&Negation(EdgeFlag), &g, 1, false).unwrap();
+            assert_eq!(sigma, !pi_not, "graph {g:?}");
+            // And the dual direction: ∀z A ⟺ ¬(∃z ¬A).
+            let pi = eval_alternating(&EdgeFlag, &g, 1, false).unwrap();
+            let sigma_not = eval_alternating(&Negation(EdgeFlag), &g, 1, true).unwrap();
+            assert_eq!(pi, !sigma_not, "graph {g:?}");
+        }
+    }
+
+    #[test]
+    fn negation_flips_single_runs() {
+        let g = gen::path(3);
+        let z = Labelling(vec![BitString::from_bits([true]); 3]);
+        let plain = run_klabelling(&EdgeFlag, &g, &[z.clone()]).unwrap();
+        let negated = run_klabelling(&Negation(EdgeFlag), &g, &[z]).unwrap();
+        assert_eq!(plain, !negated);
+    }
+
+    #[test]
+    fn label_budget_formula() {
+        assert_eq!(log_hierarchy_label_budget(8), 8 * 3);
+        assert_eq!(log_hierarchy_label_budget(9), 9 * 4);
+    }
+}

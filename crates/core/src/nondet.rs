@@ -1,0 +1,259 @@
+//! The nondeterministic congested clique (§5 of the paper).
+//!
+//! A nondeterministic algorithm takes, besides the input graph, a
+//! *labelling* `z` assigning each node a certificate of at most `S(n)`
+//! bits; it decides `L` when `G ∈ L ⟺ ∃z : A(G, z) = 1` with `A(G,z)=1`
+//! meaning every node accepts. `NCLIQUE(T(n))` collects the problems with
+//! such `T(n)`-round verifiers; `NCLIQUE(1)` is the paper's analogue of
+//! NP and contains the decision versions of most natural clique problems —
+//! the concrete members implemented in [`crate::problems`].
+//!
+//! A problem here is packaged as verifier **plus honest prover**, so
+//! completeness is exercised constructively at any size, while soundness
+//! is tested with adversarial and (at toy sizes) exhaustively enumerated
+//! certificates.
+
+use cc_graph::Graph;
+use cliquesim::{BitString, Engine, NodeId, NodeProgram, RunStats, Session, SimError};
+
+/// A certificate: one bit string per node.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Labelling(pub Vec<BitString>);
+
+impl Labelling {
+    /// The all-empty labelling for `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Self(vec![BitString::new(); n])
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Size of the largest per-node label, in bits.
+    pub fn max_label_bits(&self) -> usize {
+        self.0.iter().map(|b| b.len()).max().unwrap_or(0)
+    }
+
+    /// Total bits across all labels.
+    pub fn total_bits(&self) -> usize {
+        self.0.iter().map(|b| b.len()).sum()
+    }
+}
+
+/// A boxed verifier node (local output 1 = accept).
+pub type BoolNode = Box<dyn NodeProgram<Output = bool>>;
+
+/// A decision problem together with its nondeterministic verifier and an
+/// honest prover.
+///
+/// *Distributed fidelity:* [`NondetProblem::verifier_node`] receives only
+/// what the real node would hold — `n`, its id, its adjacency row, and its
+/// own label. The (centralised) prover stands in for the existential
+/// quantifier.
+pub trait NondetProblem {
+    /// Problem name for reports.
+    fn name(&self) -> String;
+
+    /// Ground truth (centralised) membership — used only by tests and
+    /// experiments, never by verifier nodes.
+    fn contains(&self, g: &Graph) -> bool;
+
+    /// Labelling size `S(n)`: max certificate bits per node.
+    fn label_size(&self, n: usize) -> usize;
+
+    /// Verifier running time `T(n)` in rounds (an upper bound; used to
+    /// size the normal-form machinery).
+    fn time_bound(&self, n: usize) -> usize;
+
+    /// How many times the model bandwidth `⌈log₂ n⌉` the verifier's
+    /// messages need (the `O(log n)` constant; default 1).
+    fn bandwidth_multiplier(&self) -> usize {
+        1
+    }
+
+    /// The honest prover: a certificate accepted by the verifier whenever
+    /// `g ∈ L`; `None` when `g ∉ L`.
+    fn prove(&self, g: &Graph) -> Option<Labelling>;
+
+    /// Build node `v`'s verifier from its local data only.
+    fn verifier_node(
+        &self,
+        n: usize,
+        v: NodeId,
+        row: &BitString,
+        label: &BitString,
+    ) -> BoolNode;
+}
+
+/// Result of running a verifier on a specific `(G, z)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// Did every node accept?
+    pub accepted: bool,
+    /// Cost of the verification run.
+    pub stats: RunStats,
+}
+
+/// Execute a problem's verifier on `(g, z)`.
+pub fn verify<P: NondetProblem + ?Sized>(
+    problem: &P,
+    g: &Graph,
+    z: &Labelling,
+) -> Result<Verdict, SimError> {
+    let n = g.n();
+    assert_eq!(z.n(), n, "labelling must have one label per node");
+    let engine =
+        Engine::new(n).with_bandwidth_multiplier(problem.bandwidth_multiplier());
+    let mut session = Session::new(engine);
+    let programs: Vec<BoolNode> = (0..n)
+        .map(|v| {
+            let id = NodeId::from(v);
+            problem.verifier_node(n, id, &g.input_row(id), &z.0[v])
+        })
+        .collect();
+    let out = session.run(programs)?;
+    Ok(Verdict { accepted: out.outputs.iter().all(|a| *a), stats: session.stats() })
+}
+
+/// Completeness path: run the honest prover and verify its certificate.
+/// Returns `None` if the prover produced nothing (claimed no-instance).
+pub fn prove_and_verify<P: NondetProblem + ?Sized>(
+    problem: &P,
+    g: &Graph,
+) -> Result<Option<Verdict>, SimError> {
+    match problem.prove(g) {
+        Some(z) => {
+            assert!(
+                z.max_label_bits() <= problem.label_size(g.n()),
+                "{}: honest certificate exceeds the declared label size",
+                problem.name()
+            );
+            verify(problem, g, &z).map(Some)
+        }
+        None => Ok(None),
+    }
+}
+
+/// Exhaustive existential quantification over *all* labellings where every
+/// node gets exactly `bits`-bit labels (plus the empty-label case). Only
+/// usable when `n · bits` is tiny; this is the ground-truth ∃ for toy
+/// instances.
+pub fn exists_certificate<P: NondetProblem + ?Sized>(
+    problem: &P,
+    g: &Graph,
+    bits: usize,
+) -> Result<Option<Labelling>, SimError> {
+    let n = g.n();
+    let total = n * bits;
+    assert!(total <= 24, "exhaustive certificate search is exponential; keep n·bits ≤ 24");
+    let combos: u64 = 1 << total;
+    for mask in 0..combos {
+        let mut labels = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut b = BitString::with_capacity(bits);
+            for i in 0..bits {
+                b.push((mask >> (v * bits + i)) & 1 == 1);
+            }
+            labels.push(b);
+        }
+        let z = Labelling(labels);
+        if verify(problem, g, &z)?.accepted {
+            return Ok(Some(z));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliquesim::{Inbox, NodeCtx, Outbox, Status};
+
+    /// Toy problem: "the certificate of node 0 equals its degree parity".
+    /// Used to exercise the framework plumbing itself.
+    struct ParityCert;
+
+    struct ParityNode {
+        label: BitString,
+        row: BitString,
+    }
+
+    impl NodeProgram for ParityNode {
+        type Output = bool;
+        fn step(
+            &mut self,
+            ctx: &NodeCtx,
+            _round: usize,
+            _inbox: &Inbox<'_>,
+            _outbox: &mut Outbox<'_>,
+        ) -> Status<bool> {
+            let deg = self.row.iter().filter(|b| *b).count();
+            let claim = !self.label.is_empty() && self.label.get(0);
+            let _ = ctx;
+            Status::Halt(claim == (deg % 2 == 1))
+        }
+    }
+
+    impl NondetProblem for ParityCert {
+        fn name(&self) -> String {
+            "parity-cert".into()
+        }
+        fn contains(&self, _g: &Graph) -> bool {
+            true // every graph has a valid parity certificate
+        }
+        fn label_size(&self, _n: usize) -> usize {
+            1
+        }
+        fn time_bound(&self, _n: usize) -> usize {
+            1
+        }
+        fn prove(&self, g: &Graph) -> Option<Labelling> {
+            Some(Labelling(
+                (0..g.n())
+                    .map(|v| {
+                        let mut b = BitString::new();
+                        b.push(g.degree(v) % 2 == 1);
+                        b
+                    })
+                    .collect(),
+            ))
+        }
+        fn verifier_node(&self, _n: usize, _v: NodeId, row: &BitString, label: &BitString) -> BoolNode {
+            Box::new(ParityNode { label: label.clone(), row: row.clone() })
+        }
+    }
+
+    #[test]
+    fn honest_prover_accepted() {
+        let g = cc_graph::gen::cycle(5);
+        let verdict = prove_and_verify(&ParityCert, &g).unwrap().unwrap();
+        assert!(verdict.accepted);
+        assert_eq!(verdict.stats.rounds, 0);
+    }
+
+    #[test]
+    fn wrong_certificates_rejected() {
+        let g = cc_graph::gen::star(4); // degrees 3,1,1,1 — all odd
+        let mut z = ParityCert.prove(&g).unwrap();
+        z.0[2] = BitString::from_bits([false]); // lie about node 2
+        assert!(!verify(&ParityCert, &g, &z).unwrap().accepted);
+    }
+
+    #[test]
+    fn exhaustive_search_finds_certificates() {
+        let g = cc_graph::gen::path(3);
+        let z = exists_certificate(&ParityCert, &g, 1).unwrap().expect("some cert works");
+        assert!(verify(&ParityCert, &g, &z).unwrap().accepted);
+    }
+
+    #[test]
+    fn labelling_helpers() {
+        let z = Labelling(vec![BitString::from_bits([true, false]), BitString::new()]);
+        assert_eq!(z.n(), 2);
+        assert_eq!(z.max_label_bits(), 2);
+        assert_eq!(z.total_bits(), 2);
+        assert_eq!(Labelling::empty(3).total_bits(), 0);
+    }
+}

@@ -1,0 +1,1052 @@
+//! Concrete members of NCLIQUE(1) (§6.1).
+//!
+//! "The class NCLIQUE(1) contains most natural decision problems that have
+//! been studied in the congested clique, as well as many NP-complete
+//! problems such as k-colouring and Hamiltonian path." Each problem here
+//! supplies a constant-round verifier (built from a node's local data
+//! only) and an honest prover; soundness against adversarial certificates
+//! is what the verifiers are tested on.
+
+use cc_graph::{reference, Graph};
+use cliquesim::{BitString, Inbox, NodeCtx, NodeId, NodeProgram, Outbox, Status};
+
+use crate::nondet::{BoolNode, Labelling, NondetProblem};
+
+/// Look up the adjacency bit for peer `u` in an input row of node `me`.
+fn row_has(row: &BitString, me: usize, u: usize) -> bool {
+    debug_assert_ne!(me, u);
+    let slot = if u < me { u } else { u - 1 };
+    row.get(slot)
+}
+
+// =====================================================================
+// k-colouring
+// =====================================================================
+
+/// "Is G properly k-colourable?" — certificate: each node's colour.
+#[derive(Clone, Copy, Debug)]
+pub struct KColoring {
+    /// Number of colours.
+    pub k: usize,
+}
+
+struct KColoringNode {
+    k: usize,
+    row: BitString,
+    label: BitString,
+    my_color: Option<u64>,
+}
+
+impl NodeProgram for KColoringNode {
+    type Output = bool;
+
+    fn step(
+        &mut self,
+        ctx: &NodeCtx,
+        round: usize,
+        inbox: &Inbox<'_>,
+        outbox: &mut Outbox<'_>,
+    ) -> Status<bool> {
+        let cw = BitString::width_for(self.k.max(2));
+        match round {
+            0 => {
+                // Decode own label; reject locally on malformed input.
+                let mut r = self.label.reader();
+                match r.read_uint(cw).ok().filter(|_| r.expect_end().is_ok()) {
+                    Some(c) if (c as usize) < self.k => {
+                        self.my_color = Some(c);
+                        let mut m = BitString::new();
+                        m.push_uint(c, cw);
+                        outbox.broadcast(&m);
+                        Status::Continue
+                    }
+                    _ => Status::Halt(false),
+                }
+            }
+            _ => {
+                let me = ctx.id.index();
+                let my = self.my_color.expect("set in round 0");
+                for (u, msg) in inbox.iter() {
+                    if !row_has(&self.row, me, u.index()) {
+                        continue;
+                    }
+                    match msg.reader().read_uint(cw) {
+                        Ok(c) if c != my => {}
+                        _ => return Status::Halt(false), // same colour or malformed
+                    }
+                }
+                Status::Halt(true)
+            }
+        }
+    }
+}
+
+impl NondetProblem for KColoring {
+    fn name(&self) -> String {
+        format!("{}-colouring", self.k)
+    }
+
+    fn contains(&self, g: &Graph) -> bool {
+        reference::find_coloring(g, self.k).is_some()
+    }
+
+    fn label_size(&self, _n: usize) -> usize {
+        BitString::width_for(self.k.max(2))
+    }
+
+    fn time_bound(&self, _n: usize) -> usize {
+        1
+    }
+
+    fn prove(&self, g: &Graph) -> Option<Labelling> {
+        let cw = BitString::width_for(self.k.max(2));
+        let colors = reference::find_coloring(g, self.k)?;
+        Some(Labelling(
+            colors
+                .into_iter()
+                .map(|c| {
+                    let mut b = BitString::new();
+                    b.push_uint(c as u64, cw);
+                    b
+                })
+                .collect(),
+        ))
+    }
+
+    fn verifier_node(&self, n: usize, _v: NodeId, row: &BitString, label: &BitString) -> BoolNode {
+        assert!(self.k <= n, "colour ids must fit the bandwidth (k ≤ n)");
+        Box::new(KColoringNode { k: self.k, row: row.clone(), label: label.clone(), my_color: None })
+    }
+}
+
+// =====================================================================
+// Hamiltonian path
+// =====================================================================
+
+/// "Does G contain a Hamiltonian path?" — certificate: each node's position
+/// along the path.
+#[derive(Clone, Copy, Debug)]
+pub struct HamiltonianPath;
+
+struct HamPathNode {
+    row: BitString,
+    label: BitString,
+    my_pos: Option<u64>,
+    positions: Vec<Option<u64>>,
+}
+
+impl NodeProgram for HamPathNode {
+    type Output = bool;
+
+    fn step(
+        &mut self,
+        ctx: &NodeCtx,
+        round: usize,
+        inbox: &Inbox<'_>,
+        outbox: &mut Outbox<'_>,
+    ) -> Status<bool> {
+        let idw = ctx.id_width();
+        let me = ctx.id.index();
+        match round {
+            0 => {
+                self.positions = vec![None; ctx.n];
+                let mut r = self.label.reader();
+                match r.read_uint(idw).ok().filter(|_| r.expect_end().is_ok()) {
+                    Some(p) if (p as usize) < ctx.n => {
+                        self.my_pos = Some(p);
+                        self.positions[me] = Some(p);
+                        let mut m = BitString::new();
+                        m.push_uint(p, idw);
+                        outbox.broadcast(&m);
+                        Status::Continue
+                    }
+                    _ => Status::Halt(false),
+                }
+            }
+            _ => {
+                for (u, msg) in inbox.iter() {
+                    match msg.reader().read_uint(idw) {
+                        Ok(p) if (p as usize) < ctx.n => self.positions[u.index()] = Some(p),
+                        _ => return Status::Halt(false),
+                    }
+                }
+                // All positions present and distinct?
+                let mut seen = vec![false; ctx.n];
+                for p in &self.positions {
+                    match p {
+                        Some(p) if !seen[*p as usize] => seen[*p as usize] = true,
+                        _ => return Status::Halt(false),
+                    }
+                }
+                // My successor (if any) must be my neighbour.
+                let my = self.my_pos.expect("set in round 0") as usize;
+                if my + 1 < ctx.n {
+                    let succ = self
+                        .positions
+                        .iter()
+                        .position(|p| *p == Some(my as u64 + 1))
+                        .expect("positions form a permutation");
+                    if !row_has(&self.row, me, succ) {
+                        return Status::Halt(false);
+                    }
+                }
+                Status::Halt(true)
+            }
+        }
+    }
+}
+
+impl NondetProblem for HamiltonianPath {
+    fn name(&self) -> String {
+        "hamiltonian-path".into()
+    }
+
+    fn contains(&self, g: &Graph) -> bool {
+        reference::find_hamiltonian_path(g).is_some()
+    }
+
+    fn label_size(&self, n: usize) -> usize {
+        BitString::width_for(n)
+    }
+
+    fn time_bound(&self, _n: usize) -> usize {
+        1
+    }
+
+    fn prove(&self, g: &Graph) -> Option<Labelling> {
+        let order = reference::find_hamiltonian_path(g)?;
+        let idw = BitString::width_for(g.n());
+        let mut pos = vec![0u64; g.n()];
+        for (p, &v) in order.iter().enumerate() {
+            pos[v] = p as u64;
+        }
+        Some(Labelling(
+            pos.into_iter()
+                .map(|p| {
+                    let mut b = BitString::new();
+                    b.push_uint(p, idw);
+                    b
+                })
+                .collect(),
+        ))
+    }
+
+    fn verifier_node(&self, _n: usize, _v: NodeId, row: &BitString, label: &BitString) -> BoolNode {
+        Box::new(HamPathNode {
+            row: row.clone(),
+            label: label.clone(),
+            my_pos: None,
+            positions: Vec::new(),
+        })
+    }
+}
+
+// =====================================================================
+// Triangle existence
+// =====================================================================
+
+/// "Does G contain a triangle?" — certificate: the three corner ids,
+/// identical at every node.
+#[derive(Clone, Copy, Debug)]
+pub struct TriangleExists;
+
+struct TriangleNode {
+    row: BitString,
+    label: BitString,
+    corners: Option<[usize; 3]>,
+    ok: bool,
+    confirmations: usize,
+}
+
+impl NodeProgram for TriangleNode {
+    type Output = bool;
+
+    fn step(
+        &mut self,
+        ctx: &NodeCtx,
+        round: usize,
+        inbox: &Inbox<'_>,
+        outbox: &mut Outbox<'_>,
+    ) -> Status<bool> {
+        let idw = ctx.id_width();
+        let me = ctx.id.index();
+        match round {
+            0 => {
+                // Decode the three corners.
+                let mut r = self.label.reader();
+                let mut c = [0usize; 3];
+                for slot in &mut c {
+                    match r.read_uint(idw) {
+                        Ok(x) if (x as usize) < ctx.n => *slot = x as usize,
+                        _ => return Status::Halt(false),
+                    }
+                }
+                if r.expect_end().is_err() || c[0] == c[1] || c[1] == c[2] || c[0] == c[2] {
+                    return Status::Halt(false);
+                }
+                self.corners = Some(c);
+                self.ok = true;
+                // Broadcast corner 0 for the consistency check.
+                let mut m = BitString::new();
+                m.push_uint(c[0] as u64, idw);
+                outbox.broadcast(&m);
+                Status::Continue
+            }
+            1 | 2 => {
+                let c = self.corners.expect("set in round 0");
+                // Check everyone's (round−1)-th corner matches ours.
+                for (_, msg) in inbox.iter() {
+                    match msg.reader().read_uint(idw) {
+                        Ok(x) if x as usize == c[round - 1] => {}
+                        _ => return Status::Halt(false),
+                    }
+                }
+                let mut m = BitString::new();
+                m.push_uint(c[round] as u64, idw);
+                outbox.broadcast(&m);
+                Status::Continue
+            }
+            3 => {
+                let c = self.corners.expect("set in round 0");
+                for (_, msg) in inbox.iter() {
+                    match msg.reader().read_uint(idw) {
+                        Ok(x) if x as usize == c[2] => {}
+                        _ => return Status::Halt(false),
+                    }
+                }
+                // If I am a corner, confirm my two triangle edges.
+                if let Some(i) = c.iter().position(|&x| x == me) {
+                    let others = [c[(i + 1) % 3], c[(i + 2) % 3]];
+                    let fine = others.iter().all(|&o| row_has(&self.row, me, o));
+                    let mut m = BitString::new();
+                    m.push(fine);
+                    outbox.broadcast(&m);
+                }
+                Status::Continue
+            }
+            _ => {
+                let c = self.corners.expect("set in round 0");
+                for (u, msg) in inbox.iter() {
+                    if c.contains(&u.index()) {
+                        if !msg.get(0) {
+                            return Status::Halt(false);
+                        }
+                        self.confirmations += 1;
+                    }
+                }
+                if c.contains(&me) {
+                    self.confirmations += 1; // my own confirmation
+                    if !c
+                        .iter()
+                        .filter(|&&x| x != me)
+                        .all(|&o| row_has(&self.row, me, o))
+                    {
+                        return Status::Halt(false);
+                    }
+                }
+                Status::Halt(self.ok && self.confirmations == 3)
+            }
+        }
+    }
+}
+
+impl NondetProblem for TriangleExists {
+    fn name(&self) -> String {
+        "triangle-exists".into()
+    }
+
+    fn contains(&self, g: &Graph) -> bool {
+        reference::count_triangles(g) > 0
+    }
+
+    fn label_size(&self, n: usize) -> usize {
+        3 * BitString::width_for(n)
+    }
+
+    fn time_bound(&self, _n: usize) -> usize {
+        5
+    }
+
+    fn prove(&self, g: &Graph) -> Option<Labelling> {
+        let n = g.n();
+        let idw = BitString::width_for(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !g.has_edge(u, v) {
+                    continue;
+                }
+                for w in (v + 1)..n {
+                    if g.has_edge(u, w) && g.has_edge(v, w) {
+                        let mut b = BitString::new();
+                        b.push_uint(u as u64, idw);
+                        b.push_uint(v as u64, idw);
+                        b.push_uint(w as u64, idw);
+                        return Some(Labelling(vec![b; n]));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn verifier_node(&self, _n: usize, _v: NodeId, row: &BitString, label: &BitString) -> BoolNode {
+        Box::new(TriangleNode {
+            row: row.clone(),
+            label: label.clone(),
+            corners: None,
+            ok: false,
+            confirmations: 0,
+        })
+    }
+}
+
+// =====================================================================
+// Membership-flag problems: k-IS, k-DS, vertex cover ≤ k
+// =====================================================================
+
+/// Which set property a membership certificate claims.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SetKind {
+    /// Independent set of size exactly `k`.
+    IndependentSet,
+    /// Dominating set of size exactly `k`.
+    DominatingSet,
+    /// Vertex cover of size at most `k`.
+    VertexCover,
+}
+
+/// "Does G have an {IS, DS} of size k / a VC of size ≤ k?" — certificate:
+/// one membership bit per node.
+#[derive(Clone, Copy, Debug)]
+pub struct SetProblem {
+    /// Which property.
+    pub kind: SetKind,
+    /// The size parameter.
+    pub k: usize,
+}
+
+struct SetNode {
+    kind: SetKind,
+    k: usize,
+    row: BitString,
+    member: bool,
+    malformed: bool,
+}
+
+impl NodeProgram for SetNode {
+    type Output = bool;
+
+    fn step(
+        &mut self,
+        ctx: &NodeCtx,
+        round: usize,
+        inbox: &Inbox<'_>,
+        outbox: &mut Outbox<'_>,
+    ) -> Status<bool> {
+        let me = ctx.id.index();
+        match round {
+            0 => {
+                if self.malformed {
+                    return Status::Halt(false);
+                }
+                let mut m = BitString::new();
+                m.push(self.member);
+                outbox.broadcast(&m);
+                Status::Continue
+            }
+            _ => {
+                let mut members = vec![false; ctx.n];
+                members[me] = self.member;
+                for (u, msg) in inbox.iter() {
+                    if msg.len() != 1 {
+                        return Status::Halt(false);
+                    }
+                    members[u.index()] = msg.get(0);
+                }
+                let count = members.iter().filter(|m| **m).count();
+                let ok = match self.kind {
+                    SetKind::IndependentSet => {
+                        count == self.k
+                            && !(self.member
+                                && (0..ctx.n).any(|u| {
+                                    u != me && members[u] && row_has(&self.row, me, u)
+                                }))
+                    }
+                    SetKind::DominatingSet => {
+                        count == self.k
+                            && (self.member
+                                || (0..ctx.n).any(|u| {
+                                    u != me && members[u] && row_has(&self.row, me, u)
+                                }))
+                    }
+                    SetKind::VertexCover => {
+                        count <= self.k
+                            && (self.member
+                                || (0..ctx.n)
+                                    .filter(|&u| u != me && row_has(&self.row, me, u))
+                                    .all(|u| members[u]))
+                    }
+                };
+                Status::Halt(ok)
+            }
+        }
+    }
+}
+
+impl NondetProblem for SetProblem {
+    fn name(&self) -> String {
+        match self.kind {
+            SetKind::IndependentSet => format!("{}-independent-set", self.k),
+            SetKind::DominatingSet => format!("{}-dominating-set", self.k),
+            SetKind::VertexCover => format!("vertex-cover-at-most-{}", self.k),
+        }
+    }
+
+    fn contains(&self, g: &Graph) -> bool {
+        match self.kind {
+            SetKind::IndependentSet => reference::find_independent_set(g, self.k).is_some(),
+            SetKind::DominatingSet => reference::find_dominating_set(g, self.k).is_some(),
+            SetKind::VertexCover => reference::find_vertex_cover(g, self.k).is_some(),
+        }
+    }
+
+    fn label_size(&self, _n: usize) -> usize {
+        1
+    }
+
+    fn time_bound(&self, _n: usize) -> usize {
+        1
+    }
+
+    fn prove(&self, g: &Graph) -> Option<Labelling> {
+        let set = match self.kind {
+            SetKind::IndependentSet => reference::find_independent_set(g, self.k)?,
+            SetKind::DominatingSet => reference::find_dominating_set(g, self.k)?,
+            SetKind::VertexCover => reference::find_vertex_cover(g, self.k)?,
+        };
+        let mut member = vec![false; g.n()];
+        for v in set {
+            member[v] = true;
+        }
+        Some(Labelling(
+            member
+                .into_iter()
+                .map(|m| {
+                    let mut b = BitString::new();
+                    b.push(m);
+                    b
+                })
+                .collect(),
+        ))
+    }
+
+    fn verifier_node(&self, _n: usize, _v: NodeId, row: &BitString, label: &BitString) -> BoolNode {
+        let malformed = label.len() != 1;
+        Box::new(SetNode {
+            kind: self.kind,
+            k: self.k,
+            row: row.clone(),
+            member: !malformed && label.get(0),
+            malformed,
+        })
+    }
+}
+
+// =====================================================================
+// Perfect matching
+// =====================================================================
+
+/// "Does G have a perfect matching?" — certificate: each node's matched
+/// partner. One broadcast round; each node checks mutuality and that the
+/// matched edge exists in its row.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PerfectMatching;
+
+struct MatchingNode {
+    row: BitString,
+    label: BitString,
+    partner: usize,
+    partners: Vec<Option<usize>>,
+}
+
+impl NodeProgram for MatchingNode {
+    type Output = bool;
+
+    fn step(
+        &mut self,
+        ctx: &NodeCtx,
+        round: usize,
+        inbox: &Inbox<'_>,
+        outbox: &mut Outbox<'_>,
+    ) -> Status<bool> {
+        let idw = ctx.id_width();
+        let me = ctx.id.index();
+        match round {
+            0 => {
+                self.partners = vec![None; ctx.n];
+                let mut r = self.label.reader();
+                match r.read_uint(idw).ok().filter(|_| r.expect_end().is_ok()) {
+                    Some(p) if (p as usize) < ctx.n && p as usize != me => {
+                        self.partner = p as usize;
+                        self.partners[me] = Some(self.partner);
+                        let mut m = BitString::new();
+                        m.push_uint(p, idw);
+                        outbox.broadcast(&m);
+                        Status::Continue
+                    }
+                    _ => Status::Halt(false),
+                }
+            }
+            _ => {
+                for (u, msg) in inbox.iter() {
+                    match msg.reader().read_uint(idw) {
+                        Ok(p) if (p as usize) < ctx.n => self.partners[u.index()] = Some(p as usize),
+                        _ => return Status::Halt(false),
+                    }
+                }
+                // Everyone announced, mutuality holds globally, and my own
+                // matched edge exists.
+                if self.partners.iter().any(|p| p.is_none()) {
+                    return Status::Halt(false);
+                }
+                let mutual = (0..ctx.n).all(|v| {
+                    let p = self.partners[v].expect("checked above");
+                    p != v && self.partners[p] == Some(v)
+                });
+                Status::Halt(mutual && row_has(&self.row, me, self.partner))
+            }
+        }
+    }
+}
+
+impl NondetProblem for PerfectMatching {
+    fn name(&self) -> String {
+        "perfect-matching".into()
+    }
+
+    fn contains(&self, g: &Graph) -> bool {
+        reference::find_perfect_matching(g).is_some()
+    }
+
+    fn label_size(&self, n: usize) -> usize {
+        BitString::width_for(n)
+    }
+
+    fn time_bound(&self, _n: usize) -> usize {
+        1
+    }
+
+    fn prove(&self, g: &Graph) -> Option<Labelling> {
+        let partner = reference::find_perfect_matching(g)?;
+        let idw = BitString::width_for(g.n());
+        Some(Labelling(
+            partner
+                .into_iter()
+                .map(|p| {
+                    let mut b = BitString::new();
+                    b.push_uint(p as u64, idw);
+                    b
+                })
+                .collect(),
+        ))
+    }
+
+    fn verifier_node(&self, _n: usize, _v: NodeId, row: &BitString, label: &BitString) -> BoolNode {
+        Box::new(MatchingNode {
+            row: row.clone(),
+            label: label.clone(),
+            partner: usize::MAX,
+            partners: Vec::new(),
+        })
+    }
+}
+
+// =====================================================================
+// Connectivity (spanning-tree certificate, proof-labelling style)
+// =====================================================================
+
+/// "Is G connected?" — certificate: `(parent, depth)` of a rooted spanning
+/// tree, the classic proof labelling scheme \[36–38\].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Connectivity;
+
+struct ConnectivityNode {
+    row: BitString,
+    label: BitString,
+    parent: usize,
+    depth: u64,
+    parents: Vec<Option<(usize, u64)>>,
+}
+
+impl NodeProgram for ConnectivityNode {
+    type Output = bool;
+
+    fn step(
+        &mut self,
+        ctx: &NodeCtx,
+        round: usize,
+        inbox: &Inbox<'_>,
+        outbox: &mut Outbox<'_>,
+    ) -> Status<bool> {
+        let idw = ctx.id_width();
+        let me = ctx.id.index();
+        match round {
+            0 => {
+                self.parents = vec![None; ctx.n];
+                let mut r = self.label.reader();
+                let parent = r.read_uint(idw).ok();
+                let depth = r.read_uint(idw).ok();
+                match (parent, depth, r.expect_end()) {
+                    (Some(p), Some(d), Ok(())) if (p as usize) < ctx.n && (d as usize) < ctx.n => {
+                        self.parent = p as usize;
+                        self.depth = d;
+                        self.parents[me] = Some((self.parent, d));
+                        let mut m = BitString::new();
+                        m.push_uint(p, idw);
+                        outbox.broadcast(&m);
+                        Status::Continue
+                    }
+                    _ => Status::Halt(false),
+                }
+            }
+            1 => {
+                for (u, msg) in inbox.iter() {
+                    match msg.reader().read_uint(idw) {
+                        Ok(p) if (p as usize) < ctx.n => {
+                            self.parents[u.index()] = Some((p as usize, 0))
+                        }
+                        _ => return Status::Halt(false),
+                    }
+                }
+                let mut m = BitString::new();
+                m.push_uint(self.depth, idw);
+                outbox.broadcast(&m);
+                Status::Continue
+            }
+            _ => {
+                for (u, msg) in inbox.iter() {
+                    match (self.parents[u.index()], msg.reader().read_uint(idw)) {
+                        (Some((p, _)), Ok(d)) => self.parents[u.index()] = Some((p, d)),
+                        _ => return Status::Halt(false),
+                    }
+                }
+                // Everyone must have announced.
+                if self.parents.iter().any(|x| x.is_none()) {
+                    return Status::Halt(false);
+                }
+                // Exactly one root: parent == self with depth 0.
+                let roots = self
+                    .parents
+                    .iter()
+                    .enumerate()
+                    .filter(|(v, x)| matches!(x, Some((p, d)) if p == v && *d == 0))
+                    .count();
+                if roots != 1 {
+                    return Status::Halt(false);
+                }
+                // My own consistency: either I am the root, or my parent is
+                // a real neighbour one level up.
+                if self.parent == me {
+                    return Status::Halt(self.depth == 0);
+                }
+                if !row_has(&self.row, me, self.parent) {
+                    return Status::Halt(false);
+                }
+                let (_, pd) = self.parents[self.parent].expect("checked above");
+                Status::Halt(pd + 1 == self.depth)
+            }
+        }
+    }
+}
+
+impl NondetProblem for Connectivity {
+    fn name(&self) -> String {
+        "connectivity".into()
+    }
+
+    fn contains(&self, g: &Graph) -> bool {
+        reference::is_connected(g)
+    }
+
+    fn label_size(&self, n: usize) -> usize {
+        2 * BitString::width_for(n)
+    }
+
+    fn time_bound(&self, _n: usize) -> usize {
+        3
+    }
+
+    fn prove(&self, g: &Graph) -> Option<Labelling> {
+        if !reference::is_connected(g) {
+            return None;
+        }
+        let n = g.n();
+        let idw = BitString::width_for(n);
+        // BFS tree from node 0.
+        let dist = reference::bfs_distances(g, 0);
+        let mut labels = Vec::with_capacity(n);
+        for v in 0..n {
+            let parent = if v == 0 {
+                0
+            } else {
+                g.neighbors(v)
+                    .find(|&u| dist[u] + 1 == dist[v])
+                    .expect("connected graph has a BFS parent")
+            };
+            let mut b = BitString::new();
+            b.push_uint(parent as u64, idw);
+            b.push_uint(dist[v], idw);
+            labels.push(b);
+        }
+        Some(Labelling(labels))
+    }
+
+    fn verifier_node(&self, _n: usize, _v: NodeId, row: &BitString, label: &BitString) -> BoolNode {
+        Box::new(ConnectivityNode {
+            row: row.clone(),
+            label: label.clone(),
+            parent: 0,
+            depth: 0,
+            parents: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nondet::{exists_certificate, prove_and_verify, verify};
+    use cc_graph::gen;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn all_problems() -> Vec<Box<dyn NondetProblem>> {
+        vec![
+            Box::new(KColoring { k: 2 }),
+            Box::new(KColoring { k: 3 }),
+            Box::new(HamiltonianPath),
+            Box::new(TriangleExists),
+            Box::new(SetProblem { kind: SetKind::IndependentSet, k: 2 }),
+            Box::new(SetProblem { kind: SetKind::DominatingSet, k: 2 }),
+            Box::new(SetProblem { kind: SetKind::VertexCover, k: 2 }),
+            Box::new(Connectivity),
+            Box::new(PerfectMatching),
+        ]
+    }
+
+    #[test]
+    fn completeness_on_yes_instances() {
+        // Honest prover certificates are accepted on every yes-instance.
+        for problem in all_problems() {
+            for seed in 0..4 {
+                let g = gen::gnp(7, 0.45, seed * 17 + 1);
+                if problem.contains(&g) {
+                    let verdict = prove_and_verify(problem.as_ref(), &g)
+                        .unwrap()
+                        .unwrap_or_else(|| panic!("{}: prover failed on yes-instance", problem.name()));
+                    assert!(verdict.accepted, "{} seed {seed}", problem.name());
+                } else {
+                    assert!(
+                        prove_and_verify(problem.as_ref(), &g).unwrap().is_none(),
+                        "{}: prover must fail on no-instances",
+                        problem.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soundness_against_adversarial_certificates() {
+        // On no-instances, random certificates of the declared size must be
+        // rejected (every single one — the verifier is deterministic).
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        for problem in all_problems() {
+            let mut tested = 0;
+            // A pool with guaranteed no-instances for every problem:
+            // K7 (no 2-IS, no 2-cover, not 2/3-colourable), the empty
+            // graph (no triangle/Hamiltonian path/2-DS, disconnected),
+            // plus random graphs at several densities.
+            let mut pool = vec![Graph::complete(7), Graph::empty(7)];
+            for seed in 0..12 {
+                pool.push(gen::gnp(7, 0.2 + 0.06 * (seed % 5) as f64, 1000 + seed));
+            }
+            for g in &pool {
+                let g = g.clone();
+                if problem.contains(&g) {
+                    continue;
+                }
+                tested += 1;
+                for _ in 0..20 {
+                    let z = Labelling(
+                        (0..7)
+                            .map(|_| {
+                                let bits = problem.label_size(7);
+                                (0..bits).map(|_| rng.gen_bool(0.5)).collect()
+                            })
+                            .collect(),
+                    );
+                    assert!(
+                        !verify(problem.as_ref(), &g, &z).unwrap().accepted,
+                        "{}: accepted a certificate on a no-instance",
+                        problem.name()
+                    );
+                }
+            }
+            assert!(tested > 0, "{}: no no-instances sampled, weak test", problem.name());
+        }
+    }
+
+    #[test]
+    fn exhaustive_soundness_tiny() {
+        // For 1-bit-label problems, check *all* certificates on tiny
+        // no-instances: ∃z accepted ⟺ G ∈ L, the exact NCLIQUE semantics.
+        for kind in [SetKind::IndependentSet, SetKind::DominatingSet, SetKind::VertexCover] {
+            let problem = SetProblem { kind, k: 2 };
+            for g in Graph::enumerate_all(4) {
+                let found = exists_certificate(&problem, &g, 1).unwrap();
+                assert_eq!(
+                    found.is_some(),
+                    problem.contains(&g),
+                    "{} on {g:?}",
+                    problem.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coloring_accepts_planted_and_rejects_odd_cycle() {
+        let (g, colors) = gen::k_colorable(9, 3, 0.7, 3);
+        let p = KColoring { k: 3 };
+        let cw = BitString::width_for(3);
+        let z = Labelling(
+            colors
+                .iter()
+                .map(|&c| {
+                    let mut b = BitString::new();
+                    b.push_uint(c as u64, cw);
+                    b
+                })
+                .collect(),
+        );
+        assert!(verify(&p, &g, &z).unwrap().accepted);
+
+        let c5 = gen::cycle(5);
+        let p2 = KColoring { k: 2 };
+        // No 2-colouring certificate can convince the verifier.
+        assert!(exists_certificate(&p2, &c5, 1).unwrap().is_none());
+    }
+
+    #[test]
+    fn hamiltonian_path_positions_checked() {
+        let (g, path) = gen::hamiltonian(8, 0.1, 5);
+        let p = HamiltonianPath;
+        let verdict = prove_and_verify(&p, &g).unwrap().unwrap();
+        assert!(verdict.accepted);
+        // Corrupt one position: duplicate positions must be rejected.
+        let mut z = p.prove(&g).unwrap();
+        z.0[path[0]] = z.0[path[1]].clone();
+        assert!(!verify(&p, &g, &z).unwrap().accepted);
+        // A non-edge consecutive pair must be rejected: swap two labels.
+        let mut z2 = p.prove(&g).unwrap();
+        z2.0.swap(path[0], path[3]);
+        assert!(!verify(&p, &g, &z2).unwrap().accepted);
+    }
+
+    #[test]
+    fn triangle_certificate_rejects_inconsistent_corners() {
+        let g = Graph::complete(5);
+        let p = TriangleExists;
+        let verdict = prove_and_verify(&p, &g).unwrap().unwrap();
+        assert!(verdict.accepted);
+        // Different labels at different nodes: must be rejected.
+        let mut z = p.prove(&g).unwrap();
+        let idw = BitString::width_for(5);
+        let mut other = BitString::new();
+        other.push_uint(1, idw);
+        other.push_uint(2, idw);
+        other.push_uint(4, idw);
+        z.0[3] = other;
+        assert!(!verify(&p, &g, &z).unwrap().accepted);
+    }
+
+    #[test]
+    fn perfect_matching_certificate() {
+        let g = gen::cycle(6);
+        let p = PerfectMatching;
+        assert!(prove_and_verify(&p, &g).unwrap().unwrap().accepted);
+        // Non-mutual certificates rejected.
+        let mut z = p.prove(&g).unwrap();
+        z.0[0] = z.0[1].clone();
+        assert!(!verify(&p, &g, &z).unwrap().accepted);
+        // Odd cycle: no certificate can work (exhaustive-ish via prover).
+        assert!(p.prove(&gen::cycle(5)).is_none());
+        // A "matching" over a non-edge is rejected: pair up vertices of an
+        // empty graph.
+        let empty = Graph::empty(4);
+        let idw = BitString::width_for(4);
+        let z = Labelling(
+            [1u64, 0, 3, 2]
+                .iter()
+                .map(|&p| {
+                    let mut b = BitString::new();
+                    b.push_uint(p, idw);
+                    b
+                })
+                .collect(),
+        );
+        assert!(!verify(&p, &empty, &z).unwrap().accepted);
+    }
+
+    #[test]
+    fn connectivity_certificate() {
+        let g = gen::path(7);
+        let p = Connectivity;
+        assert!(prove_and_verify(&p, &g).unwrap().unwrap().accepted);
+        // Disconnected graph: prover refuses, and forged trees fail.
+        let g2 = gen::cliques(6, 2);
+        assert!(p.prove(&g2).is_none());
+        let forged = p.prove(&gen::path(6)).unwrap(); // tree of the wrong graph
+        assert!(!verify(&p, &g2, &forged).unwrap().accepted);
+    }
+
+    #[test]
+    fn verifiers_run_in_constant_rounds() {
+        for problem in all_problems() {
+            for n in [6usize, 10] {
+                let g = gen::gnp(n, 0.5, n as u64);
+                if let Some(v) = prove_and_verify(problem.as_ref(), &g).unwrap() {
+                    assert!(
+                        v.stats.rounds <= problem.time_bound(n),
+                        "{}: {} rounds > bound {}",
+                        problem.name(),
+                        v.stats.rounds,
+                        problem.time_bound(n)
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_no_instance_never_accepts(seed in any::<u64>(), cert_seed in any::<u64>()) {
+            // Random graphs + random certificates for the 3-colouring
+            // verifier: acceptance implies the graph is actually
+            // 3-colourable (soundness).
+            let g = gen::gnp(6, 0.8, seed);
+            let p = KColoring { k: 3 };
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(cert_seed);
+            let z = Labelling(
+                (0..6)
+                    .map(|_| (0..p.label_size(6)).map(|_| rng.gen_bool(0.5)).collect())
+                    .collect(),
+            );
+            if verify(&p, &g, &z).unwrap().accepted {
+                prop_assert!(p.contains(&g));
+            }
+        }
+    }
+}

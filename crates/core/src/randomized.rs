@@ -1,0 +1,206 @@
+//! Randomness (§8 "Conclusions — Randomness").
+//!
+//! The paper observes that a one-sided Monte Carlo algorithm converts to
+//! a nondeterministic one: if the algorithm never accepts a no-instance,
+//! then "some coin outcome accepts" is exactly `∃z : A(G, z) = 1` with the
+//! coins as the certificate. Hence Theorem 4 also separates one-sided
+//! Monte Carlo time from deterministic time.
+//!
+//! [`MonteCarloAdapter`] implements the conversion generically: wrap any
+//! one-sided randomized decider and obtain a [`NondetProblem`] whose
+//! labels are the per-node coin strings. The adapter's prover *samples*
+//! coins (with a deterministic seed schedule) — completeness holds with
+//! the algorithm's success probability amplified by repetition, soundness
+//! is inherited unconditionally.
+
+use cc_graph::Graph;
+use cliquesim::{BitString, NodeId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::nondet::{BoolNode, Labelling, NondetProblem};
+
+/// A one-sided Monte Carlo congested clique algorithm: given per-node coin
+/// strings it runs a deterministic verifier that **never accepts a
+/// no-instance**, and accepts a yes-instance with probability at least
+/// `success_probability` over uniform coins.
+pub trait OneSidedMonteCarlo {
+    /// Report name.
+    fn name(&self) -> String;
+
+    /// Ground-truth membership (tests/experiments only).
+    fn contains(&self, g: &Graph) -> bool;
+
+    /// Coins used per node, in bits.
+    fn coin_bits(&self, n: usize) -> usize;
+
+    /// Verifier time bound in rounds.
+    fn time_bound(&self, n: usize) -> usize;
+
+    /// Per-success-trial acceptance probability lower bound, for
+    /// amplification bookkeeping.
+    fn success_probability(&self, n: usize) -> f64;
+
+    /// Build node `v`'s program from its local input and coin string.
+    fn node(&self, n: usize, v: NodeId, row: &BitString, coins: &BitString) -> BoolNode;
+}
+
+/// The §8 conversion: coins become certificates.
+#[derive(Clone, Debug)]
+pub struct MonteCarloAdapter<A> {
+    /// The randomized algorithm.
+    pub algorithm: A,
+    /// How many independent coin samples the prover tries before giving
+    /// up (amplification factor; failure probability ≤ (1−p)^attempts).
+    pub prover_attempts: usize,
+    /// Seed for the prover's deterministic coin schedule.
+    pub seed: u64,
+}
+
+impl<A: OneSidedMonteCarlo> MonteCarloAdapter<A> {
+    /// Wrap an algorithm with a replayable prover.
+    pub fn new(algorithm: A, prover_attempts: usize, seed: u64) -> Self {
+        Self { algorithm, prover_attempts, seed }
+    }
+
+    fn sample(&self, n: usize, attempt: usize) -> Labelling {
+        let bits = self.algorithm.coin_bits(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9));
+        Labelling(
+            (0..n)
+                .map(|_| (0..bits).map(|_| rng.gen_bool(0.5)).collect())
+                .collect(),
+        )
+    }
+}
+
+impl<A: OneSidedMonteCarlo + Clone + Send + 'static> NondetProblem for MonteCarloAdapter<A> {
+    fn name(&self) -> String {
+        format!("mc-to-nondet({})", self.algorithm.name())
+    }
+
+    fn contains(&self, g: &Graph) -> bool {
+        self.algorithm.contains(g)
+    }
+
+    fn label_size(&self, n: usize) -> usize {
+        self.algorithm.coin_bits(n)
+    }
+
+    fn time_bound(&self, n: usize) -> usize {
+        self.algorithm.time_bound(n)
+    }
+
+    fn prove(&self, g: &Graph) -> Option<Labelling> {
+        // Sample coin certificates until the verifier accepts (bounded
+        // repetition — the ∃ quantifier made effective by amplification).
+        for attempt in 0..self.prover_attempts {
+            let z = self.sample(g.n(), attempt);
+            if let Ok(v) = crate::nondet::verify(self, g, &z) {
+                if v.accepted {
+                    return Some(z);
+                }
+            }
+        }
+        None
+    }
+
+    fn verifier_node(&self, n: usize, v: NodeId, row: &BitString, label: &BitString) -> BoolNode {
+        self.algorithm.node(n, v, row, label)
+    }
+}
+
+/// A concrete one-sided Monte Carlo algorithm: randomized k-colouring.
+/// Each node's coins are a candidate colour; the verifier broadcasts and
+/// checks properness. Never accepts a non-k-colourable graph; accepts a
+/// k-colourable one whenever the sampled colouring happens to be proper.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomizedColoring {
+    /// Number of colours.
+    pub k: usize,
+}
+
+impl OneSidedMonteCarlo for RandomizedColoring {
+    fn name(&self) -> String {
+        format!("randomized-{}-colouring", self.k)
+    }
+
+    fn contains(&self, g: &Graph) -> bool {
+        cc_graph::reference::find_coloring(g, self.k).is_some()
+    }
+
+    fn coin_bits(&self, _n: usize) -> usize {
+        BitString::width_for(self.k.max(2))
+    }
+
+    fn time_bound(&self, _n: usize) -> usize {
+        1
+    }
+
+    fn success_probability(&self, n: usize) -> f64 {
+        // At least one proper colouring out of k^n assignments (crude).
+        (self.k as f64).powi(-(n as i32))
+    }
+
+    fn node(&self, n: usize, v: NodeId, row: &BitString, coins: &BitString) -> BoolNode {
+        crate::problems::KColoring { k: self.k }.verifier_node(n, v, row, coins)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nondet::{prove_and_verify, verify};
+    use cc_graph::gen;
+
+    fn adapter() -> MonteCarloAdapter<RandomizedColoring> {
+        // Triangle-free-ish sparse graphs are easy to 3-colour by luck
+        // with enough attempts at small n.
+        MonteCarloAdapter::new(RandomizedColoring { k: 3 }, 5000, 99)
+    }
+
+    #[test]
+    fn conversion_completeness_by_amplification() {
+        let a = adapter();
+        let g = gen::cycle(6); // 2-colourable, certainly 3-colourable
+        let verdict = prove_and_verify(&a, &g).unwrap().expect("prover finds coins");
+        assert!(verdict.accepted);
+    }
+
+    #[test]
+    fn conversion_soundness_is_unconditional() {
+        // K5 is not 3-colourable: no coin string can make it accept.
+        let a = adapter();
+        let g = Graph::complete(5);
+        assert!(a.prove(&g).is_none(), "prover must fail on a no-instance");
+        // Even adversarial coins.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..30 {
+            let z = Labelling(
+                (0..5)
+                    .map(|_| (0..a.label_size(5)).map(|_| rng.gen_bool(0.5)).collect())
+                    .collect(),
+            );
+            assert!(!verify(&a, &g, &z).unwrap().accepted);
+        }
+    }
+
+    #[test]
+    fn adapter_is_a_first_class_nondet_problem() {
+        // It composes with the Theorem 3 normal form like any other
+        // NCLIQUE problem — the §8 remark made executable.
+        let nf = crate::normal_form::NormalForm::new(adapter());
+        let g = gen::cycle(6);
+        let verdict = prove_and_verify(&nf, &g).unwrap().expect("normal-form certificate");
+        assert!(verdict.accepted);
+    }
+
+    #[test]
+    fn success_probability_bookkeeping() {
+        let r = RandomizedColoring { k: 3 };
+        assert!(r.success_probability(4) > 0.0);
+        assert!(r.success_probability(4) <= 1.0);
+        assert_eq!(r.coin_bits(10), 2);
+    }
+}

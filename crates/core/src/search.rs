@@ -1,0 +1,155 @@
+//! NCLIQUE(1)-labelling problems (§8 "NCLIQUE(1) as an LCL analogue").
+//!
+//! The paper defines a class of *search* problems analogous to LCLs in the
+//! LOCAL model: a problem is a set of pairs `(G, z)` where `z` is an
+//! output labelling and membership is decidable in constant rounds; the
+//! task is to *find* a valid `z` (or reject when none exists). "This class
+//! captures many natural graph problems of interest, but we do not have
+//! lower bounds for any problem in this class."
+//!
+//! We package the class as a trait: a constant-round *checker* (a
+//! [`NondetProblem`] verifier reused label-for-label) plus a centralised
+//! *solution oracle* standing in for whatever algorithm solves the search
+//! problem. The trivial gather-based solver (an upper bound of exponent 1)
+//! is provided for every problem.
+
+use cc_graph::Graph;
+use cliquesim::{RunStats, Session};
+
+use crate::nondet::{verify, Labelling, NondetProblem};
+
+/// A search problem whose solutions are checkable in constant rounds.
+pub trait LabellingSearch {
+    /// The constant-round checker: `(G, z) ∈ L` iff the verifier accepts.
+    type Checker: NondetProblem;
+
+    /// Access the checker.
+    fn checker(&self) -> &Self::Checker;
+
+    /// A centralised solution oracle (ground truth; may be exponential).
+    fn solve(&self, g: &Graph) -> Option<Labelling>;
+}
+
+/// Outcome of a distributed search run.
+#[derive(Debug)]
+pub struct SearchOutcome {
+    /// The output labelling, if the instance is solvable.
+    pub labelling: Option<Labelling>,
+    /// Rounds spent producing and checking it.
+    pub stats: RunStats,
+}
+
+/// The trivial exponent-1 upper bound for every NCLIQUE(1)-labelling
+/// problem: gather the whole graph at every node (`O(n/log n)` rounds),
+/// solve locally with the oracle (all nodes compute the same
+/// lexicographic solution), then run the constant-round checker once to
+/// certify the output.
+pub fn solve_by_gather<S: LabellingSearch>(
+    search: &S,
+    g: &Graph,
+) -> Result<SearchOutcome, cc_routing::RouteError> {
+    let n = g.n();
+    let mut session = Session::new(cliquesim::Engine::new(n));
+
+    // Gather: every node broadcasts its row; afterwards everyone holds G.
+    let payloads = (0..n).map(|v| g.input_row(cliquesim::NodeId::from(v))).collect();
+    let _views = cc_routing::all_to_all_broadcast(&mut session, payloads)?;
+
+    // Local solve (all nodes run the same deterministic oracle).
+    let solution = search.solve(g);
+    let mut stats = session.stats();
+    if let Some(z) = &solution {
+        // Distributed certification of the output labelling.
+        let verdict = verify(search.checker(), g, z).expect("checker runs");
+        assert!(verdict.accepted, "oracle produced an invalid labelling");
+        stats.absorb(&verdict.stats);
+    }
+    Ok(SearchOutcome { labelling: solution, stats })
+}
+
+/// Search version of k-colouring: output a proper colouring.
+#[derive(Clone, Copy, Debug)]
+pub struct ColoringSearch {
+    checker: crate::problems::KColoring,
+}
+
+impl ColoringSearch {
+    /// Search for a proper `k`-colouring.
+    pub fn new(k: usize) -> Self {
+        Self { checker: crate::problems::KColoring { k } }
+    }
+}
+
+impl LabellingSearch for ColoringSearch {
+    type Checker = crate::problems::KColoring;
+
+    fn checker(&self) -> &Self::Checker {
+        &self.checker
+    }
+
+    fn solve(&self, g: &Graph) -> Option<Labelling> {
+        self.checker.prove(g)
+    }
+}
+
+/// Search version of "spanning tree": output a rooted spanning tree
+/// certificate (the connectivity proof labelling).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpanningTreeSearch {
+    checker: crate::problems::Connectivity,
+}
+
+impl LabellingSearch for SpanningTreeSearch {
+    type Checker = crate::problems::Connectivity;
+
+    fn checker(&self) -> &Self::Checker {
+        &self.checker
+    }
+
+    fn solve(&self, g: &Graph) -> Option<Labelling> {
+        self.checker.prove(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::gen;
+
+    #[test]
+    fn coloring_search_finds_and_certifies() {
+        let s = ColoringSearch::new(3);
+        let (g, _) = gen::k_colorable(8, 3, 0.6, 4);
+        let out = solve_by_gather(&s, &g).unwrap();
+        assert!(out.labelling.is_some());
+        assert!(out.stats.rounds > 0);
+    }
+
+    #[test]
+    fn coloring_search_rejects_unsolvable() {
+        let s = ColoringSearch::new(2);
+        let out = solve_by_gather(&s, &gen::cycle(5)).unwrap();
+        assert!(out.labelling.is_none());
+    }
+
+    #[test]
+    fn spanning_tree_search() {
+        let s = SpanningTreeSearch::default();
+        let out = solve_by_gather(&s, &gen::path(7)).unwrap();
+        assert!(out.labelling.is_some());
+        let out2 = solve_by_gather(&s, &gen::cliques(6, 2)).unwrap();
+        assert!(out2.labelling.is_none(), "disconnected graphs have no spanning tree");
+    }
+
+    #[test]
+    fn gather_cost_is_linear_in_n_over_log_n() {
+        // The exponent-1 upper bound the paper assigns this class.
+        let s = SpanningTreeSearch::default();
+        let mut rounds = Vec::new();
+        for n in [16usize, 32, 64] {
+            let out = solve_by_gather(&s, &gen::path(n)).unwrap();
+            rounds.push((n, out.stats.rounds));
+        }
+        assert!(rounds[2].1 > rounds[0].1, "gather cost grows with n: {rounds:?}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Quickstart: a guided tour of the congested clique workbench.
+//!
+//! Builds a random graph, runs deterministic algorithms (triangle
+//! detection two ways, Theorem 11's k-vertex-cover), and verifies an
+//! NCLIQUE(1) certificate — printing the round/bit accounting the
+//! simulator measures for each.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use congested_clique::prelude::*;
+use congested_clique::{graph, param, reductions, subgraph, theory};
+
+fn main() {
+    let n = 32;
+    let g = graph::gen::gnp(n, 0.15, 42);
+    println!("== congested clique workbench quickstart ==");
+    println!("input: G(n={n}, p=0.15), {} edges\n", g.edge_count());
+
+    // --- Triangle detection, two ways (Figure 1's `Triangle ≤ Boolean MM`).
+    let mut s1 = Session::new(Engine::new(n));
+    let dolev = subgraph::detect_triangle(&mut s1, &g).expect("simulation ok");
+    println!(
+        "triangle via Dolev et al. partitioning : {:?}  ({} rounds, {} bits)",
+        dolev,
+        s1.stats().rounds,
+        s1.stats().bits
+    );
+    let mut s2 = Session::new(Engine::new(n));
+    let mm = subgraph::triangle_via_mm(&mut s2, &g).expect("simulation ok");
+    println!(
+        "triangle via Boolean matrix squaring  : {:?}  ({} rounds, {} bits)",
+        mm,
+        s2.stats().rounds,
+        s2.stats().bits
+    );
+    assert_eq!(dolev.is_some(), mm.is_some(), "the two detectors must agree");
+
+    // --- Theorem 11: k-vertex cover in O(k) rounds, independent of n.
+    for k in [2usize, 4, 6] {
+        let (cover, stats) = param::vertex_cover_rounds(&g, k).expect("simulation ok");
+        println!(
+            "vertex cover ≤ {k}                      : {}  ({} rounds — Θ(k), not Θ(n))",
+            match &cover {
+                Some(c) => format!("found size {}", c.len()),
+                None => "none".into(),
+            },
+            stats.rounds
+        );
+    }
+
+    // --- NCLIQUE(1): verify a 3-colouring certificate (completeness), and
+    //     watch an adversarial certificate bounce (soundness).
+    let (colorable, colors) = graph::gen::k_colorable(n, 3, 0.2, 7);
+    let problem = theory::KColoring { k: 3 };
+    let cw = BitString::width_for(3);
+    let honest = theory::Labelling(
+        colors
+            .iter()
+            .map(|&c| {
+                let mut b = BitString::new();
+                b.push_uint(c as u64, cw);
+                b
+            })
+            .collect(),
+    );
+    let verdict = theory::verify(&problem, &colorable, &honest).expect("simulation ok");
+    println!(
+        "\nNCLIQUE(1) 3-colouring certificate     : accepted={} ({} rounds)",
+        verdict.accepted,
+        verdict.stats.rounds
+    );
+    let mut forged = honest.clone();
+    // Give one endpoint of an edge its neighbour's colour: a real conflict.
+    let (u, v) = colorable.edges().next().expect("graph has edges");
+    forged.0[v] = forged.0[u].clone();
+    let forged_verdict = theory::verify(&problem, &colorable, &forged).expect("simulation ok");
+    println!(
+        "same certificate, tampered             : accepted={}",
+        forged_verdict.accepted
+    );
+
+    // --- The Figure 1 atlas renders to DOT for comparison with the paper.
+    let dot = reductions::Atlas::to_dot();
+    println!(
+        "\nFigure 1 atlas: {} problems, {} arrows (DOT export: {} bytes; see EXPERIMENTS.md)",
+        reductions::ProblemId::all().len(),
+        reductions::Atlas::arrows().len(),
+        dot.len()
+    );
+    reductions::Atlas::validate(4).expect("atlas bounds consistent");
+    println!("atlas bound-closure validation: ok");
+}

@@ -1,0 +1,114 @@
+//! The §2 motivation, measured: the congested clique is CONGEST without
+//! bottlenecks. The same aggregation task needs Θ(diameter) rounds on a
+//! path topology and O(1) on the clique.
+
+use congested_clique::prelude::*;
+use congested_clique::sim::{Inbox, Outbox};
+
+/// Flood the maximum id: each round, send your current maximum to every
+/// *reachable* peer (restricted by the engine's topology); halt once the
+/// value has been stable for one round after a known horizon.
+struct MaxFlood {
+    /// Peers this node is allowed to talk to (topology-aware).
+    peers: Vec<u32>,
+    current: u64,
+    horizon: usize,
+}
+
+impl NodeProgram for MaxFlood {
+    type Output = u64;
+
+    fn init(&mut self, ctx: &NodeCtx) {
+        self.current = ctx.id.0 as u64;
+    }
+
+    fn step(
+        &mut self,
+        ctx: &NodeCtx,
+        round: usize,
+        inbox: &Inbox<'_>,
+        outbox: &mut Outbox<'_>,
+    ) -> Status<u64> {
+        for (_, msg) in inbox.iter() {
+            let v = msg.reader().read_uint(ctx.id_width()).expect("max id");
+            self.current = self.current.max(v);
+        }
+        if round == self.horizon {
+            return Status::Halt(self.current);
+        }
+        let mut m = BitString::new();
+        m.push_uint(self.current, ctx.id_width());
+        for &p in &self.peers {
+            outbox.send(NodeId(p), m.clone());
+        }
+        Status::Continue
+    }
+}
+
+fn path_topology(n: usize) -> Vec<bool> {
+    let mut adj = vec![false; n * n];
+    for v in 1..n {
+        adj[(v - 1) * n + v] = true;
+        adj[v * n + (v - 1)] = true;
+    }
+    adj
+}
+
+#[test]
+fn clique_aggregates_in_one_round() {
+    let n = 32;
+    let programs: Vec<MaxFlood> = (0..n)
+        .map(|v| MaxFlood {
+            peers: (0..n as u32).filter(|&u| u != v as u32).collect(),
+            current: 0,
+            horizon: 1,
+        })
+        .collect();
+    let out = Engine::new(n).run(programs).unwrap();
+    assert_eq!(out.outputs, vec![n as u64 - 1; n]);
+    assert_eq!(out.stats.rounds, 1);
+}
+
+#[test]
+fn path_topology_needs_diameter_rounds() {
+    let n = 32;
+    // On the path, node v may only talk to v−1 and v+1; the max id needs
+    // n−1 hops to reach node 0.
+    let make = |horizon: usize| -> Vec<MaxFlood> {
+        (0..n)
+            .map(|v| {
+                let mut peers = Vec::new();
+                if v > 0 {
+                    peers.push(v as u32 - 1);
+                }
+                if v + 1 < n {
+                    peers.push(v as u32 + 1);
+                }
+                MaxFlood { peers, current: 0, horizon }
+            })
+            .collect()
+    };
+    // With horizon n−1 the flood completes…
+    let out = Engine::new(n).with_topology(path_topology(n)).run(make(n - 1)).unwrap();
+    assert_eq!(out.outputs, vec![n as u64 - 1; n]);
+    // …with a shorter horizon node 0 has not heard from the far end.
+    let out_short =
+        Engine::new(n).with_topology(path_topology(n)).run(make(n / 2)).unwrap();
+    assert_ne!(out_short.outputs[0], n as u64 - 1, "information cannot outrun the bottleneck");
+}
+
+#[test]
+fn clique_program_violates_path_topology() {
+    // Running the all-to-all variant on the path topology is a model
+    // violation, caught by the engine rather than silently simulated.
+    let n = 8;
+    let programs: Vec<MaxFlood> = (0..n)
+        .map(|v| MaxFlood {
+            peers: (0..n as u32).filter(|&u| u != v as u32).collect(),
+            current: 0,
+            horizon: 1,
+        })
+        .collect();
+    let err = Engine::new(n).with_topology(path_topology(n)).run(programs).unwrap_err();
+    assert!(matches!(err, congested_clique::sim::SimError::TopologyViolated { .. }));
+}

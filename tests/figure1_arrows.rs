@@ -1,0 +1,121 @@
+//! Cross-crate validation of Figure 1's arrows: for each implemented
+//! reduction/specialisation, run both sides on shared instances and check
+//! they agree (the correctness backbone behind the exponent atlas).
+
+use congested_clique::prelude::*;
+use congested_clique::{graph, matmul, paths, reductions, subgraph};
+use graph::reference;
+
+#[test]
+fn triangle_arrow_boolean_mm() {
+    // "Triangle ← Boolean MM" + "Triangle ← size-3 subgraph": the MM-based
+    // and partition-based detectors agree with ground truth.
+    for seed in 0..5 {
+        let g = graph::gen::gnp(18, 0.2, seed);
+        let expect = reference::count_triangles(&g) > 0;
+        let mut s1 = Session::new(Engine::new(18));
+        assert_eq!(subgraph::triangle_via_mm(&mut s1, &g).unwrap().is_some(), expect);
+        let mut s2 = Session::new(Engine::new(18));
+        assert_eq!(subgraph::detect_triangle(&mut s2, &g).unwrap().is_some(), expect);
+    }
+}
+
+#[test]
+fn apsp_arrow_min_plus_mm() {
+    // "APSP ← (min,+) MM": distributed APSP built on the 3D multiplier is
+    // exact.
+    let g = graph::gen::gnp_weighted(20, 0.3, 40, 3);
+    let mut s = Session::new(Engine::new(20));
+    let apsp = paths::apsp_exact(&mut s, &g).unwrap();
+    assert_eq!(apsp, reference::floyd_warshall(&g));
+}
+
+#[test]
+fn transitive_closure_arrow_boolean_mm() {
+    let g = graph::gen::cliques(12, 4);
+    let mut s = Session::new(Engine::new(12));
+    let tc = paths::transitive_closure(&mut s, &g).unwrap();
+    let comp = reference::components(&g);
+    for u in 0..12 {
+        for v in 0..12 {
+            assert_eq!(tc[u][v], comp[u] == comp[v]);
+        }
+    }
+}
+
+#[test]
+fn dhz_arrow_boolean_mm_via_approx_apsp() {
+    // "Boolean MM ← (2−ε)-approx APSP" (Dor–Halperin–Zwick).
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+    let n = 6;
+    let a: Vec<Vec<bool>> = (0..n).map(|_| (0..n).map(|_| rng.gen_bool(0.4)).collect()).collect();
+    let b: Vec<Vec<bool>> = (0..n).map(|_| (0..n).map(|_| rng.gen_bool(0.4)).collect()).collect();
+    let (via_apsp, _) = reductions::boolean_mm_via_approx_apsp(&a, &b, 0.5).unwrap();
+    let expect = matmul::mm_local(
+        &matmul::BoolSemiring,
+        &matmul::Matrix::from_rows(a),
+        &matmul::Matrix::from_rows(b),
+    );
+    for (i, row) in via_apsp.iter().enumerate() {
+        for (j, &bit) in row.iter().enumerate() {
+            assert_eq!(bit, expect.get(i, j));
+        }
+    }
+}
+
+#[test]
+fn thm10_arrow_k_is_via_k_ds() {
+    // "k-IS ← k-DS" (Theorem 10): pipeline output agrees with the direct
+    // Dolev detector and with brute force.
+    for seed in 0..4 {
+        let g = graph::gen::gnp(8, 0.5, 100 + seed);
+        let out = reductions::independent_set_via_dominating_set(&g, 2).unwrap();
+        let expect = reference::find_independent_set(&g, 2).is_some();
+        assert_eq!(out.independent_set.is_some(), expect, "seed {seed}");
+        let mut s = Session::new(Engine::new(8));
+        let direct = subgraph::detect_independent_set(&mut s, &g, 2).unwrap();
+        assert_eq!(direct.is_some(), expect, "seed {seed}");
+    }
+}
+
+#[test]
+fn coloring_arrow_k_col_via_max_is() {
+    // "k-COL ← MaxIS" (clique blow-up).
+    let (g, _) = graph::gen::k_colorable(7, 3, 0.5, 5);
+    let (coloring, _) = reductions::k_coloring_via_max_is(&g, 3).unwrap();
+    assert!(coloring.is_some());
+    let (no_coloring, _) = reductions::k_coloring_via_max_is(&graph::Graph::complete(5), 3).unwrap();
+    assert!(no_coloring.is_none());
+}
+
+#[test]
+fn atlas_is_internally_consistent() {
+    for k in [3usize, 4, 6, 10] {
+        reductions::Atlas::validate(k).unwrap();
+    }
+    let dot = reductions::Atlas::to_dot();
+    assert!(dot.lines().count() > 30);
+}
+
+#[test]
+fn semiring_mm_agreement_across_carriers() {
+    // The same 3D schedule is exact over all three semirings (the
+    // "MM backbone" of the atlas).
+    use rand::{Rng, SeedableRng};
+    let n = 9;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+    // Boolean.
+    let a = matmul::Matrix::from_fn(n, |_, _| rng.gen_bool(0.5));
+    let b = matmul::Matrix::from_fn(n, |_, _| rng.gen_bool(0.5));
+    let mut s = Session::new(Engine::new(n));
+    let c = matmul::mm_three_d(&mut s, &matmul::BoolSemiring, &a.to_rows(), &b.to_rows()).unwrap();
+    assert_eq!(matmul::Matrix::from_rows(c), matmul::mm_local(&matmul::BoolSemiring, &a, &b));
+    // Ring.
+    let sr = matmul::RingI64::with_width(32);
+    let a = matmul::Matrix::from_fn(n, |_, _| rng.gen_range(-9i64..9));
+    let b = matmul::Matrix::from_fn(n, |_, _| rng.gen_range(-9i64..9));
+    let mut s = Session::new(Engine::new(n));
+    let c = matmul::mm_three_d(&mut s, &sr, &a.to_rows(), &b.to_rows()).unwrap();
+    assert_eq!(matmul::Matrix::from_rows(c), matmul::mm_local(&sr, &a, &b));
+}

@@ -1,0 +1,117 @@
+//! Model-level invariants of the simulator, exercised through real
+//! algorithms (not synthetic programs): bandwidth accounting, input
+//! encodings, deterministic parallelism, phase composition.
+
+use congested_clique::prelude::*;
+use congested_clique::{graph, paths, routing};
+
+#[test]
+fn bandwidth_is_never_exceeded_by_any_algorithm() {
+    // The engine would error out on a violation; additionally the recorded
+    // max message width must respect the configured budget.
+    let n = 24;
+    let g = graph::gen::gnp(n, 0.3, 4);
+    let mut s = Session::new(Engine::new(n));
+    paths::bfs(&mut s, &g, 0).unwrap();
+    assert!(s.stats().max_message_bits <= s.bandwidth());
+
+    let wg = graph::gen::gnp_weighted(n, 0.3, 10, 4);
+    let mut s2 = Session::new(Engine::new(n));
+    paths::apsp_exact(&mut s2, &wg).unwrap();
+    assert!(s2.stats().max_message_bits <= s2.bandwidth());
+}
+
+#[test]
+fn parallel_engine_is_bit_identical_on_real_algorithms() {
+    // Round counts and outputs are independent of host-thread count.
+    let n = 20;
+    let g = graph::gen::gnp(n, 0.25, 77);
+    // BFS through a sequential engine...
+    let mut s1 = Session::new(Engine::new(n));
+    let d1 = paths::bfs(&mut s1, &g, 3).unwrap();
+    // ...and a 4-thread engine.
+    let mut s2 = Session::new(Engine::new(n).with_threads(4));
+    let d2 = paths::bfs(&mut s2, &g, 3).unwrap();
+    assert_eq!(d1, d2);
+    assert_eq!(s1.stats(), s2.stats());
+}
+
+#[test]
+fn routing_respects_declared_costs() {
+    // The direct schedule's round count equals the max framed per-link
+    // stream divided by the bandwidth — measured, not assumed.
+    let n = 10;
+    let mut s = Session::new(Engine::new(n));
+    let payload = cliquesim::BitString::zeros(100);
+    let mut demands: Vec<Vec<(NodeId, cliquesim::BitString)>> = vec![Vec::new(); n];
+    demands[0].push((NodeId(5), payload));
+    routing::route(&mut s, demands).unwrap();
+    let expected = (100 + routing::LEN_HEADER_BITS).div_ceil(s.bandwidth());
+    assert_eq!(s.stats().rounds, expected);
+}
+
+#[test]
+fn session_phases_sum_rounds() {
+    let n = 12;
+    let g = graph::gen::gnp(n, 0.3, 5);
+    let mut s = Session::new(Engine::new(n));
+    let r0 = s.stats().rounds;
+    paths::bfs(&mut s, &g, 0).unwrap();
+    let r1 = s.stats().rounds;
+    paths::bfs(&mut s, &g, 1).unwrap();
+    let r2 = s.stats().rounds;
+    assert!(r1 > r0);
+    assert!(r2 > r1, "second phase must add rounds on top");
+    assert_eq!(s.phases(), 2);
+}
+
+#[test]
+fn both_paper_input_encodings_reconstruct_the_graph() {
+    let g = graph::gen::gnp(15, 0.4, 8);
+    // Standard rows.
+    for v in 0..15 {
+        let row = g.input_row(NodeId::from(v));
+        assert_eq!(row.len(), 14);
+        for u in 0..15 {
+            if u == v {
+                continue;
+            }
+            let slot = if u < v { u } else { u - 1 };
+            assert_eq!(row.get(slot), g.has_edge(u, v));
+        }
+    }
+    // Balanced private split: partitions all pairs, each node ≥ ⌊(n−1)/2⌋.
+    let total: usize = (0..15).map(|v| graph::Graph::owned_slots(15, v).len()).sum();
+    assert_eq!(total, 15 * 14 / 2);
+    for v in 0..15 {
+        assert!(graph::Graph::owned_slots(15, v).len() >= 7);
+    }
+}
+
+#[test]
+fn bfs_is_a_broadcast_congested_clique_algorithm() {
+    // BFS flooding only ever broadcasts identical 1-bit announcements, so
+    // it runs unchanged in the broadcast-restricted model (§2) — and the
+    // engine would reject it if it ever unicast.
+    let n = 20;
+    let g = graph::gen::gnp(n, 0.2, 3);
+    let mut s = Session::new(Engine::new(n).broadcast_only(true));
+    let got = paths::bfs(&mut s, &g, 0).unwrap();
+    assert_eq!(got, graph::reference::bfs_distances(&g, 0));
+    // The routing layer, by contrast, is inherently unicast.
+    let mut s2 = Session::new(Engine::new(4).broadcast_only(true));
+    let mut demands: Vec<Vec<(NodeId, cliquesim::BitString)>> = vec![Vec::new(); 4];
+    demands[0].push((NodeId(2), cliquesim::BitString::zeros(3)));
+    assert!(routing::route(&mut s2, demands).is_err());
+}
+
+#[test]
+fn relay_broadcast_consistency_across_nodes() {
+    let n = 12;
+    let mut s = Session::new(Engine::new(n));
+    let payload: cliquesim::BitString = (0..n * 7).map(|i| i % 3 == 1).collect();
+    let views = routing::relay_broadcast(&mut s, NodeId(4), &payload).unwrap();
+    for v in views {
+        assert_eq!(v, payload);
+    }
+}
