@@ -17,7 +17,11 @@ fn measure(ns: &[usize], mut run: impl FnMut(usize) -> usize) -> Vec<(usize, usi
 }
 
 fn rows_from(samples: &[(usize, usize)]) -> String {
-    samples.iter().map(|(n, r)| format!("{n}:{r}")).collect::<Vec<_>>().join("  ")
+    samples
+        .iter()
+        .map(|(n, r)| format!("{n}:{r}"))
+        .collect::<Vec<_>>()
+        .join("  ")
 }
 
 fn report() {

@@ -20,7 +20,12 @@ fn report() {
         rows.push(vec![
             name.to_string(),
             paper.to_string(),
-            rounds.iter().zip(&ns).map(|(r, n)| format!("{n}:{r}")).collect::<Vec<_>>().join("  "),
+            rounds
+                .iter()
+                .zip(&ns)
+                .map(|(r, n)| format!("{n}:{r}"))
+                .collect::<Vec<_>>()
+                .join("  "),
         ]);
     };
 

@@ -20,7 +20,9 @@ fn report() {
     for n in [64usize, 256, 1024, 4096, 16384] {
         let log_n = BitString::width_for(n);
         let t_max = n / (4 * log_n);
-        let thm2_all = (2..=t_max.max(2)).step_by((t_max / 8).max(1)).all(|t| thm2_condition(n, t));
+        let thm2_all = (2..=t_max.max(2))
+            .step_by((t_max / 8).max(1))
+            .all(|t| thm2_condition(n, t));
         rows.push(vec![
             n.to_string(),
             t_max.to_string(),
@@ -31,7 +33,13 @@ fn report() {
     }
     print_table(
         "Theorems 2/4/8: counting inequalities across the parameter grid",
-        &["n", "T_max = n/4log n", "Thm2 ∀T", "Thm4 (T=4)", "Thm8 (k ≤ 6)"],
+        &[
+            "n",
+            "T_max = n/4log n",
+            "Thm2 ∀T",
+            "Thm4 (T=4)",
+            "Thm8 (k ≤ 6)",
+        ],
         &rows,
     );
 
@@ -43,7 +51,10 @@ fn report() {
             format!("L={l}, t={t}"),
             census.computable_count().to_string(),
             census.total().to_string(),
-            format!("{:.4}", census.computable_count() as f64 / census.total() as f64),
+            format!(
+                "{:.4}",
+                census.computable_count() as f64 / census.total() as f64
+            ),
             census
                 .first_hard_function()
                 .map(|f| format!("{f:#x}"))
@@ -53,7 +64,14 @@ fn report() {
     }
     print_table(
         "Lemma 1 at toy scale: exhaustive census of (2, 1, L, t)-protocols",
-        &["params", "computable", "total", "fraction", "first hard f", "Lemma1 certifies"],
+        &[
+            "params",
+            "computable",
+            "total",
+            "fraction",
+            "first hard f",
+            "Lemma1 certifies",
+        ],
         &crows,
     );
 

@@ -5,9 +5,7 @@
 //! different constants).
 
 use cc_bench::{print_table, SEED};
-use cc_matmul::{
-    mm_naive_broadcast, mm_three_d, BoolSemiring, Matrix, TropicalSemiring,
-};
+use cc_matmul::{mm_naive_broadcast, mm_three_d, BoolSemiring, Matrix, TropicalSemiring};
 use cliquesim::{Engine, Session};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{Rng, SeedableRng};
@@ -27,17 +25,33 @@ fn report() {
         let mut s3 = Session::new(Engine::new(n));
         mm_three_d(&mut s3, &BoolSemiring, &ab.to_rows(), &ab.to_rows()).unwrap();
 
+        let (st1, st2) = (s1.stats(), s2.stats());
         rows.push(vec![
             n.to_string(),
-            s1.stats().rounds.to_string(),
-            s2.stats().rounds.to_string(),
-            if s1.stats().rounds < s2.stats().rounds { "3D" } else { "naive" }.to_string(),
+            st1.rounds.to_string(),
+            st2.rounds.to_string(),
+            if st1.rounds < st2.rounds {
+                "3D"
+            } else {
+                "naive"
+            }
+            .to_string(),
             s3.stats().rounds.to_string(),
+            st1.bits.to_string(),
+            st1.peak_live_payload_bytes.to_string(),
         ]);
     }
     print_table(
         "Semiring MM: 3D vs naive (tropical, ~10-bit entries) + Boolean 3D",
-        &["n", "3D rounds", "naive rounds", "winner", "3D bool rounds"],
+        &[
+            "n",
+            "3D rounds",
+            "naive rounds",
+            "winner",
+            "3D bool rounds",
+            "3D wire bits",
+            "3D peak live B",
+        ],
         &rows,
     );
     println!("\nshape: the naive column grows ~linearly, the 3D column ~n^(1/3);");

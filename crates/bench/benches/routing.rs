@@ -17,7 +17,12 @@ fn uniform_pattern(n: usize, bits: usize, seed: u64) -> Demands {
         .map(|v| {
             (0..n)
                 .filter(|&u| u != v)
-                .map(|u| (NodeId::from(u), (0..bits).map(|_| rng.gen_bool(0.5)).collect()))
+                .map(|u| {
+                    (
+                        NodeId::from(u),
+                        (0..bits).map(|_| rng.gen_bool(0.5)).collect(),
+                    )
+                })
                 .collect()
         })
         .collect()
@@ -36,36 +41,55 @@ fn skewed_pattern(n: usize, bits: usize, seed: u64) -> Demands {
         .collect()
 }
 
-fn rounds(n: usize, d: Demands, balanced: bool) -> usize {
+fn run_stats(n: usize, d: Demands, balanced: bool) -> cliquesim::RunStats {
     let mut s = Session::new(Engine::new(n));
     if balanced {
         cc_routing::route_balanced(&mut s, d).unwrap();
     } else {
         cc_routing::route(&mut s, d).unwrap();
     }
-    s.stats().rounds
+    s.stats()
+}
+
+fn rounds(n: usize, d: Demands, balanced: bool) -> usize {
+    run_stats(n, d, balanced).rounds
 }
 
 fn report() {
     let mut rows = Vec::new();
     for n in [16usize, 32, 64] {
         let bits = 8;
-        rows.push(vec![
-            n.to_string(),
-            "uniform".into(),
-            rounds(n, uniform_pattern(n, bits, SEED), false).to_string(),
-            rounds(n, uniform_pattern(n, bits, SEED), true).to_string(),
-        ]);
-        rows.push(vec![
-            n.to_string(),
-            "skewed".into(),
-            rounds(n, skewed_pattern(n, bits, SEED), false).to_string(),
-            rounds(n, skewed_pattern(n, bits, SEED), true).to_string(),
-        ]);
+        for (name, mk) in [
+            (
+                "uniform",
+                uniform_pattern as fn(usize, usize, u64) -> Demands,
+            ),
+            ("skewed", skewed_pattern as fn(usize, usize, u64) -> Demands),
+        ] {
+            let direct = run_stats(n, mk(n, bits, SEED), false);
+            let balanced = run_stats(n, mk(n, bits, SEED), true);
+            rows.push(vec![
+                n.to_string(),
+                name.into(),
+                direct.rounds.to_string(),
+                balanced.rounds.to_string(),
+                balanced.bits.to_string(),
+                balanced.peak_live_payload_bytes.to_string(),
+                balanced.undelivered_messages.to_string(),
+            ]);
+        }
     }
     print_table(
         "Routing ablation: direct schedule vs two-phase balanced",
-        &["n", "pattern", "direct rounds", "balanced rounds"],
+        &[
+            "n",
+            "pattern",
+            "direct rounds",
+            "balanced rounds",
+            "wire bits (bal)",
+            "peak live B (bal)",
+            "undeliv (bal)",
+        ],
         &rows,
     );
     println!("\nshape: on the skewed pattern the direct schedule pays Θ(n·B/log n)");

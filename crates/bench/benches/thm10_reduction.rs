@@ -28,7 +28,12 @@ fn report() {
             out.virtual_stats.rounds.to_string(),
             out.host_stats.rounds.to_string(),
             s.stats().rounds.to_string(),
-            if out.independent_set.is_some() { "yes" } else { "no" }.to_string(),
+            if out.independent_set.is_some() {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     print_table(

@@ -16,7 +16,9 @@ fn report() {
             vec![
                 n.to_string(),
                 stats.rounds.to_string(),
-                cover.map(|c| c.len().to_string()).unwrap_or_else(|| "-".into()),
+                cover
+                    .map(|c| c.len().to_string())
+                    .unwrap_or_else(|| "-".into()),
             ]
         })
         .collect();
@@ -25,8 +27,7 @@ fn report() {
         &["n", "rounds", "|cover|"],
         &rows_n,
     );
-    let round_set: std::collections::HashSet<&String> =
-        rows_n.iter().map(|r| &r[1]).collect();
+    let round_set: std::collections::HashSet<&String> = rows_n.iter().map(|r| &r[1]).collect();
     assert_eq!(round_set.len(), 1, "rounds must be independent of n");
 
     // Linear in k.
@@ -40,7 +41,9 @@ fn report() {
             vec![
                 k.to_string(),
                 stats.rounds.to_string(),
-                cover.map(|c| c.len().to_string()).unwrap_or_else(|| "-".into()),
+                cover
+                    .map(|c| c.len().to_string())
+                    .unwrap_or_else(|| "-".into()),
             ]
         })
         .collect();

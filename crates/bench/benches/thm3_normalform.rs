@@ -26,7 +26,13 @@ fn report() {
     }
     print_table(
         "Theorem 3: normal-form certificates for 3-colouring",
-        &["n", "|z_v| bits", "impl bound", "T·n·log n", "verify rounds"],
+        &[
+            "n",
+            "|z_v| bits",
+            "impl bound",
+            "T·n·log n",
+            "verify rounds",
+        ],
         &rows,
     );
     println!("\nshape check: |z_v| grows ~linearly in n·log n (T is constant) and");

@@ -29,7 +29,13 @@ fn report() {
     }
     print_table(
         "Theorem 7: Σ₂ guess-and-spot-check for L = connectivity",
-        &["n", "guess bits/node", "#challenges", "∀z₂ verdict", "G ∈ L"],
+        &[
+            "n",
+            "guess bits/node",
+            "#challenges",
+            "∀z₂ verdict",
+            "G ∈ L",
+        ],
         &rows,
     );
     println!("\nexistential labels are Θ(n²) bits/node — exactly why the collapse");

@@ -21,12 +21,19 @@ fn sweep(k: usize, ns: &[usize]) -> Vec<(usize, usize)> {
 
 fn report() {
     let mut rows = Vec::new();
-    for (k, ns) in [(2usize, vec![32usize, 64, 128, 256]), (3, vec![27, 64, 125])] {
+    for (k, ns) in [
+        (2usize, vec![32usize, 64, 128, 256]),
+        (3, vec![27, 64, 125]),
+    ] {
         let samples = sweep(k, &ns);
         let bound = format!("1-1/{k} = {:.3}", 1.0 - 1.0 / k as f64);
         rows.push(vec![
             format!("k={k}"),
-            samples.iter().map(|(n, r)| format!("{n}:{r}")).collect::<Vec<_>>().join("  "),
+            samples
+                .iter()
+                .map(|(n, r)| format!("{n}:{r}"))
+                .collect::<Vec<_>>()
+                .join("  "),
             exponent_summary(&samples, &bound),
         ]);
     }

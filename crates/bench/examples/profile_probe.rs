@@ -2,38 +2,53 @@ use cliquesim::{Engine, Session};
 use std::time::Instant;
 fn main() {
     for (name, f) in [
-        ("triangle_dolev_216", Box::new(|| {
-            let g = cc_graph::gen::gnp(216, 0.1, 1);
-            let mut s = Session::new(Engine::new(216));
-            cc_subgraph::detect_triangle(&mut s, &g).unwrap();
-            s.stats().rounds
-        }) as Box<dyn Fn() -> usize>),
-        ("mm3d_216", Box::new(|| {
-            let sr = cc_matmul::TropicalSemiring::for_max_value(1000);
-            let a = cc_matmul::Matrix::filled(216, 3u64);
-            let mut s = Session::new(Engine::new(216));
-            cc_matmul::mm_three_d(&mut s, &sr, &a.to_rows(), &a.to_rows()).unwrap();
-            s.stats().rounds
-        })),
-        ("naive_216", Box::new(|| {
-            let sr = cc_matmul::TropicalSemiring::for_max_value(1000);
-            let a = cc_matmul::Matrix::filled(216, 3u64);
-            let mut s = Session::new(Engine::new(216));
-            cc_matmul::mm_naive_broadcast(&mut s, &sr, &a.to_rows(), &a.to_rows()).unwrap();
-            s.stats().rounds
-        })),
-        ("is3_125", Box::new(|| {
-            let g = cc_graph::gen::gnp(125, 0.6, 1);
-            let mut s = Session::new(Engine::new(125));
-            cc_subgraph::detect_independent_set(&mut s, &g, 3).unwrap();
-            s.stats().rounds
-        })),
-        ("apsp_216", Box::new(|| {
-            let wg = cc_graph::gen::gnp_weighted(216, 0.2, 30, 1);
-            let mut s = Session::new(Engine::new(216));
-            cc_paths::apsp_exact(&mut s, &wg).unwrap();
-            s.stats().rounds
-        })),
+        (
+            "triangle_dolev_216",
+            Box::new(|| {
+                let g = cc_graph::gen::gnp(216, 0.1, 1);
+                let mut s = Session::new(Engine::new(216));
+                cc_subgraph::detect_triangle(&mut s, &g).unwrap();
+                s.stats().rounds
+            }) as Box<dyn Fn() -> usize>,
+        ),
+        (
+            "mm3d_216",
+            Box::new(|| {
+                let sr = cc_matmul::TropicalSemiring::for_max_value(1000);
+                let a = cc_matmul::Matrix::filled(216, 3u64);
+                let mut s = Session::new(Engine::new(216));
+                cc_matmul::mm_three_d(&mut s, &sr, &a.to_rows(), &a.to_rows()).unwrap();
+                s.stats().rounds
+            }),
+        ),
+        (
+            "naive_216",
+            Box::new(|| {
+                let sr = cc_matmul::TropicalSemiring::for_max_value(1000);
+                let a = cc_matmul::Matrix::filled(216, 3u64);
+                let mut s = Session::new(Engine::new(216));
+                cc_matmul::mm_naive_broadcast(&mut s, &sr, &a.to_rows(), &a.to_rows()).unwrap();
+                s.stats().rounds
+            }),
+        ),
+        (
+            "is3_125",
+            Box::new(|| {
+                let g = cc_graph::gen::gnp(125, 0.6, 1);
+                let mut s = Session::new(Engine::new(125));
+                cc_subgraph::detect_independent_set(&mut s, &g, 3).unwrap();
+                s.stats().rounds
+            }),
+        ),
+        (
+            "apsp_216",
+            Box::new(|| {
+                let wg = cc_graph::gen::gnp_weighted(216, 0.2, 30, 1);
+                let mut s = Session::new(Engine::new(216));
+                cc_paths::apsp_exact(&mut s, &wg).unwrap();
+                s.stats().rounds
+            }),
+        ),
     ] {
         let t = Instant::now();
         let rounds = f();

@@ -27,7 +27,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(header.iter().map(|s| s.to_string()).collect()));
+    println!(
+        "{}",
+        fmt_row(header.iter().map(|s| s.to_string()).collect())
+    );
     for row in rows {
         println!("{}", fmt_row(row.clone()));
     }

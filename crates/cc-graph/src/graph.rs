@@ -32,7 +32,10 @@ impl std::fmt::Debug for Graph {
 impl Graph {
     /// The empty graph on `n` vertices.
     pub fn empty(n: usize) -> Self {
-        Self { n, rows: vec![BitString::zeros(n); n] }
+        Self {
+            n,
+            rows: vec![BitString::zeros(n); n],
+        }
     }
 
     /// The complete graph `K_n`.
@@ -63,12 +66,20 @@ impl Graph {
 
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
-        self.rows.iter().map(|r| r.iter().filter(|b| *b).count()).sum::<usize>() / 2
+        self.rows
+            .iter()
+            .map(|r| r.iter().filter(|b| *b).count())
+            .sum::<usize>()
+            / 2
     }
 
     /// Insert the edge `{u, v}`.
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range for n={}", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of range for n={}",
+            self.n
+        );
         assert_ne!(u, v, "self-loops are not allowed");
         self.rows[u].set(v, true);
         self.rows[v].set(u, true);
@@ -93,13 +104,19 @@ impl Graph {
 
     /// Iterate over the neighbours of `v` in increasing order.
     pub fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
-        self.rows[v].iter().enumerate().filter(|(_, b)| *b).map(|(u, _)| u)
+        self.rows[v]
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| *b)
+            .map(|(u, _)| u)
     }
 
     /// Iterate over all edges `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         (0..self.n).flat_map(move |u| {
-            self.neighbors(u).filter(move |v| *v > u).map(move |v| (u, v))
+            self.neighbors(u)
+                .filter(move |v| *v > u)
+                .map(move |v| (u, v))
         })
     }
 
@@ -154,7 +171,9 @@ impl Graph {
 
     /// Inputs for all nodes under the standard encoding.
     pub fn input_rows(&self) -> Vec<BitString> {
-        (0..self.n).map(|v| self.input_row(NodeId::from(v))).collect()
+        (0..self.n)
+            .map(|v| self.input_row(NodeId::from(v)))
+            .collect()
     }
 
     /// Which endpoint *owns* the private bit of the potential edge `{u, v}`
@@ -171,7 +190,9 @@ impl Graph {
         if 2 * d < n || (2 * d == n && u < v) {
             u
         } else {
-            debug_assert!(2 * ((u + n - v) % n) < n || (2 * ((u + n - v) % n) == n && v < u) || half == 0);
+            debug_assert!(
+                2 * ((u + n - v) % n) < n || (2 * ((u + n - v) % n) == n && v < u) || half == 0
+            );
             v
         }
     }
@@ -179,7 +200,9 @@ impl Graph {
     /// The potential edges whose private bit node `v` owns, in increasing
     /// order of the other endpoint.
     pub fn owned_slots(n: usize, v: usize) -> Vec<usize> {
-        (0..n).filter(|&u| u != v && Self::private_owner(n, v, u) == v).collect()
+        (0..n)
+            .filter(|&u| u != v && Self::private_owner(n, v, u) == v)
+            .collect()
     }
 
     /// Private input of node `v` under the balanced split: one bit per owned
@@ -195,14 +218,17 @@ impl Graph {
 
     /// Private inputs for all nodes.
     pub fn private_inputs(&self) -> Vec<BitString> {
-        (0..self.n).map(|v| self.private_input(NodeId::from(v))).collect()
+        (0..self.n)
+            .map(|v| self.private_input(NodeId::from(v)))
+            .collect()
     }
 
     /// Enumerate all graphs on `n` vertices (there are `2^(n(n−1)/2)`;
     /// usable for `n ≤ 5` in tests). Order is by edge-mask value.
     pub fn enumerate_all(n: usize) -> impl Iterator<Item = Graph> {
-        let pairs: Vec<(usize, usize)> =
-            (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))).collect();
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .collect();
         let count: u64 = 1u64
             .checked_shl(pairs.len() as u32)
             .expect("too many graphs to enumerate");
@@ -254,7 +280,10 @@ mod tests {
         assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![1, 3, 4]);
         assert_eq!(g.degree(0), 3);
         assert_eq!(g.degree(2), 1);
-        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(0, 1), (0, 3), (0, 4), (2, 3)]);
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            vec![(0, 1), (0, 3), (0, 4), (2, 3)]
+        );
     }
 
     #[test]
@@ -311,7 +340,11 @@ mod tests {
                 assert!(owned <= n / 2 + 1);
             }
             let total: usize = (0..n).map(|v| Graph::owned_slots(n, v).len()).sum();
-            assert_eq!(total, n * (n - 1) / 2, "every pair owned exactly once (n={n})");
+            assert_eq!(
+                total,
+                n * (n - 1) / 2,
+                "every pair owned exactly once (n={n})"
+            );
         }
     }
 
@@ -319,7 +352,9 @@ mod tests {
     fn enumerate_all_counts() {
         assert_eq!(Graph::enumerate_all(3).count(), 8);
         assert_eq!(Graph::enumerate_all(4).count(), 64);
-        let with_all_edges = Graph::enumerate_all(3).filter(|g| g.edge_count() == 3).count();
+        let with_all_edges = Graph::enumerate_all(3)
+            .filter(|g| g.edge_count() == 3)
+            .count();
         assert_eq!(with_all_edges, 1);
     }
 

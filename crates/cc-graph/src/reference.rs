@@ -262,7 +262,12 @@ pub fn find_coloring(g: &Graph, k: usize) -> Option<Vec<usize>> {
         }
         // Symmetry breaking: vertex v may only use a colour already used or
         // the first fresh one.
-        let used = colors[..v].iter().copied().filter(|&c| c != usize::MAX).max().map_or(0, |m| m + 1);
+        let used = colors[..v]
+            .iter()
+            .copied()
+            .filter(|&c| c != usize::MAX)
+            .max()
+            .map_or(0, |m| m + 1);
         for c in 0..k.min(used + 1) {
             if g.neighbors(v).all(|u| colors[u] != c) {
                 colors[v] = c;
@@ -610,13 +615,19 @@ mod tests {
         // Agreement with the brute-force size on small connected graphs.
         for seed in 0..4 {
             let g = gen::gnp(10, 0.35, 400 + seed);
-            assert_eq!(find_maximum_independent_set(&g).len(), max_independent_set_size(&g));
+            assert_eq!(
+                find_maximum_independent_set(&g).len(),
+                max_independent_set_size(&g)
+            );
         }
     }
 
     #[test]
     fn coloring_bounds() {
-        assert!(find_coloring(&gen::cycle(5), 2).is_none(), "odd cycle needs 3");
+        assert!(
+            find_coloring(&gen::cycle(5), 2).is_none(),
+            "odd cycle needs 3"
+        );
         let c = find_coloring(&gen::cycle(5), 3).unwrap();
         assert!(is_proper_coloring(&gen::cycle(5), &c));
         assert!(find_coloring(&Graph::complete(4), 3).is_none());
@@ -639,7 +650,10 @@ mod tests {
         let m = find_perfect_matching(&gen::cycle(6)).unwrap();
         assert!(is_perfect_matching(&gen::cycle(6), &m));
         assert!(find_perfect_matching(&gen::path(5)).is_none(), "odd n");
-        assert!(find_perfect_matching(&gen::star(4)).is_none(), "star of 4 has none");
+        assert!(
+            find_perfect_matching(&gen::star(4)).is_none(),
+            "star of 4 has none"
+        );
         let m = find_perfect_matching(&Graph::complete(8)).unwrap();
         assert!(is_perfect_matching(&Graph::complete(8), &m));
         // A graph with an isolated vertex has none.

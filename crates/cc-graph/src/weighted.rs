@@ -86,7 +86,12 @@ impl WeightedGraph {
 
     /// The largest finite weight, or 0 for the empty graph.
     pub fn max_weight(&self) -> u64 {
-        self.w.iter().copied().filter(|&x| x < INF).max().unwrap_or(0)
+        self.w
+            .iter()
+            .copied()
+            .filter(|&x| x < INF)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Row `u` of the weight matrix (the input of node `u` in the simulator).
@@ -140,7 +145,12 @@ impl DistMatrix {
 
     /// Maximum *finite* entry (0 if none).
     pub fn max_finite(&self) -> u64 {
-        self.d.iter().copied().filter(|&x| x < INF).max().unwrap_or(0)
+        self.d
+            .iter()
+            .copied()
+            .filter(|&x| x < INF)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Largest relative error of `self` against a reference matrix, over

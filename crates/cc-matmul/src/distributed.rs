@@ -71,7 +71,10 @@ fn check_shapes<T>(n: usize, a: &[Vec<T>], b: &[Vec<T>]) -> Result<(), MatmulErr
     }
     for (i, r) in a.iter().chain(b.iter()).enumerate() {
         if r.len() != n {
-            return Err(MatmulError::Shape(format!("row {i} has length {} (want {n})", r.len())));
+            return Err(MatmulError::Shape(format!(
+                "row {i} has length {} (want {n})",
+                r.len()
+            )));
         }
     }
     Ok(())
@@ -116,7 +119,11 @@ impl Blocking {
         while (t + 1) * (t + 1) * (t + 1) <= n {
             t += 1;
         }
-        Self { t, band_size: n.div_ceil(t), n }
+        Self {
+            t,
+            band_size: n.div_ceil(t),
+            n,
+        }
     }
 
     /// Band of vertex `v`.
@@ -127,7 +134,11 @@ impl Blocking {
     /// The vertices of band `i`, in increasing order.
     pub fn members(&self, i: usize) -> std::ops::Range<usize> {
         let start = i * self.band_size;
-        let end = if i + 1 == self.t { self.n } else { ((i + 1) * self.band_size).min(self.n) };
+        let end = if i + 1 == self.t {
+            self.n
+        } else {
+            ((i + 1) * self.band_size).min(self.n)
+        };
         start..end
     }
 
@@ -178,8 +189,7 @@ pub fn mm_three_d<S: Semiring>(
             for k in 0..t {
                 // A-chunk to worker (bu, j, k).
                 let w = bl.worker(bu, j, k);
-                let payload =
-                    encode_entries(sr, bl.members(k).map(|c| a_rows[u][c]));
+                let payload = encode_entries(sr, bl.members(k).map(|c| a_rows[u][c]));
                 if w == u {
                     // Local hand-off handled below by reading own rows.
                 } else {
@@ -191,8 +201,7 @@ pub fn mm_three_d<S: Semiring>(
             for j in 0..t {
                 // B-chunk to worker (i, j, bu).
                 let w = bl.worker(i, j, bu);
-                let payload =
-                    encode_entries(sr, bl.members(j).map(|c| b_rows[u][c]));
+                let payload = encode_entries(sr, bl.members(j).map(|c| b_rows[u][c]));
                 if w == u {
                     // Local hand-off.
                 } else {
@@ -208,7 +217,9 @@ pub fn mm_three_d<S: Semiring>(
     let mut products: Vec<Option<Matrix<S::Elem>>> = vec![None; n];
     let mut row_ranges: Vec<(usize, usize, usize)> = Vec::new(); // (worker, i, j)
     for w in 0..n {
-        let Some((i, j, k)) = bl.triple(w) else { continue };
+        let Some((i, j, k)) = bl.triple(w) else {
+            continue;
+        };
         let rows_i: Vec<usize> = bl.members(i).collect();
         let rows_k: Vec<usize> = bl.members(k).collect();
         let cols_k = rows_k.len();

@@ -22,4 +22,6 @@ pub mod distributed;
 pub mod semiring;
 
 pub use distributed::{mm_naive_broadcast, mm_three_d, Blocking, MatmulError};
-pub use semiring::{mm_local, BoolSemiring, Matrix, RingI64, Semiring, TropicalSemiring, TROPICAL_INF};
+pub use semiring::{
+    mm_local, BoolSemiring, Matrix, RingI64, Semiring, TropicalSemiring, TROPICAL_INF,
+};

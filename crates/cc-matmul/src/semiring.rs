@@ -126,7 +126,11 @@ impl Semiring for TropicalSemiring {
         let v = if e >= TROPICAL_INF {
             self.sentinel()
         } else {
-            assert!(e < self.sentinel(), "tropical value {e} too wide for {} bits", self.width);
+            assert!(
+                e < self.sentinel(),
+                "tropical value {e} too wide for {} bits",
+                self.width
+            );
             e
         };
         out.push_uint(v, self.width);
@@ -134,7 +138,11 @@ impl Semiring for TropicalSemiring {
 
     fn decode(&self, r: &mut BitReader<'_>) -> Result<u64, DecodeError> {
         let v = r.read_uint(self.width)?;
-        Ok(if v == self.sentinel() { TROPICAL_INF } else { v })
+        Ok(if v == self.sentinel() {
+            TROPICAL_INF
+        } else {
+            v
+        })
     }
 }
 
@@ -187,7 +195,11 @@ impl Semiring for RingI64 {
     }
 
     fn encode(&self, e: i64, out: &mut BitString) {
-        let mask = if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 };
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
         out.push_uint((e as u64) & mask, self.width);
     }
 
@@ -212,7 +224,10 @@ pub struct Matrix<T> {
 impl<T: Copy> Matrix<T> {
     /// Constant matrix.
     pub fn filled(n: usize, v: T) -> Self {
-        Self { n, data: vec![v; n * n] }
+        Self {
+            n,
+            data: vec![v; n * n],
+        }
     }
 
     /// Build entry-wise.

@@ -134,7 +134,9 @@ pub fn dominating_set(session: &mut Session, g: &Graph, k: usize) -> Result<DsRe
     let mut demands: Vec<Vec<(NodeId, BitString)>> = vec![Vec::new(); n];
     for a in 0..n {
         for v in 0..n {
-            let Some(m) = member[v].as_ref() else { continue };
+            let Some(m) = member[v].as_ref() else {
+                continue;
+            };
             if v == a {
                 continue; // local hand-off is free
             }
@@ -155,7 +157,9 @@ pub fn dominating_set(session: &mut Session, g: &Graph, k: usize) -> Result<DsRe
     let words = n.div_ceil(64);
     let mut local: Vec<Option<Vec<usize>>> = vec![None; n];
     for v in 0..n {
-        let Some(m) = member[v].as_ref() else { continue };
+        let Some(m) = member[v].as_ref() else {
+            continue;
+        };
         let union = unions[v].as_ref().expect("detector has a union");
         // Reconstruct all edges incident to the union.
         let mut edges_of: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -181,8 +185,9 @@ pub fn dominating_set(session: &mut Session, g: &Graph, k: usize) -> Result<DsRe
                 add(v, b, g.has_edge(v, b));
             }
         }
-        let masks: Vec<Vec<u64>> =
-            (0..n).map(|u| closed_neighborhood(&edges_of, u, words)).collect();
+        let masks: Vec<Vec<u64>> = (0..n)
+            .map(|u| closed_neighborhood(&edges_of, u, words))
+            .collect();
         local[v] = search_dominating(&masks, union, k, n);
     }
 
@@ -237,8 +242,13 @@ mod tests {
         // Star: centre dominates everything.
         let g = gen::star(6);
         let edges_of: Vec<Vec<usize>> = (0..6).map(|u| g.neighbors(u).collect()).collect();
-        let masks: Vec<Vec<u64>> = (0..6).map(|u| closed_neighborhood(&edges_of, u, 1)).collect();
-        assert_eq!(search_dominating(&masks, &[0, 1, 2, 3, 4, 5], 1, 6), Some(vec![0]));
+        let masks: Vec<Vec<u64>> = (0..6)
+            .map(|u| closed_neighborhood(&edges_of, u, 1))
+            .collect();
+        assert_eq!(
+            search_dominating(&masks, &[0, 1, 2, 3, 4, 5], 1, 6),
+            Some(vec![0])
+        );
         assert_eq!(search_dominating(&masks, &[1, 2, 3], 1, 6), None);
     }
 

@@ -66,8 +66,7 @@ impl VcNode {
         }
         let budget = self.k - self.c_size;
         let extra = reference::find_vertex_cover(&kernel, budget)?;
-        let mut cover: Vec<usize> =
-            (0..n).filter(|&u| self.in_c[u]).chain(extra).collect();
+        let mut cover: Vec<usize> = (0..n).filter(|&u| self.in_c[u]).chain(extra).collect();
         cover.sort_unstable();
         cover.dedup();
         Some(cover)
@@ -126,8 +125,12 @@ impl NodeProgram for VcNode {
                     return Status::Halt(None);
                 }
                 if !self.joined {
-                    self.to_announce =
-                        self.neighbors.iter().copied().filter(|&u| !self.in_c[u]).collect();
+                    self.to_announce = self
+                        .neighbors
+                        .iter()
+                        .copied()
+                        .filter(|&u| !self.in_c[u])
+                        .collect();
                     debug_assert!(self.to_announce.len() <= self.k);
                 }
                 self.announce_next(me, idw, outbox);
@@ -178,10 +181,14 @@ impl VcNode {
 pub fn vertex_cover(session: &mut Session, g: &Graph, k: usize) -> Result<CoverResult, SimError> {
     let n = session.n();
     assert_eq!(g.n(), n);
-    let programs: Vec<VcNode> =
-        (0..n).map(|v| VcNode::new(k, g.input_row(NodeId::from(v)))).collect();
+    let programs: Vec<VcNode> = (0..n)
+        .map(|v| VcNode::new(k, g.input_row(NodeId::from(v))))
+        .collect();
     let out = session.run(programs)?;
-    let answer = out.unanimous().expect("vertex cover verdict must be unanimous").clone();
+    let answer = out
+        .unanimous()
+        .expect("vertex cover verdict must be unanimous")
+        .clone();
     Ok(answer)
 }
 
@@ -247,7 +254,10 @@ mod tests {
                 stats.rounds
             })
             .collect();
-        assert!(rounds.windows(2).all(|w| w[0] == w[1]), "rounds varied with n: {rounds:?}");
+        assert!(
+            rounds.windows(2).all(|w| w[0] == w[1]),
+            "rounds varied with n: {rounds:?}"
+        );
     }
 
     #[test]
@@ -256,7 +266,11 @@ mod tests {
         let g = Graph::complete(10);
         let (res, stats) = vertex_cover_rounds(&g, 3).unwrap();
         assert!(res.is_none());
-        assert!(stats.rounds <= 2, "early reject should be fast, took {}", stats.rounds);
+        assert!(
+            stats.rounds <= 2,
+            "early reject should be fast, took {}",
+            stats.rounds
+        );
     }
 
     #[test]

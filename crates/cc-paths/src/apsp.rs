@@ -29,7 +29,10 @@ pub fn apsp_exact(session: &mut Session, g: &WeightedGraph) -> Result<DistMatrix
         rows = mm_three_d(session, &sr, &rows, &rows)?;
         hops *= 2;
     }
-    Ok(DistMatrix::from_rows(n, rows.into_iter().flatten().collect()))
+    Ok(DistMatrix::from_rows(
+        n,
+        rows.into_iter().flatten().collect(),
+    ))
 }
 
 /// Exact unweighted undirected APSP (hop distances).

@@ -19,5 +19,7 @@
 pub mod apsp;
 pub mod sssp;
 
-pub use apsp::{apsp_approx, apsp_directed, apsp_exact, apsp_unweighted, diameter, transitive_closure};
+pub use apsp::{
+    apsp_approx, apsp_directed, apsp_exact, apsp_unweighted, diameter, transitive_closure,
+};
 pub use sssp::{bellman_ford, bfs, bfs_tree};

@@ -12,7 +12,9 @@
 
 use cc_graph::{dist_add, Graph, WeightedGraph, INF};
 use cc_routing::{all_to_all_broadcast, RouteError};
-use cliquesim::{BitString, Inbox, NodeCtx, NodeId, NodeProgram, Outbox, Session, SimError, Status};
+use cliquesim::{
+    BitString, Inbox, NodeCtx, NodeId, NodeProgram, Outbox, Session, SimError, Status,
+};
 
 /// Node program for distributed BFS.
 ///
@@ -87,7 +89,10 @@ impl NodeProgram for BfsNode {
 /// Distributed BFS from `src`; returns hop distances (`INF` when
 /// unreachable). Runs in `ecc(src) + 2` rounds.
 pub fn bfs(session: &mut Session, g: &Graph, src: usize) -> Result<Vec<u64>, SimError> {
-    Ok(bfs_tree(session, g, src)?.into_iter().map(|(d, _)| d).collect())
+    Ok(bfs_tree(session, g, src)?
+        .into_iter()
+        .map(|(d, _)| d)
+        .collect())
 }
 
 /// Distributed BFS returning `(distance, parent)` per node — the
@@ -148,7 +153,10 @@ pub fn bellman_ford(
                 if u == v || !g.has_edge(u, v) {
                     continue;
                 }
-                let du = bits.reader().read_uint(width).expect("well-formed distance");
+                let du = bits
+                    .reader()
+                    .read_uint(width)
+                    .expect("well-formed distance");
                 let alt = dist_add(du, g.weight(u, v));
                 if alt < next[v] {
                     next[v] = alt;

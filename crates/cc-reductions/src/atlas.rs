@@ -166,14 +166,25 @@ impl ProblemId {
         match self {
             KVertexCover | SsspWeightedUndirected1PlusEps => Bound::Zero,
             MaxIndependentSet | MinVertexCover | KColoring => Bound::One,
-            ApspWeightedDirected | ApspWeightedUndirected | SsspWeightedDirected
-            | SsspWeightedUndirected | MinPlusMM | SemiringMM => Bound::Third,
-            RingMM | BooleanMM | TransitiveClosure | Triangle3IS | Size3Subgraph | KCycle
-            | ApspWeightedUndirected1PlusEps | ApspWeightedUndirected2MinusEps => {
-                Bound::OneMinusTwoOverOmega
-            }
-            ApspUnweightedDirected | ApspUnweightedUndirected | SsspUnweightedDirected
-            | SsspUnweightedUndirected | BfsTree => Bound::LeGallApsp,
+            ApspWeightedDirected
+            | ApspWeightedUndirected
+            | SsspWeightedDirected
+            | SsspWeightedUndirected
+            | MinPlusMM
+            | SemiringMM => Bound::Third,
+            RingMM
+            | BooleanMM
+            | TransitiveClosure
+            | Triangle3IS
+            | Size3Subgraph
+            | KCycle
+            | ApspWeightedUndirected1PlusEps
+            | ApspWeightedUndirected2MinusEps => Bound::OneMinusTwoOverOmega,
+            ApspUnweightedDirected
+            | ApspUnweightedUndirected
+            | SsspUnweightedDirected
+            | SsspUnweightedUndirected
+            | BfsTree => Bound::LeGallApsp,
             SizeKSubgraph | KIndependentSet => Bound::OneMinusTwoOverK,
             KDominatingSet => Bound::OneMinusOneOverK,
         }
@@ -215,10 +226,18 @@ impl Atlas {
     /// All arrows of Figure 1, as justified in §7 of the paper.
     pub fn arrows() -> Vec<Arrow> {
         use ProblemId::*;
-        let a = |to, from, provenance| Arrow { to, from, provenance };
+        let a = |to, from, provenance| Arrow {
+            to,
+            from,
+            provenance,
+        };
         vec![
             // Matrix multiplication backbone.
-            a(BooleanMM, RingMM, "Boolean product embeds in the integer ring"),
+            a(
+                BooleanMM,
+                RingMM,
+                "Boolean product embeds in the integer ring",
+            ),
             a(BooleanMM, SemiringMM, "Boolean semiring is a semiring"),
             a(MinPlusMM, SemiringMM, "(min,+) is a semiring"),
             a(TransitiveClosure, BooleanMM, "O(log n) Boolean squarings"),
@@ -226,42 +245,118 @@ impl Atlas {
             a(Triangle3IS, BooleanMM, "Censor-Hillel et al. [10]"),
             a(Triangle3IS, Size3Subgraph, "triangle is a 3-vertex pattern"),
             a(Size3Subgraph, BooleanMM, "Censor-Hillel et al. [10]"),
-            a(KCycle, BooleanMM, "Censor-Hillel et al. [10], exp(k)·n^{0.157}"),
+            a(
+                KCycle,
+                BooleanMM,
+                "Censor-Hillel et al. [10], exp(k)·n^{0.157}",
+            ),
             a(KCycle, SizeKSubgraph, "a k-cycle is a k-vertex pattern"),
             // Parameterised problems (§7.1–7.3).
             a(KIndependentSet, KDominatingSet, "Theorem 10 (this paper)"),
-            a(KIndependentSet, MaxIndependentSet, "trivial: MaxIS answers k-IS"),
+            a(
+                KIndependentSet,
+                MaxIndependentSet,
+                "trivial: MaxIS answers k-IS",
+            ),
             // APSP family.
-            a(ApspWeightedDirected, MinPlusMM, "O(log n) distance-product squarings"),
-            a(ApspWeightedUndirected, ApspWeightedDirected, "undirected is a special case"),
-            a(ApspUnweightedUndirected, ApspWeightedUndirected, "unit weights"),
-            a(ApspUnweightedUndirected, ApspUnweightedDirected, "undirected is a special case"),
+            a(
+                ApspWeightedDirected,
+                MinPlusMM,
+                "O(log n) distance-product squarings",
+            ),
+            a(
+                ApspWeightedUndirected,
+                ApspWeightedDirected,
+                "undirected is a special case",
+            ),
+            a(
+                ApspUnweightedUndirected,
+                ApspWeightedUndirected,
+                "unit weights",
+            ),
+            a(
+                ApspUnweightedUndirected,
+                ApspUnweightedDirected,
+                "undirected is a special case",
+            ),
             a(ApspUnweightedDirected, ApspWeightedDirected, "unit weights"),
-            a(ApspWeightedUndirected1PlusEps, RingMM, "Censor-Hillel et al. [10]"),
+            a(
+                ApspWeightedUndirected1PlusEps,
+                RingMM,
+                "Censor-Hillel et al. [10]",
+            ),
             a(
                 ApspWeightedUndirected2MinusEps,
                 ApspWeightedUndirected1PlusEps,
                 "a (1+eps) approximation is a (2-eps') approximation",
             ),
-            a(ApspWeightedUndirected2MinusEps, ApspWeightedUndirected, "exact answers approximate"),
-            a(BooleanMM, ApspWeightedUndirected2MinusEps, "Dor, Halperin & Zwick [17]"),
+            a(
+                ApspWeightedUndirected2MinusEps,
+                ApspWeightedUndirected,
+                "exact answers approximate",
+            ),
+            a(
+                BooleanMM,
+                ApspWeightedUndirected2MinusEps,
+                "Dor, Halperin & Zwick [17]",
+            ),
             // SSSP family (all trivial specialisations).
-            a(SsspWeightedDirected, ApspWeightedDirected, "single source of APSP"),
-            a(SsspWeightedUndirected, ApspWeightedUndirected, "single source of APSP"),
-            a(SsspUnweightedDirected, ApspUnweightedDirected, "single source of APSP"),
-            a(SsspUnweightedUndirected, ApspUnweightedUndirected, "single source of APSP"),
-            a(SsspUnweightedUndirected, SsspWeightedUndirected, "unit weights"),
-            a(SsspWeightedUndirected, SsspWeightedDirected, "undirected is a special case"),
+            a(
+                SsspWeightedDirected,
+                ApspWeightedDirected,
+                "single source of APSP",
+            ),
+            a(
+                SsspWeightedUndirected,
+                ApspWeightedUndirected,
+                "single source of APSP",
+            ),
+            a(
+                SsspUnweightedDirected,
+                ApspUnweightedDirected,
+                "single source of APSP",
+            ),
+            a(
+                SsspUnweightedUndirected,
+                ApspUnweightedUndirected,
+                "single source of APSP",
+            ),
+            a(
+                SsspUnweightedUndirected,
+                SsspWeightedUndirected,
+                "unit weights",
+            ),
+            a(
+                SsspWeightedUndirected,
+                SsspWeightedDirected,
+                "undirected is a special case",
+            ),
             a(
                 SsspWeightedUndirected1PlusEps,
                 SsspWeightedUndirected,
                 "exact answers approximate",
             ),
-            a(BfsTree, SsspUnweightedUndirected, "BFS tree from unweighted SSSP"),
+            a(
+                BfsTree,
+                SsspUnweightedUndirected,
+                "BFS tree from unweighted SSSP",
+            ),
             // Local problems.
-            a(KColoring, MaxIndependentSet, "clique blow-up reduction [46]"),
-            a(MaxIndependentSet, MinVertexCover, "complement: α(G) = n − τ(G)"),
-            a(MinVertexCover, MaxIndependentSet, "complement: τ(G) = n − α(G)"),
+            a(
+                KColoring,
+                MaxIndependentSet,
+                "clique blow-up reduction [46]",
+            ),
+            a(
+                MaxIndependentSet,
+                MinVertexCover,
+                "complement: α(G) = n − τ(G)",
+            ),
+            a(
+                MinVertexCover,
+                MaxIndependentSet,
+                "complement: τ(G) = n − α(G)",
+            ),
         ]
     }
 
@@ -350,9 +445,7 @@ mod tests {
         let k = 3;
         // Theorem 10's punchline: δ(k-IS) ≤ δ(k-DS), and the recorded
         // bounds respect it with room to spare (1−2/k < 1−1/k).
-        assert!(
-            KIndependentSet.upper_bound().value(k) < KDominatingSet.upper_bound().value(k)
-        );
+        assert!(KIndependentSet.upper_bound().value(k) < KDominatingSet.upper_bound().value(k));
         // Theorem 11: k-VC is constant-round.
         assert_eq!(KVertexCover.upper_bound().value(k), 0.0);
         // The MM backbone ordering.

@@ -50,10 +50,15 @@ pub fn extract_coloring(independent_set: &[usize], n: usize, k: usize) -> Option
 /// graph at every node (each row broadcast once), solve locally, agree on
 /// the lexicographically-least optimum. The paper's Figure 1 places MaxIS
 /// at exponent 1 — this is that upper bound.
-pub fn max_independent_set_naive(session: &mut Session, g: &Graph) -> Result<Vec<usize>, RouteError> {
+pub fn max_independent_set_naive(
+    session: &mut Session,
+    g: &Graph,
+) -> Result<Vec<usize>, RouteError> {
     let n = session.n();
     assert_eq!(g.n(), n);
-    let payloads = (0..n).map(|v| g.input_row(cliquesim::NodeId::from(v))).collect();
+    let payloads = (0..n)
+        .map(|v| g.input_row(cliquesim::NodeId::from(v)))
+        .collect();
     let views = all_to_all_broadcast(session, payloads)?;
     // All views are identical; reconstruct once (locally each node does it).
     let mut whole = Graph::empty(n);
@@ -63,10 +68,9 @@ pub fn max_independent_set_naive(session: &mut Session, g: &Graph) -> Result<Vec
                 continue;
             }
             let slot = if u < v { u } else { u - 1 };
-            if row.get(slot)
-                && !whole.has_edge(u, v) {
-                    whole.add_edge(u, v);
-                }
+            if row.get(slot) && !whole.has_edge(u, v) {
+                whole.add_edge(u, v);
+            }
         }
     }
     Ok(reference::find_maximum_independent_set(&whole))
@@ -76,7 +80,10 @@ pub fn max_independent_set_naive(session: &mut Session, g: &Graph) -> Result<Vec
 /// a witness colouring. Runs MaxIS on a `k·n`-node clique (the constant
 /// blow-up of the reduction); the caller accounts the `O(k²)` simulation
 /// factor when mapping the cost back to `n` nodes.
-pub fn k_coloring_via_max_is(g: &Graph, k: usize) -> Result<(Option<Vec<usize>>, cliquesim::RunStats), RouteError> {
+pub fn k_coloring_via_max_is(
+    g: &Graph,
+    k: usize,
+) -> Result<(Option<Vec<usize>>, cliquesim::RunStats), RouteError> {
     let n = g.n();
     let blowup = coloring_blowup(g, k);
     let mut session = Session::new(cliquesim::Engine::new(blowup.n()));
@@ -141,7 +148,11 @@ mod tests {
             let mut s = Session::new(Engine::new(n));
             let is = max_independent_set_naive(&mut s, &g).unwrap();
             assert!(reference::is_independent_set(&g, &is));
-            assert_eq!(is.len(), reference::max_independent_set_size(&g), "seed {seed}");
+            assert_eq!(
+                is.len(),
+                reference::max_independent_set_size(&g),
+                "seed {seed}"
+            );
         }
     }
 

@@ -44,7 +44,10 @@ pub fn boolean_mm_via_approx_apsp(
     b: &[Vec<bool>],
     eps: f64,
 ) -> Result<(Vec<Vec<bool>>, RunStats), MatmulError> {
-    assert!(eps > 0.0 && eps < 1.0, "need a strictly better-than-2 approximation");
+    assert!(
+        eps > 0.0 && eps < 1.0,
+        "need a strictly better-than-2 approximation"
+    );
     let n = a.len();
     let g = mm_to_apsp_graph(a, b);
     let mut session = Session::new(Engine::new(3 * n));
@@ -70,7 +73,9 @@ mod tests {
 
     fn random(n: usize, p: f64, seed: u64) -> Vec<Vec<bool>> {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        (0..n).map(|_| (0..n).map(|_| rng.gen_bool(p)).collect()).collect()
+        (0..n)
+            .map(|_| (0..n).map(|_| rng.gen_bool(p)).collect())
+            .collect()
     }
 
     #[test]

@@ -63,17 +63,26 @@ impl IsToDsGadget {
         assert!(k >= 1);
         let n = g.n();
         assert!(n >= 1);
-        let pairs: Vec<(usize, usize)> =
-            (0..k).flat_map(|i| ((i + 1)..k).map(move |j| (i, j))).collect();
+        let pairs: Vec<(usize, usize)> = (0..k)
+            .flat_map(|i| ((i + 1)..k).map(move |j| (i, j)))
+            .collect();
         let total = (k + pairs.len()) * n + 2 * k;
-        let me = Self { graph: Graph::empty(total), n, k, pairs };
+        let me = Self {
+            graph: Graph::empty(total),
+            n,
+            k,
+            pairs,
+        };
         let mut gp = me.graph.clone();
 
         // Cliques K_i.
         for i in 0..k {
             for v in 0..n {
                 for u in (v + 1)..n {
-                    gp.add_edge(me.id(GadgetVertex::Clique { clique: i, v }), me.id(GadgetVertex::Clique { clique: i, v: u }));
+                    gp.add_edge(
+                        me.id(GadgetVertex::Clique { clique: i, v }),
+                        me.id(GadgetVertex::Clique { clique: i, v: u }),
+                    );
                 }
             }
         }
@@ -146,14 +155,20 @@ impl IsToDsGadget {
         let (n, k) = (self.n, self.k);
         assert!(id < self.graph.n());
         if id < k * n {
-            GadgetVertex::Clique { clique: id / n, v: id % n }
+            GadgetVertex::Clique {
+                clique: id / n,
+                v: id % n,
+            }
         } else if id < (k + self.pairs.len()) * n {
             let p = (id - k * n) / n;
             let (i, j) = self.pairs[p];
             GadgetVertex::Compat { i, j, v: id % n }
         } else {
             let r = id - (k + self.pairs.len()) * n;
-            GadgetVertex::Special { clique: r / 2, which: r % 2 }
+            GadgetVertex::Special {
+                clique: r / 2,
+                which: r % 2,
+            }
         }
     }
 
@@ -248,7 +263,9 @@ mod tests {
             let k = 2;
             let gd = IsToDsGadget::build(&g, k);
             if let Some(ds) = reference::find_dominating_set(&gd.graph, k) {
-                let is = gd.extract_independent_set(&ds).expect("DS must be structured");
+                let is = gd
+                    .extract_independent_set(&ds)
+                    .expect("DS must be structured");
                 assert!(
                     reference::is_independent_set(&g, &is),
                     "seed {seed}: extracted {is:?} from {ds:?}"

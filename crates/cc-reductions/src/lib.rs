@@ -27,7 +27,9 @@ pub mod simulate;
 pub mod thm10;
 
 pub use atlas::{Arrow, Atlas, Bound, ProblemId, OMEGA};
-pub use coloring::{coloring_blowup, extract_coloring, k_coloring_via_max_is, max_independent_set_naive};
+pub use coloring::{
+    coloring_blowup, extract_coloring, k_coloring_via_max_is, max_independent_set_naive,
+};
 pub use dhz::{boolean_mm_via_approx_apsp, mm_to_apsp_graph};
 pub use is_to_ds::{GadgetVertex, IsToDsGadget};
 pub use simulate::{run_virtual, Assignment, SimulationCost};

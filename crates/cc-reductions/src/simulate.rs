@@ -20,7 +20,9 @@
 //!   routing substrate) are costed this way.
 
 use cc_routing::{route, RouteError};
-use cliquesim::{BitString, Inbox, NodeCtx, NodeId, NodeProgram, Outbox, RunStats, Session, Status};
+use cliquesim::{
+    BitString, Inbox, NodeCtx, NodeId, NodeProgram, Outbox, RunStats, Session, Status,
+};
 
 /// Assignment of virtual nodes to host nodes.
 #[derive(Clone, Debug)]
@@ -35,7 +37,10 @@ impl Assignment {
     /// Round-robin assignment of `n_virtual` nodes to `hosts` hosts.
     pub fn round_robin(n_virtual: usize, hosts: usize) -> Self {
         assert!(hosts >= 1);
-        Self { host_of: (0..n_virtual).map(|v| v % hosts).collect(), hosts }
+        Self {
+            host_of: (0..n_virtual).map(|v| v % hosts).collect(),
+            hosts,
+        }
     }
 
     /// Largest number of virtual nodes any host simulates.
@@ -60,16 +65,17 @@ impl SimulationCost {
     /// messages of `B′` bits; the host link carries `B` bits per round.
     pub fn per_round(c: usize, virtual_bandwidth: usize, host_bandwidth: usize) -> Self {
         let bits = c * c * virtual_bandwidth;
-        Self { factor: bits.div_ceil(host_bandwidth).max(1) }
+        Self {
+            factor: bits.div_ceil(host_bandwidth).max(1),
+        }
     }
 
-    /// Host cost of a virtual run.
+    /// Host cost of a virtual run. Rounds scale by the factor; payload
+    /// totals and the auxiliary counters carry over unchanged.
     pub fn apply(&self, virtual_stats: &RunStats) -> RunStats {
         RunStats {
             rounds: virtual_stats.rounds * self.factor,
-            messages: virtual_stats.messages,
-            bits: virtual_stats.bits,
-            max_message_bits: virtual_stats.max_message_bits,
+            ..virtual_stats.clone()
         }
     }
 }
@@ -93,8 +99,13 @@ pub fn run_virtual<P: NodeProgram>(
     let vb = BitString::width_for(nv); // virtual bandwidth
     let idw = BitString::width_for(nv);
 
-    let ctxs: Vec<NodeCtx> =
-        (0..nv).map(|v| NodeCtx { id: NodeId::from(v), n: nv, bandwidth: vb }).collect();
+    let ctxs: Vec<NodeCtx> = (0..nv)
+        .map(|v| NodeCtx {
+            id: NodeId::from(v),
+            n: nv,
+            bandwidth: vb,
+        })
+        .collect();
     for (p, ctx) in programs.iter_mut().zip(&ctxs) {
         p.init(ctx);
     }
@@ -169,7 +180,10 @@ pub fn run_virtual<P: NodeProgram>(
         }
         round += 1;
     }
-    Ok(outputs.into_iter().map(|o| o.expect("halted virtual node has output")).collect())
+    Ok(outputs
+        .into_iter()
+        .map(|o| o.expect("halted virtual node has output"))
+        .collect())
 }
 
 #[cfg(test)]
@@ -206,7 +220,9 @@ mod tests {
     #[test]
     fn virtual_run_matches_direct_run() {
         let nv = 10;
-        let direct = Engine::new(nv).run((0..nv).map(|_| SumIds(0)).collect::<Vec<_>>()).unwrap();
+        let direct = Engine::new(nv)
+            .run((0..nv).map(|_| SumIds(0)).collect::<Vec<_>>())
+            .unwrap();
         for hosts in [3usize, 5, 10] {
             let mut host = Session::new(Engine::new(hosts));
             let asg = Assignment::round_robin(nv, hosts);
@@ -221,7 +237,10 @@ mod tests {
         // All virtual nodes on one host: zero host communication.
         let nv = 6;
         let mut host = Session::new(Engine::new(1));
-        let asg = Assignment { host_of: vec![0; nv], hosts: 1 };
+        let asg = Assignment {
+            host_of: vec![0; nv],
+            hosts: 1,
+        };
         let out = run_virtual(&mut host, &asg, (0..nv).map(|_| SumIds(0)).collect()).unwrap();
         assert_eq!(out, vec![15; 6]);
         assert_eq!(host.stats().messages, 0);
@@ -264,7 +283,13 @@ mod tests {
     fn cost_accounting() {
         let c = SimulationCost::per_round(3, 5, 4);
         assert_eq!(c.factor, (9 * 5usize).div_ceil(4));
-        let vs = RunStats { rounds: 10, messages: 7, bits: 100, max_message_bits: 5 };
+        let vs = RunStats {
+            rounds: 10,
+            messages: 7,
+            bits: 100,
+            max_message_bits: 5,
+            ..RunStats::default()
+        };
         assert_eq!(c.apply(&vs).rounds, 10 * c.factor);
     }
 }

@@ -49,10 +49,7 @@ pub fn paper_assignment(gadget: &IsToDsGadget, hosts: usize) -> Assignment {
 }
 
 /// Run the full Theorem 10 pipeline on `g` for parameter `k`.
-pub fn independent_set_via_dominating_set(
-    g: &Graph,
-    k: usize,
-) -> Result<Thm10Outcome, RouteError> {
+pub fn independent_set_via_dominating_set(g: &Graph, k: usize) -> Result<Thm10Outcome, RouteError> {
     let n = g.n();
     assert!(n >= 2);
     let gadget = IsToDsGadget::build(g, k);
@@ -113,7 +110,11 @@ mod tests {
             // Each vertex hosts k + C(k,2) copies; specials add ≤ k each to
             // hosts 0 and 1.
             let bound = k + k * (k - 1) / 2 + k;
-            assert!(asg.max_load() <= bound, "k={k}: load {} > {bound}", asg.max_load());
+            assert!(
+                asg.max_load() <= bound,
+                "k={k}: load {} > {bound}",
+                asg.max_load()
+            );
         }
     }
 
@@ -138,7 +139,10 @@ mod tests {
             *factors.iter().min().unwrap() as f64,
             *factors.iter().max().unwrap() as f64,
         );
-        assert!(hi / lo <= 1.25, "factor should be ~constant in n: {factors:?}");
+        assert!(
+            hi / lo <= 1.25,
+            "factor should be ~constant in n: {factors:?}"
+        );
     }
 
     #[test]

@@ -88,7 +88,13 @@ pub fn route_balanced(
         streams.push(
             per_dst
                 .into_iter()
-                .map(|ps| if ps.is_empty() { BitString::new() } else { frame_all(ps.iter()) })
+                .map(|ps| {
+                    if ps.is_empty() {
+                        BitString::new()
+                    } else {
+                        frame_all(ps.iter())
+                    }
+                })
                 .collect(),
         );
     }
@@ -202,7 +208,8 @@ pub fn route_balanced(
                     .as_ref()
                     .ok_or_else(|| RouteError::Malformed(NodeId::from(w), missing_blob(p)))?;
                 let mut r = blob.reader();
-                r.skip(cursors[p]).map_err(|e| RouteError::Malformed(NodeId::from(w), e))?;
+                r.skip(cursors[p])
+                    .map_err(|e| RouteError::Malformed(NodeId::from(w), e))?;
                 let piece = r
                     .read_bits(ib - ia)
                     .map_err(|e| RouteError::Malformed(NodeId::from(w), e))?;
@@ -252,7 +259,11 @@ fn piece_with_pos(pos: usize, piece: &BitString) -> BitString {
     out
 }
 
-fn stitch(records: &BitString, want: usize, base: usize) -> Result<BitString, cliquesim::DecodeError> {
+fn stitch(
+    records: &BitString,
+    want: usize,
+    base: usize,
+) -> Result<BitString, cliquesim::DecodeError> {
     let mut pieces: Vec<(usize, BitString)> = Vec::new();
     let mut r = records.reader();
     while r.remaining() > 0 {
@@ -265,19 +276,31 @@ fn stitch(records: &BitString, want: usize, base: usize) -> Result<BitString, cl
     let mut expect = base;
     for (pos, bits) in pieces {
         if pos != expect {
-            return Err(cliquesim::DecodeError { at: pos, wanted: want, len: out.len() });
+            return Err(cliquesim::DecodeError {
+                at: pos,
+                wanted: want,
+                len: out.len(),
+            });
         }
         expect += bits.len();
         out.extend_from(&bits);
     }
     if out.len() != want {
-        return Err(cliquesim::DecodeError { at: expect, wanted: want, len: out.len() });
+        return Err(cliquesim::DecodeError {
+            at: expect,
+            wanted: want,
+            len: out.len(),
+        });
     }
     Ok(out)
 }
 
 fn missing_blob(p: usize) -> cliquesim::DecodeError {
-    cliquesim::DecodeError { at: p, wanted: 0, len: 0 }
+    cliquesim::DecodeError {
+        at: p,
+        wanted: 0,
+        len: 0,
+    }
 }
 
 #[cfg(test)]

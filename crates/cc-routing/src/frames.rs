@@ -62,7 +62,10 @@ mod tests {
 
     #[test]
     fn empty_stream_parses_to_nothing() {
-        assert_eq!(parse_frames(&BitString::new()).unwrap(), Vec::<BitString>::new());
+        assert_eq!(
+            parse_frames(&BitString::new()).unwrap(),
+            Vec::<BitString>::new()
+        );
     }
 
     #[test]

@@ -31,4 +31,6 @@ pub mod router;
 
 pub use balanced::route_balanced;
 pub use frames::{frame, frame_all, parse_frames, rounds_for, LEN_HEADER_BITS};
-pub use router::{all_to_all_broadcast, lenzen_round_bound, relay_broadcast, route, Delivered, RouteError};
+pub use router::{
+    all_to_all_broadcast, lenzen_round_bound, relay_broadcast, route, Delivered, RouteError,
+};

@@ -137,7 +137,13 @@ pub fn route(
         streams.push(
             per_dst
                 .into_iter()
-                .map(|ps| if ps.is_empty() { BitString::new() } else { frame_all(ps) })
+                .map(|ps| {
+                    if ps.is_empty() {
+                        BitString::new()
+                    } else {
+                        frame_all(ps)
+                    }
+                })
                 .collect(),
         );
     }
@@ -246,7 +252,10 @@ pub fn relay_broadcast(
             if i == src.index() {
                 pieces[i].clone()
             } else {
-                delivered[i].first().map(|(_, p)| p.clone()).unwrap_or_default()
+                delivered[i]
+                    .first()
+                    .map(|(_, p)| p.clone())
+                    .unwrap_or_default()
             }
         })
         .collect();

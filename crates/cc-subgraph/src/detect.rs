@@ -137,12 +137,19 @@ pub fn detect(session: &mut Session, g: &Graph, pattern: &Pattern) -> Result<Wit
     let mut demands: Vec<Vec<(NodeId, BitString)>> = vec![Vec::new(); n];
     for a in 0..n {
         for v in 0..n {
-            let Some(m) = member[v].as_ref() else { continue };
+            let Some(m) = member[v].as_ref() else {
+                continue;
+            };
             if !m[a] {
                 continue;
             }
             let mut bits = BitString::new();
-            for b in unions[v].as_ref().expect("member implies union").iter().copied() {
+            for b in unions[v]
+                .as_ref()
+                .expect("member implies union")
+                .iter()
+                .copied()
+            {
                 if b > a {
                     bits.push(g.has_edge(a, b));
                 }
@@ -162,7 +169,9 @@ pub fn detect(session: &mut Session, g: &Graph, pattern: &Pattern) -> Result<Wit
     // -------- Phase 2: local search in each detector's union --------------
     let mut local_witness: Vec<Option<Vec<usize>>> = vec![None; n];
     for v in 0..n {
-        let Some(union) = unions[v].take() else { continue };
+        let Some(union) = unions[v].take() else {
+            continue;
+        };
         // Rebuild the induced subgraph from received bits (plus own row).
         let mut induced = Graph::empty(n);
         let mut payload_of: Vec<Option<&BitString>> = vec![None; n];
@@ -279,11 +288,17 @@ mod tests {
         let verts: Vec<usize> = (0..4).collect();
         // K4 contains C4 as a subgraph but not induced.
         let c4 = gen::cycle(4);
-        assert!(Pattern::Subgraph(c4.clone()).search_in(&g, &verts).is_some());
+        assert!(Pattern::Subgraph(c4.clone())
+            .search_in(&g, &verts)
+            .is_some());
         assert!(Pattern::Induced(c4).search_in(&g, &verts).is_none());
         // Empty pattern: induced requires an actual independent set.
-        assert!(Pattern::Induced(Graph::empty(2)).search_in(&g, &verts).is_none());
-        assert!(Pattern::Subgraph(Graph::empty(2)).search_in(&g, &verts).is_some());
+        assert!(Pattern::Induced(Graph::empty(2))
+            .search_in(&g, &verts)
+            .is_none());
+        assert!(Pattern::Subgraph(Graph::empty(2))
+            .search_in(&g, &verts)
+            .is_some());
     }
 
     #[test]
@@ -306,20 +321,26 @@ mod tests {
     fn independent_set_detection() {
         let (g, _) = gen::planted_independent_set(18, 4, 0.75, 3);
         let mut s = session(18);
-        let got = detect_independent_set(&mut s, &g, 4).unwrap().expect("planted IS found");
+        let got = detect_independent_set(&mut s, &g, 4)
+            .unwrap()
+            .expect("planted IS found");
         assert!(reference::is_independent_set(&g, &got));
         assert_eq!(got.len(), 4);
 
         // A complete graph has no 2-IS.
         let mut s = session(12);
-        assert!(detect_independent_set(&mut s, &Graph::complete(12), 2).unwrap().is_none());
+        assert!(detect_independent_set(&mut s, &Graph::complete(12), 2)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn clique_detection() {
         let (g, _) = gen::planted_clique(20, 4, 0.3, 9);
         let mut s = session(20);
-        let got = detect_clique(&mut s, &g, 4).unwrap().expect("planted clique found");
+        let got = detect_clique(&mut s, &g, 4)
+            .unwrap()
+            .expect("planted clique found");
         assert!(reference::is_clique(&g, &got));
     }
 

@@ -90,12 +90,19 @@ fn per_detector_triangles(
     let mut demands: Vec<Vec<(NodeId, BitString)>> = vec![Vec::new(); n];
     for a in 0..n {
         for v in 0..n {
-            let Some(m) = member[v].as_ref() else { continue };
+            let Some(m) = member[v].as_ref() else {
+                continue;
+            };
             if !m[a] || v == a {
                 continue;
             }
             let mut bits = BitString::new();
-            for b in unions[v].as_ref().expect("member implies union").iter().copied() {
+            for b in unions[v]
+                .as_ref()
+                .expect("member implies union")
+                .iter()
+                .copied()
+            {
                 if b > a {
                     bits.push(g.has_edge(a, b));
                 }
@@ -110,7 +117,9 @@ fn per_detector_triangles(
     // Phase 2: local canonical listing.
     let mut out: Vec<Vec<[usize; 3]>> = vec![Vec::new(); n];
     for v in 0..n {
-        let Some(m) = member[v].as_ref() else { continue };
+        let Some(m) = member[v].as_ref() else {
+            continue;
+        };
         let union = unions[v].as_ref().expect("detector has a union");
         let mut induced = Graph::empty(n);
         let mut payload_of: Vec<Option<&BitString>> = vec![None; n];

@@ -97,7 +97,8 @@ pub fn detect_path_color_coding(
     for t in 0..trials {
         // All nodes derive the same colouring from the shared seed (the
         // model's common random string; deterministic here for replay).
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let colors: Vec<usize> = (0..n).map(|_| rng.gen_range(0..k)).collect();
         if colorful_path_trial(session, g, k, &colors)? {
             return Ok(true);

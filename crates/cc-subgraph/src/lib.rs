@@ -18,7 +18,9 @@ pub mod kpath;
 pub mod mm_triangle;
 pub mod partition;
 
-pub use detect::{detect, detect_clique, detect_cycle, detect_independent_set, detect_triangle, Pattern, Witness};
+pub use detect::{
+    detect, detect_clique, detect_cycle, detect_independent_set, detect_triangle, Pattern, Witness,
+};
 pub use enumerate::{count_triangles_distributed, enumerate_triangles_distributed};
 pub use kpath::{detect_path_color_coding, trial_success_probability};
 pub use mm_triangle::{triangle_via_mm, MmDetectError};

@@ -54,7 +54,9 @@ pub fn triangle_via_mm(
 ) -> Result<Option<(usize, usize)>, MmDetectError> {
     let n = session.n();
     assert_eq!(g.n(), n);
-    let rows: Vec<Vec<bool>> = (0..n).map(|v| (0..n).map(|u| g.has_edge(v, u)).collect()).collect();
+    let rows: Vec<Vec<bool>> = (0..n)
+        .map(|v| (0..n).map(|u| g.has_edge(v, u)).collect())
+        .collect();
     let sq = mm_three_d(session, &BoolSemiring, &rows, &rows)?;
 
     // Node v's local verdict: some u with {v,u} ∈ E and (A²)_{v,u} = 1.

@@ -30,7 +30,12 @@ impl Partition {
         while (q + 1).checked_pow(k as u32).is_some_and(|p| p <= n) {
             q += 1;
         }
-        Self { n, k, q, part_size: n.div_ceil(q) }
+        Self {
+            n,
+            k,
+            q,
+            part_size: n.div_ceil(q),
+        }
     }
 
     /// Number of vertices.
@@ -56,7 +61,11 @@ impl Partition {
     /// Vertices of part `j`, in increasing order.
     pub fn members(&self, j: usize) -> std::ops::Range<usize> {
         let start = j * self.part_size;
-        let end = if j + 1 == self.q { self.n } else { ((j + 1) * self.part_size).min(self.n) };
+        let end = if j + 1 == self.q {
+            self.n
+        } else {
+            ((j + 1) * self.part_size).min(self.n)
+        };
         start..end
     }
 

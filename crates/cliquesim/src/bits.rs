@@ -14,7 +14,7 @@ use std::fmt;
 /// `i / 64` at position `i % 64`. All append operations keep the unused tail
 /// of the last word zeroed, so equality and hashing of the word vector agree
 /// with logical equality of the bit sequences.
-#[derive(Clone, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
 pub struct BitString {
     len: usize,
     words: Vec<u64>,
@@ -29,7 +29,10 @@ impl BitString {
 
     /// An empty bit string with room for `bits` bits pre-allocated.
     pub fn with_capacity(bits: usize) -> Self {
-        Self { len: 0, words: Vec::with_capacity(bits.div_ceil(64)) }
+        Self {
+            len: 0,
+            words: Vec::with_capacity(bits.div_ceil(64)),
+        }
     }
 
     /// Build from an iterator of booleans, preserving order.
@@ -41,9 +44,22 @@ impl BitString {
         s
     }
 
+    /// Reset to the empty string, retaining the allocated word capacity.
+    ///
+    /// The engine's double-buffered delivery clears and refills the same
+    /// message slots every round; keeping capacity makes steady-state rounds
+    /// allocation-free.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.words.clear();
+    }
+
     /// A bit string of `len` zero bits.
     pub fn zeros(len: usize) -> Self {
-        Self { len, words: vec![0; len.div_ceil(64)] }
+        Self {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
     }
 
     /// Number of bits.
@@ -58,13 +74,21 @@ impl BitString {
 
     /// Read bit `i`. Panics if out of range.
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
     /// Set bit `i`. Panics if out of range.
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         let w = &mut self.words[i / 64];
         if value {
             *w |= 1u64 << (i % 64);
@@ -97,9 +121,21 @@ impl BitString {
                 "value {value} does not fit in {width} bits"
             );
         }
-        for i in 0..width {
-            self.push((value >> i) & 1 == 1);
+        if width == 0 {
+            return;
         }
+        // Word-level append; the assert above guarantees `value` has no bits
+        // at or above `width`, which preserves the zero-tail invariant.
+        let shift = self.len % 64;
+        if shift == 0 {
+            self.words.push(value);
+        } else {
+            *self.words.last_mut().expect("shift != 0 implies non-empty") |= value << shift;
+            if shift + width > 64 {
+                self.words.push(value >> (64 - shift));
+            }
+        }
+        self.len += width;
     }
 
     /// Append all bits of another string (word-level; hot path for the
@@ -152,14 +188,13 @@ impl BitString {
     /// Interpret the whole string as a little-endian unsigned integer.
     /// Panics if longer than 64 bits.
     pub fn as_uint(&self) -> u64 {
-        assert!(self.len <= 64, "bit string of {} bits does not fit in u64", self.len);
-        let mut v = 0u64;
-        for i in 0..self.len {
-            if self.get(i) {
-                v |= 1u64 << i;
-            }
-        }
-        v
+        assert!(
+            self.len <= 64,
+            "bit string of {} bits does not fit in u64",
+            self.len
+        );
+        // Bits past `len` are zero by invariant, so the first word is exact.
+        self.words.first().copied().unwrap_or(0)
     }
 
     /// A reader positioned at the first bit.
@@ -236,7 +271,11 @@ impl<'a> BitReader<'a> {
     /// Read one bit.
     pub fn read_bit(&mut self) -> Result<bool, DecodeError> {
         if self.pos >= self.bits.len() {
-            return Err(DecodeError { at: self.pos, wanted: 1, len: self.bits.len() });
+            return Err(DecodeError {
+                at: self.pos,
+                wanted: 1,
+                len: self.bits.len(),
+            });
         }
         let b = self.bits.get(self.pos);
         self.pos += 1;
@@ -247,22 +286,41 @@ impl<'a> BitReader<'a> {
     pub fn read_uint(&mut self, width: usize) -> Result<u64, DecodeError> {
         assert!(width <= 64, "width {width} exceeds u64");
         if self.remaining() < width {
-            return Err(DecodeError { at: self.pos, wanted: width, len: self.bits.len() });
+            return Err(DecodeError {
+                at: self.pos,
+                wanted: width,
+                len: self.bits.len(),
+            });
         }
-        let mut v = 0u64;
-        for i in 0..width {
-            if self.bits.get(self.pos + i) {
-                v |= 1u64 << i;
-            }
+        if width == 0 {
+            return Ok(0);
         }
+        // Word-level read across at most two words.
+        let off = self.pos % 64;
+        let base = self.pos / 64;
+        let lo = self.bits.words[base] >> off;
+        let hi = if off == 0 {
+            0
+        } else {
+            self.bits.words.get(base + 1).copied().unwrap_or(0) << (64 - off)
+        };
+        let v = lo | hi;
         self.pos += width;
-        Ok(v)
+        Ok(if width == 64 {
+            v
+        } else {
+            v & ((1u64 << width) - 1)
+        })
     }
 
     /// Advance the cursor by `len` bits without materialising them (O(1)).
     pub fn skip(&mut self, len: usize) -> Result<(), DecodeError> {
         if self.remaining() < len {
-            return Err(DecodeError { at: self.pos, wanted: len, len: self.bits.len() });
+            return Err(DecodeError {
+                at: self.pos,
+                wanted: len,
+                len: self.bits.len(),
+            });
         }
         self.pos += len;
         Ok(())
@@ -271,7 +329,11 @@ impl<'a> BitReader<'a> {
     /// Read `len` bits as a fresh [`BitString`] (word-level).
     pub fn read_bits(&mut self, len: usize) -> Result<BitString, DecodeError> {
         if self.remaining() < len {
-            return Err(DecodeError { at: self.pos, wanted: len, len: self.bits.len() });
+            return Err(DecodeError {
+                at: self.pos,
+                wanted: len,
+                len: self.bits.len(),
+            });
         }
         let out_words = len.div_ceil(64);
         let mut words = Vec::with_capacity(out_words);
@@ -303,7 +365,11 @@ impl<'a> BitReader<'a> {
         if self.remaining() == 0 {
             Ok(())
         } else {
-            Err(DecodeError { at: self.pos, wanted: 0, len: self.bits.len() })
+            Err(DecodeError {
+                at: self.pos,
+                wanted: 0,
+                len: self.bits.len(),
+            })
         }
     }
 }
@@ -432,6 +498,21 @@ mod tests {
         a.hash(&mut ha);
         b.hash(&mut hb);
         assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let mut s = BitString::from_bits((0..200).map(|i| i % 3 == 0));
+        let cap = s.words.capacity();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.words.capacity(), cap);
+        assert_eq!(s, BitString::new());
+        // Reusable after clearing.
+        s.push(true);
+        assert_eq!(s.len(), 1);
+        assert!(s.get(0));
     }
 
     #[test]

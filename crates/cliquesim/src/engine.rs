@@ -5,11 +5,26 @@
 //! most `bandwidth` bits (default `⌈log₂ n⌉`), local computation is free, and
 //! the complexity of a run is its number of communication rounds.
 //!
+//! # Execution strategy
+//!
 //! Node steps within a round are independent, so the engine can execute them
-//! on multiple OS threads; parallel and sequential execution produce
-//! bit-identical results.
+//! on multiple OS threads. With `threads > 1` a **persistent worker pool** is
+//! created once per run: workers park on a round barrier, step a fixed chunk
+//! of nodes, publish a per-chunk accumulator, and park again — no per-round
+//! thread creation. Message delivery is **double-buffered**: nodes write
+//! sends into one sender-major `n × n` matrix while reading the previous
+//! round's matrix through a transposed [`Inbox`] view, so delivery is a
+//! buffer swap (no O(n²) transpose, and steady-state rounds allocate
+//! nothing — message slots are cleared in place, retaining capacity).
+//!
+//! Parallel and sequential execution produce bit-identical outputs,
+//! transcripts, and [`RunStats`] (wall-clock timing excluded).
 
 use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
 
 use crate::bits::BitString;
 use crate::node::{Inbox, NodeCtx, NodeId, NodeProgram, Outbox, Status};
@@ -125,6 +140,7 @@ pub struct Engine {
     max_rounds: usize,
     record_transcripts: bool,
     threads: usize,
+    cap_threads_to_host: bool,
     broadcast_only: bool,
     /// CONGEST mode: `topology[v*n + u]` = v may send to u. Empty = clique.
     topology: std::sync::Arc<[bool]>,
@@ -145,6 +161,7 @@ impl Engine {
             max_rounds: DEFAULT_MAX_ROUNDS,
             record_transcripts: false,
             threads: 1,
+            cap_threads_to_host: true,
             broadcast_only: false,
             topology: std::sync::Arc::from(Vec::new().into_boxed_slice()),
         }
@@ -157,10 +174,18 @@ impl Engine {
     /// non-neighbour becomes a runtime error. Used by the workbench to
     /// contrast bottlenecked topologies with the clique (§2).
     pub fn with_topology(mut self, adjacent: Vec<bool>) -> Self {
-        assert_eq!(adjacent.len(), self.n * self.n, "need an n×n adjacency table");
+        assert_eq!(
+            adjacent.len(),
+            self.n * self.n,
+            "need an n×n adjacency table"
+        );
         for v in 0..self.n {
             for u in 0..self.n {
-                assert_eq!(adjacent[v * self.n + u], adjacent[u * self.n + v], "must be symmetric");
+                assert_eq!(
+                    adjacent[v * self.n + u],
+                    adjacent[u * self.n + v],
+                    "must be symmetric"
+                );
             }
             assert!(!adjacent[v * self.n + v], "no self-loops");
         }
@@ -196,7 +221,14 @@ impl Engine {
         self.with_bandwidth(b)
     }
 
-    /// Cap the number of rounds (defense against non-terminating programs).
+    /// Cap the number of communication rounds (defense against
+    /// non-terminating programs).
+    ///
+    /// `with_max_rounds(L)` means *at most `L` communication rounds*: a
+    /// program that has not halted by step index `L` fails with
+    /// [`SimError::RoundLimit`] before any further exchange, so every
+    /// successful run satisfies `stats.rounds <= L`. A program halting at
+    /// exactly step `L` (i.e. using exactly `L` exchanges) succeeds.
     pub fn with_max_rounds(mut self, limit: usize) -> Self {
         self.max_rounds = limit;
         self
@@ -209,11 +241,29 @@ impl Engine {
         self
     }
 
-    /// Step nodes on `threads` OS threads. Results are identical to the
-    /// sequential engine; only wall-clock changes.
+    /// Step nodes on up to `threads` OS threads via a per-run persistent
+    /// worker pool. Results are identical to the sequential engine; only
+    /// wall-clock changes.
+    ///
+    /// The pool is capped at the host's available parallelism: workers
+    /// beyond the core count cannot execute concurrently and would only add
+    /// barrier latency. Use [`Engine::with_threads_exact`] when a test or
+    /// benchmark must exercise a specific pool shape regardless of host.
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads >= 1);
         self.threads = threads;
+        self.cap_threads_to_host = true;
+        self
+    }
+
+    /// Like [`Engine::with_threads`] but without the host-parallelism cap:
+    /// exactly this many workers are spawned (pool-shape determinism for
+    /// tests and benchmarks; on an undersized host this only costs
+    /// wall-clock, never correctness).
+    pub fn with_threads_exact(mut self, threads: usize) -> Self {
+        assert!(threads >= 1);
+        self.threads = threads;
+        self.cap_threads_to_host = false;
         self
     }
 
@@ -228,166 +278,388 @@ impl Engine {
     }
 
     /// Run one program instance per node to completion.
-    pub fn run<P: NodeProgram>(&self, mut programs: Vec<P>) -> Result<RunOutcome<P::Output>, SimError> {
+    pub fn run<P: NodeProgram>(
+        &self,
+        mut programs: Vec<P>,
+    ) -> Result<RunOutcome<P::Output>, SimError> {
         let n = self.n;
         if programs.len() != n {
-            return Err(SimError::WrongProgramCount { expected: n, got: programs.len() });
+            return Err(SimError::WrongProgramCount {
+                expected: n,
+                got: programs.len(),
+            });
         }
         let ctxs: Vec<NodeCtx> = (0..n)
-            .map(|v| NodeCtx { id: NodeId::from(v), n, bandwidth: self.bandwidth })
+            .map(|v| NodeCtx {
+                id: NodeId::from(v),
+                n,
+                bandwidth: self.bandwidth,
+            })
             .collect();
         for (p, ctx) in programs.iter_mut().zip(&ctxs) {
             p.init(ctx);
         }
 
-        // `recv` is receiver-major: slot `u*n + v` holds the message from v
-        // to u delivered this round. `sent` is sender-major: slot `v*n + u`
-        // is where v writes its message for u.
-        let mut recv: Vec<BitString> = vec![BitString::new(); n * n];
-        let mut sent: Vec<BitString> = vec![BitString::new(); n * n];
+        // Double-buffered sender-major message matrices: in round r the
+        // nodes write slots `v*n + u` (v's message to u) of buffer `r % 2`
+        // and read buffer `1 - r % 2` (written in round r-1) through a
+        // transposed Inbox view. Delivery is the implicit swap; rows are
+        // cleared in place at the start of the round that rewrites them.
+        let mut bufs = [vec![BitString::new(); n * n], vec![BitString::new(); n * n]];
         let mut halted = vec![false; n];
         let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
-        let mut transcripts: Option<Vec<Transcript>> =
-            self.record_transcripts.then(|| vec![Transcript::default(); n]);
+        let mut transcripts: Option<Vec<Transcript>> = self
+            .record_transcripts
+            .then(|| vec![Transcript::default(); n]);
         let mut stats = RunStats::default();
 
-        let mut round = 0usize;
-        loop {
-            if round > self.max_rounds {
-                return Err(SimError::RoundLimit { limit: self.max_rounds });
-            }
-            let active_before: Vec<bool> = halted.iter().map(|h| !h).collect();
-
-            let acc = if self.threads > 1 && n >= 2 * self.threads {
-                self.step_parallel(&mut programs, &ctxs, round, &recv, &mut sent, &mut halted, &mut outputs)?
-            } else {
-                self.step_sequential(&mut programs, &ctxs, round, &recv, &mut sent, &mut halted, &mut outputs)?
-            };
-            stats.messages += acc.messages;
-            stats.bits += acc.bits;
-            stats.max_message_bits = stats.max_message_bits.max(acc.max_message_bits);
-
-            if let Some(ts) = transcripts.as_mut() {
-                record_round(ts, &active_before, &recv, &sent, n, round);
-            }
-
-            if halted.iter().all(|h| *h) {
-                stats.rounds = round;
-                break;
-            }
-
-            // Deliver: transpose `sent` into `recv`, draining `sent` so the
-            // next round starts from empty outboxes.
-            for v in 0..n {
-                for u in 0..n {
-                    if u != v {
-                        recv[u * n + v] = std::mem::take(&mut sent[v * n + u]);
-                    }
-                }
-            }
-            round += 1;
+        let threads = if self.cap_threads_to_host {
+            let host = std::thread::available_parallelism().map_or(1, |p| p.get());
+            self.threads.min(host)
+        } else {
+            self.threads
+        };
+        if threads > 1 && n >= 2 * threads {
+            self.run_pooled(
+                threads,
+                &mut programs,
+                &ctxs,
+                &mut bufs,
+                &mut halted,
+                &mut outputs,
+                &mut transcripts,
+                &mut stats,
+            )?;
+        } else {
+            self.run_sequential(
+                &mut programs,
+                &ctxs,
+                &mut bufs,
+                &mut halted,
+                &mut outputs,
+                &mut transcripts,
+                &mut stats,
+            )?;
         }
 
         let outputs = outputs
             .into_iter()
             .map(|o| o.expect("halted node must have produced an output"))
             .collect();
-        Ok(RunOutcome { outputs, stats, transcripts })
+        Ok(RunOutcome {
+            outputs,
+            stats,
+            transcripts,
+        })
     }
 
+    /// Single-threaded round loop over the double-buffered matrices.
     #[allow(clippy::too_many_arguments)]
-    fn step_sequential<P: NodeProgram>(
+    fn run_sequential<P: NodeProgram>(
         &self,
         programs: &mut [P],
         ctxs: &[NodeCtx],
-        round: usize,
-        recv: &[BitString],
-        sent: &mut [BitString],
+        bufs: &mut [Vec<BitString>; 2],
         halted: &mut [bool],
         outputs: &mut [Option<P::Output>],
-    ) -> Result<ChunkAcc, SimError> {
+        transcripts: &mut Option<Vec<Transcript>>,
+        stats: &mut RunStats,
+    ) -> Result<(), SimError> {
         let n = self.n;
-        let mut acc = ChunkAcc::default();
-        for v in 0..n {
-            if halted[v] {
-                continue;
+        let mut book = RoundBook::new(n, self.max_rounds, stats, transcripts.as_mut());
+        let mut active = vec![true; n];
+        let [buf_a, buf_b] = bufs;
+        let mut round = 0usize;
+        loop {
+            for v in 0..n {
+                active[v] = !halted[v];
             }
-            step_one(
-                &mut programs[v],
-                &ctxs[v],
-                round,
-                &recv[v * n..(v + 1) * n],
-                &mut sent[v * n..(v + 1) * n],
-                self.bandwidth,
-                self.broadcast_only,
-                &self.topology,
-                &mut halted[v],
-                &mut outputs[v],
-                &mut acc,
-            )?;
+            let (cur, prev): (&mut [BitString], &[BitString]) = if round.is_multiple_of(2) {
+                (buf_a, buf_b)
+            } else {
+                (buf_b, buf_a)
+            };
+            let step_start = Instant::now();
+            let mut acc = ChunkAcc::default();
+            for v in 0..n {
+                let row = &mut cur[v * n..(v + 1) * n];
+                for m in row.iter_mut() {
+                    m.clear();
+                }
+                if halted[v] {
+                    continue;
+                }
+                step_one(
+                    &mut programs[v],
+                    &ctxs[v],
+                    round,
+                    prev,
+                    row,
+                    self.bandwidth,
+                    self.broadcast_only,
+                    &self.topology,
+                    &mut halted[v],
+                    &mut outputs[v],
+                    &mut acc,
+                )?;
+            }
+            let step_end = Instant::now();
+            match book.close_round(round, acc, cur, prev, halted, &active, step_start, step_end) {
+                Verdict::Continue => round += 1,
+                Verdict::Done => return Ok(()),
+                Verdict::Limit => {
+                    return Err(SimError::RoundLimit {
+                        limit: self.max_rounds,
+                    })
+                }
+            }
         }
-        Ok(acc)
     }
 
+    /// Persistent-worker-pool round loop: the pool is spawned once, workers
+    /// park on `ctrl.barrier` between rounds, and the main thread does the
+    /// bookkeeping while they are parked.
     #[allow(clippy::too_many_arguments)]
-    fn step_parallel<P: NodeProgram>(
+    fn run_pooled<P: NodeProgram>(
         &self,
+        threads: usize,
         programs: &mut [P],
         ctxs: &[NodeCtx],
-        round: usize,
-        recv: &[BitString],
-        sent: &mut [BitString],
+        bufs: &mut [Vec<BitString>; 2],
         halted: &mut [bool],
         outputs: &mut [Option<P::Output>],
-    ) -> Result<ChunkAcc, SimError> {
+        transcripts: &mut Option<Vec<Transcript>>,
+        stats: &mut RunStats,
+    ) -> Result<(), SimError> {
         let n = self.n;
-        let bw = self.bandwidth;
-        let bcast = self.broadcast_only;
-        let topo: &[bool] = &self.topology;
-        let chunk = n.div_ceil(self.threads);
-        let results: Vec<Result<ChunkAcc, SimError>> = std::thread::scope(|s| {
-            let mut handles = Vec::new();
-            let iter = programs
-                .chunks_mut(chunk)
-                .zip(sent.chunks_mut(chunk * n))
-                .zip(halted.chunks_mut(chunk).zip(outputs.chunks_mut(chunk)))
-                .enumerate();
-            for (ci, ((progs, sent_rows), (halts, outs))) in iter {
-                let base = ci * chunk;
-                handles.push(s.spawn(move || {
-                    let mut acc = ChunkAcc::default();
-                    for (i, prog) in progs.iter_mut().enumerate() {
-                        let v = base + i;
-                        if halts[i] {
-                            continue;
-                        }
-                        step_one(
-                            prog,
-                            &ctxs[v],
-                            round,
-                            &recv[v * n..(v + 1) * n],
-                            &mut sent_rows[i * n..(i + 1) * n],
-                            bw,
-                            bcast,
-                            topo,
-                            &mut halts[i],
-                            &mut outs[i],
-                            &mut acc,
-                        )?;
+        let chunk = n.div_ceil(threads);
+        let workers = n.div_ceil(chunk);
+        let bandwidth = self.bandwidth;
+        let broadcast_only = self.broadcast_only;
+        let topology: &[bool] = &self.topology;
+        let max_rounds = self.max_rounds;
+
+        let mut book = RoundBook::new(n, max_rounds, stats, transcripts.as_mut());
+        let mut active = vec![true; n];
+
+        let [buf_a, buf_b] = bufs;
+        let buf_cells: [&[SyncCell<BitString>]; 2] = [
+            SyncCell::share(buf_a.as_mut_slice()),
+            SyncCell::share(buf_b.as_mut_slice()),
+        ];
+        let prog_cells = SyncCell::share(programs);
+        let halted_cells = SyncCell::share(halted);
+        let out_cells = SyncCell::share(outputs);
+        let mut chunk_results: Vec<Result<ChunkAcc, StepAbort>> =
+            (0..workers).map(|_| Ok(ChunkAcc::default())).collect();
+        let result_cells = SyncCell::share(&mut chunk_results);
+        let ctrl = PoolCtrl {
+            barrier: Barrier::new(workers + 1),
+            round: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+        };
+        let ctrl = &ctrl;
+
+        std::thread::scope(|s| {
+            for (w, my_result) in result_cells.iter().enumerate().take(workers) {
+                let lo = w * chunk;
+                let hi = n.min(lo + chunk);
+                s.spawn(move || loop {
+                    ctrl.barrier.wait();
+                    if ctrl.stop.load(Ordering::Relaxed) {
+                        break;
                     }
-                    Ok(acc)
-                }));
+                    let round = ctrl.round.load(Ordering::Relaxed);
+                    let write = round % 2;
+                    let caught =
+                        catch_unwind(AssertUnwindSafe(|| -> Result<ChunkAcc, SimError> {
+                            let mut acc = ChunkAcc::default();
+                            // SAFETY (barrier protocol): between the
+                            // round-start and round-end barriers this worker
+                            // exclusively owns node range lo..hi of
+                            // programs/halted/outputs and rows lo..hi of the
+                            // write buffer; the read buffer is written by no
+                            // one during the step phase.
+                            let write_rows =
+                                unsafe { SyncCell::exclusive(&buf_cells[write][lo * n..hi * n]) };
+                            let prev = unsafe { SyncCell::shared(buf_cells[1 - write]) };
+                            let my_halted = unsafe { SyncCell::exclusive(&halted_cells[lo..hi]) };
+                            let my_progs = unsafe { SyncCell::exclusive(&prog_cells[lo..hi]) };
+                            let my_outs = unsafe { SyncCell::exclusive(&out_cells[lo..hi]) };
+                            for i in 0..hi - lo {
+                                let v = lo + i;
+                                let row = &mut write_rows[i * n..(i + 1) * n];
+                                for m in row.iter_mut() {
+                                    m.clear();
+                                }
+                                if my_halted[i] {
+                                    continue;
+                                }
+                                step_one(
+                                    &mut my_progs[i],
+                                    &ctxs[v],
+                                    round,
+                                    prev,
+                                    row,
+                                    bandwidth,
+                                    broadcast_only,
+                                    topology,
+                                    &mut my_halted[i],
+                                    &mut my_outs[i],
+                                    &mut acc,
+                                )?;
+                            }
+                            Ok(acc)
+                        }));
+                    let published = match caught {
+                        Ok(Ok(acc)) => Ok(acc),
+                        Ok(Err(err)) => Err(StepAbort::Sim(err)),
+                        Err(payload) => Err(StepAbort::Panic(payload)),
+                    };
+                    // SAFETY (barrier protocol): this result slot belongs to
+                    // this worker alone during the step phase.
+                    unsafe {
+                        *my_result.raw() = published;
+                    }
+                    ctrl.barrier.wait();
+                });
             }
-            handles.into_iter().map(|h| h.join().expect("node step panicked")).collect()
-        });
-        let mut total = ChunkAcc::default();
-        for r in results {
-            let a = r?;
-            total.messages += a.messages;
-            total.bits += a.bits;
-            total.max_message_bits = total.max_message_bits.max(a.max_message_bits);
-        }
-        Ok(total)
+
+            let mut round = 0usize;
+            loop {
+                {
+                    // SAFETY: workers are parked at the round-start barrier,
+                    // so the main thread has exclusive access here.
+                    let halted_now = unsafe { SyncCell::shared(halted_cells) };
+                    for v in 0..n {
+                        active[v] = !halted_now[v];
+                    }
+                }
+                ctrl.round.store(round, Ordering::Relaxed);
+                let step_start = Instant::now();
+                ctrl.barrier.wait(); // release the step phase
+                ctrl.barrier.wait(); // wait for every chunk to finish
+                let step_end = Instant::now();
+
+                // SAFETY: workers are parked at the round-start barrier
+                // again; the main thread has exclusive access until it next
+                // calls `ctrl.barrier.wait()`.
+                let mut acc = ChunkAcc::default();
+                let mut abort: Option<StepAbort> = None;
+                for cell in result_cells.iter().take(workers) {
+                    let published =
+                        unsafe { std::mem::replace(&mut *cell.raw(), Ok(ChunkAcc::default())) };
+                    match published {
+                        Ok(a) => acc.fold(&a),
+                        // Lowest worker index wins, which is the lowest node
+                        // index: the same error a sequential run surfaces.
+                        Err(e) => {
+                            if abort.is_none() {
+                                abort = Some(e);
+                            }
+                        }
+                    }
+                }
+                if let Some(e) = abort {
+                    shutdown(ctrl);
+                    match e {
+                        StepAbort::Sim(err) => return Err(err),
+                        StepAbort::Panic(payload) => resume_unwind(payload),
+                    }
+                }
+
+                let write = round % 2;
+                let cur = unsafe { SyncCell::shared(buf_cells[write]) };
+                let prev = unsafe { SyncCell::shared(buf_cells[1 - write]) };
+                let halted_now = unsafe { SyncCell::shared(halted_cells) };
+                match book.close_round(
+                    round, acc, cur, prev, halted_now, &active, step_start, step_end,
+                ) {
+                    Verdict::Continue => round += 1,
+                    Verdict::Done => {
+                        shutdown(ctrl);
+                        return Ok(());
+                    }
+                    Verdict::Limit => {
+                        shutdown(ctrl);
+                        return Err(SimError::RoundLimit { limit: max_rounds });
+                    }
+                }
+            }
+        })
+    }
+}
+
+/// Release workers parked at the round-start barrier and let them exit.
+fn shutdown(ctrl: &PoolCtrl) {
+    ctrl.stop.store(true, Ordering::Relaxed);
+    ctrl.barrier.wait();
+}
+
+/// Round-synchronisation state shared between the driver and the pool.
+/// `Barrier::wait` is the only synchroniser (it orders all memory accesses
+/// across the phase boundary); the atomics are plain mailboxes written
+/// strictly between barriers, hence `Relaxed`.
+struct PoolCtrl {
+    barrier: Barrier,
+    round: AtomicUsize,
+    stop: AtomicBool,
+}
+
+/// Why a worker's step phase did not produce a [`ChunkAcc`].
+enum StepAbort {
+    /// The model rejected a node's behaviour.
+    Sim(SimError),
+    /// A node program panicked; the payload is re-thrown on the main thread.
+    Panic(Box<dyn std::any::Any + Send>),
+}
+
+/// Interior-mutability wrapper that lets the persistent worker pool share
+/// the engine's per-run state. All access goes through the `unsafe` views
+/// below, whose soundness rests on the *barrier protocol*: during a step
+/// phase each worker touches only its own node range (plus read-only shared
+/// data), and between the round-end and round-start barriers only the main
+/// thread touches anything.
+#[repr(transparent)]
+struct SyncCell<T>(std::cell::UnsafeCell<T>);
+
+// SAFETY: references are only handed out through the views below, whose
+// callers promise disjoint access via the barrier protocol.
+unsafe impl<T: Send> Sync for SyncCell<T> {}
+
+impl<T> SyncCell<T> {
+    /// Wrap an exclusively-borrowed slice for sharing with the pool.
+    fn share(slice: &mut [T]) -> &[SyncCell<T>] {
+        // SAFETY: `repr(transparent)` gives identical layout, and the `&mut`
+        // guarantees no other live borrow for the returned lifetime.
+        unsafe { &*(slice as *mut [T] as *const [SyncCell<T>]) }
+    }
+
+    /// Raw pointer to the contents; the caller upholds the barrier protocol.
+    fn raw(&self) -> *mut T {
+        self.0.get()
+    }
+
+    /// View a cell slice as mutable data.
+    ///
+    /// # Safety
+    /// The caller must hold exclusive access to every element per the
+    /// barrier protocol.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn exclusive(cells: &[SyncCell<T>]) -> &mut [T] {
+        // `repr(transparent)` lets the cell pointer double as the element
+        // pointer; `raw_get` is the sanctioned `&UnsafeCell → *mut` route.
+        let base = std::cell::UnsafeCell::raw_get(cells.as_ptr().cast());
+        std::slice::from_raw_parts_mut(base, cells.len())
+    }
+
+    /// View a cell slice as shared data.
+    ///
+    /// # Safety
+    /// The caller must guarantee no concurrent writers per the barrier
+    /// protocol.
+    unsafe fn shared(cells: &[SyncCell<T>]) -> &[T] {
+        &*(cells as *const [SyncCell<T>] as *const [T])
     }
 }
 
@@ -398,13 +670,139 @@ struct ChunkAcc {
     max_message_bits: usize,
 }
 
+impl ChunkAcc {
+    fn fold(&mut self, other: &ChunkAcc) {
+        self.messages += other.messages;
+        self.bits += other.bits;
+        self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+    }
+}
+
+/// What the bookkeeper decided after a step phase.
+enum Verdict {
+    /// Run the next round.
+    Continue,
+    /// Every node halted; the run is complete.
+    Done,
+    /// The round limit was hit with nodes still active.
+    Limit,
+}
+
+/// Per-round main-thread bookkeeping shared by the sequential and pooled
+/// drivers — one implementation keeps the two paths bit-identical by
+/// construction.
+struct RoundBook<'a> {
+    n: usize,
+    max_rounds: usize,
+    stats: &'a mut RunStats,
+    transcripts: Option<&'a mut Vec<Transcript>>,
+    /// Payload bits written in the previous round, still live in the read
+    /// buffer during this round's step phase.
+    prev_round_bits: u64,
+    /// Whether any node has halted so far; skips the undelivered scan on
+    /// the all-active prefix of a run (the common case).
+    any_halted: bool,
+}
+
+impl<'a> RoundBook<'a> {
+    fn new(
+        n: usize,
+        max_rounds: usize,
+        stats: &'a mut RunStats,
+        transcripts: Option<&'a mut Vec<Transcript>>,
+    ) -> Self {
+        Self {
+            n,
+            max_rounds,
+            stats,
+            transcripts,
+            prev_round_bits: 0,
+            any_halted: false,
+        }
+    }
+
+    /// Account for one completed step phase: `cur` is the matrix the nodes
+    /// just wrote, `prev` the one they read, `halted` the post-step halt
+    /// flags, `active` the pre-step activity mask.
+    #[allow(clippy::too_many_arguments)]
+    fn close_round(
+        &mut self,
+        round: usize,
+        acc: ChunkAcc,
+        cur: &[BitString],
+        prev: &[BitString],
+        halted: &[bool],
+        active: &[bool],
+        step_start: Instant,
+        step_end: Instant,
+    ) -> Verdict {
+        let n = self.n;
+        self.stats.messages += acc.messages;
+        self.stats.bits += acc.bits;
+        self.stats.max_message_bits = self.stats.max_message_bits.max(acc.max_message_bits);
+        let live_bits = self.prev_round_bits + acc.bits;
+        self.stats.peak_live_payload_bytes = self
+            .stats
+            .peak_live_payload_bytes
+            .max((live_bits as usize).div_ceil(8));
+        self.prev_round_bits = acc.bits;
+
+        if let Some(ts) = self.transcripts.as_deref_mut() {
+            record_round(ts, active, prev, cur, n);
+        }
+
+        let mut all_halted = true;
+        for h in halted {
+            all_halted &= *h;
+            self.any_halted |= *h;
+        }
+        // Sends towards nodes that will never step again are dead on the
+        // wire; charge them to the undelivered counters (they remain part of
+        // `messages`/`bits` — see stats module docs for the semantics).
+        if self.any_halted && acc.messages > 0 {
+            for u in 0..n {
+                if !halted[u] {
+                    continue;
+                }
+                for v in 0..n {
+                    let m = &cur[v * n + u];
+                    if !m.is_empty() {
+                        self.stats.undelivered_messages += 1;
+                        self.stats.undelivered_bits += m.len() as u64;
+                    }
+                }
+            }
+        }
+
+        let now = Instant::now();
+        self.stats.timing.step_ns += nanos(step_start, step_end);
+        self.stats.timing.delivery_ns += nanos(step_end, now);
+        self.stats.timing.round_wall_ns.push(nanos(step_start, now));
+
+        if all_halted {
+            self.stats.rounds = round;
+            return Verdict::Done;
+        }
+        if round >= self.max_rounds {
+            return Verdict::Limit;
+        }
+        Verdict::Continue
+    }
+}
+
+fn nanos(from: Instant, to: Instant) -> u64 {
+    to.saturating_duration_since(from).as_nanos() as u64
+}
+
 /// Step a single node and validate its outbox against the bandwidth bound.
+/// `prev` is the full sender-major matrix written last round; the node reads
+/// it through a transposed [`Inbox`] view.
 #[allow(clippy::too_many_arguments)]
 fn step_one<P: NodeProgram>(
     prog: &mut P,
     ctx: &NodeCtx,
     round: usize,
-    recv_row: &[BitString],
+    prev: &[BitString],
     sent_row: &mut [BitString],
     bandwidth: usize,
     broadcast_only: bool,
@@ -413,9 +811,9 @@ fn step_one<P: NodeProgram>(
     output: &mut Option<P::Output>,
     acc: &mut ChunkAcc,
 ) -> Result<(), SimError> {
-    let n = recv_row.len();
+    let n = ctx.n;
     let v = ctx.id.index();
-    let inbox = Inbox { slots: recv_row, n, me: v };
+    let inbox = Inbox::transposed(prev, n, v);
     let mut outbox = Outbox::new(sent_row, v);
     match prog.step(ctx, round, &inbox, &mut outbox) {
         Status::Continue => {}
@@ -451,11 +849,19 @@ fn step_one<P: NodeProgram>(
             match common {
                 None => common = Some(m),
                 Some(c) if c == m => {}
-                _ => return Err(SimError::BroadcastViolated { from: ctx.id, round }),
+                _ => {
+                    return Err(SimError::BroadcastViolated {
+                        from: ctx.id,
+                        round,
+                    })
+                }
             }
         }
         if nonempty != 0 && nonempty != n - 1 {
-            return Err(SimError::BroadcastViolated { from: ctx.id, round });
+            return Err(SimError::BroadcastViolated {
+                from: ctx.id,
+                round,
+            });
         }
     }
     for (u, m) in sent_row.iter().enumerate() {
@@ -479,14 +885,15 @@ fn step_one<P: NodeProgram>(
 }
 
 /// Append this round's sends and receives to the transcripts of the nodes
-/// that were active when the round started.
+/// that were active when the round started. Both matrices are sender-major:
+/// this round node `v` received `prev[u*n + v]` from `u` and sent
+/// `cur[v*n + u]` to `u`.
 fn record_round(
     transcripts: &mut [Transcript],
     active: &[bool],
-    recv: &[BitString],
-    sent: &[BitString],
+    prev: &[BitString],
+    cur: &[BitString],
     n: usize,
-    _round: usize,
 ) {
     for v in 0..n {
         if !active[v] {
@@ -494,11 +901,11 @@ fn record_round(
         }
         let mut rt = RoundTranscript::default();
         for u in 0..n {
-            let got = &recv[v * n + u];
+            let got = &prev[u * n + v];
             if !got.is_empty() {
                 rt.received.push((NodeId::from(u), got.clone()));
             }
-            let put = &sent[v * n + u];
+            let put = &cur[v * n + u];
             if !put.is_empty() {
                 rt.sent.push((NodeId::from(u), put.clone()));
             }
@@ -558,13 +965,21 @@ mod tests {
         assert_eq!(out.stats.messages, (n * (n - 1)) as u64);
         assert_eq!(out.stats.max_message_bits, 3);
         assert_eq!(*out.unanimous().unwrap(), expect);
+        // Nobody halts while payloads are in flight here.
+        assert_eq!(out.stats.undelivered_messages, 0);
+        assert_eq!(out.stats.undelivered_bits, 0);
+        // 56 three-bit messages live at once: ceil(168/8) bytes.
+        assert_eq!(out.stats.peak_live_payload_bytes, 21);
     }
 
     #[test]
     fn parallel_matches_sequential() {
         let n = 23;
         let seq = Engine::new(n).run(sum_ids(n)).unwrap();
-        let par = Engine::new(n).with_threads(4).run(sum_ids(n)).unwrap();
+        let par = Engine::new(n)
+            .with_threads_exact(4)
+            .run(sum_ids(n))
+            .unwrap();
         assert_eq!(seq.outputs, par.outputs);
         assert_eq!(seq.stats, par.stats);
     }
@@ -579,7 +994,9 @@ mod tests {
 
     #[test]
     fn zero_round_algorithm() {
-        let out = Engine::new(5).run(vec![Silent, Silent, Silent, Silent, Silent]).unwrap();
+        let out = Engine::new(5)
+            .run(vec![Silent, Silent, Silent, Silent, Silent])
+            .unwrap();
         assert_eq!(out.stats.rounds, 0);
         assert_eq!(out.stats.messages, 0);
     }
@@ -587,7 +1004,13 @@ mod tests {
     struct TooWide;
     impl NodeProgram for TooWide {
         type Output = ();
-        fn step(&mut self, ctx: &NodeCtx, _: usize, _: &Inbox<'_>, ob: &mut Outbox<'_>) -> Status<()> {
+        fn step(
+            &mut self,
+            ctx: &NodeCtx,
+            _: usize,
+            _: &Inbox<'_>,
+            ob: &mut Outbox<'_>,
+        ) -> Status<()> {
             if ctx.id.0 == 0 {
                 ob.send(NodeId(1), BitString::zeros(ctx.bandwidth + 1));
             }
@@ -597,15 +1020,35 @@ mod tests {
 
     #[test]
     fn bandwidth_violation_detected() {
-        let err = Engine::new(4).run(vec![TooWide, TooWide, TooWide, TooWide]).unwrap_err();
+        let err = Engine::new(4)
+            .run(vec![TooWide, TooWide, TooWide, TooWide])
+            .unwrap_err();
         match err {
-            SimError::BandwidthExceeded { from, to, bits, limit, .. } => {
+            SimError::BandwidthExceeded {
+                from,
+                to,
+                bits,
+                limit,
+                ..
+            } => {
                 assert_eq!(from, NodeId(0));
                 assert_eq!(to, NodeId(1));
                 assert_eq!(bits, limit + 1);
             }
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn parallel_surfaces_the_same_error_as_sequential() {
+        let seq = Engine::new(8)
+            .run((0..8).map(|_| TooWide).collect::<Vec<_>>())
+            .unwrap_err();
+        let par = Engine::new(8)
+            .with_threads_exact(4)
+            .run((0..8).map(|_| TooWide).collect::<Vec<_>>())
+            .unwrap_err();
+        assert_eq!(seq, par);
     }
 
     struct Forever;
@@ -618,14 +1061,33 @@ mod tests {
 
     #[test]
     fn round_limit_enforced() {
-        let err = Engine::new(2).with_max_rounds(10).run(vec![Forever, Forever]).unwrap_err();
+        let err = Engine::new(2)
+            .with_max_rounds(10)
+            .run(vec![Forever, Forever])
+            .unwrap_err();
         assert_eq!(err, SimError::RoundLimit { limit: 10 });
+    }
+
+    #[test]
+    fn round_limit_enforced_in_parallel() {
+        let err = Engine::new(8)
+            .with_threads_exact(4)
+            .with_max_rounds(3)
+            .run((0..8).map(|_| Forever).collect::<Vec<_>>())
+            .unwrap_err();
+        assert_eq!(err, SimError::RoundLimit { limit: 3 });
     }
 
     #[test]
     fn wrong_program_count_rejected() {
         let err = Engine::new(3).run(vec![Silent, Silent]).unwrap_err();
-        assert_eq!(err, SimError::WrongProgramCount { expected: 3, got: 2 });
+        assert_eq!(
+            err,
+            SimError::WrongProgramCount {
+                expected: 3,
+                got: 2
+            }
+        );
     }
 
     /// Two nodes ping-pong a counter for a fixed number of rounds; checks
@@ -635,12 +1097,22 @@ mod tests {
     }
     impl NodeProgram for PingPong {
         type Output = u64;
-        fn step(&mut self, ctx: &NodeCtx, round: usize, inbox: &Inbox<'_>, ob: &mut Outbox<'_>) -> Status<u64> {
+        fn step(
+            &mut self,
+            ctx: &NodeCtx,
+            round: usize,
+            inbox: &Inbox<'_>,
+            ob: &mut Outbox<'_>,
+        ) -> Status<u64> {
             let peer = NodeId(1 - ctx.id.0);
             let got = if round == 0 {
                 0
             } else {
-                inbox.from(peer).reader().read_uint(ctx.bandwidth.min(8)).unwrap_or(0)
+                inbox
+                    .from(peer)
+                    .reader()
+                    .read_uint(ctx.bandwidth.min(8))
+                    .unwrap_or(0)
             };
             if round == self.rounds {
                 return Status::Halt(got);
@@ -665,9 +1137,192 @@ mod tests {
     }
 
     #[test]
+    fn max_rounds_boundary_is_exact() {
+        // A program halting at step index 5 uses exactly 5 communication
+        // rounds; a limit of 5 must admit it...
+        let out = Engine::new(2)
+            .with_bandwidth(8)
+            .with_max_rounds(5)
+            .run(vec![PingPong { rounds: 5 }, PingPong { rounds: 5 }])
+            .unwrap();
+        assert_eq!(out.stats.rounds, 5);
+        // ...and a limit of 4 must reject it before a sixth exchange.
+        let err = Engine::new(2)
+            .with_bandwidth(8)
+            .with_max_rounds(4)
+            .run(vec![PingPong { rounds: 5 }, PingPong { rounds: 5 }])
+            .unwrap_err();
+        assert_eq!(err, SimError::RoundLimit { limit: 4 });
+    }
+
+    #[test]
+    fn max_rounds_zero_admits_zero_round_algorithms() {
+        let out = Engine::new(3)
+            .with_max_rounds(0)
+            .run(vec![Silent, Silent, Silent])
+            .unwrap();
+        assert_eq!(out.stats.rounds, 0);
+        let err = Engine::new(2)
+            .with_max_rounds(0)
+            .run(vec![Forever, Forever])
+            .unwrap_err();
+        assert_eq!(err, SimError::RoundLimit { limit: 0 });
+    }
+
+    /// Node 0 halts immediately; node 1 sends it a 3-bit payload in round 0
+    /// (accepted on the wire, never read) and halts one round later.
+    struct EagerAndSender;
+    impl NodeProgram for EagerAndSender {
+        type Output = ();
+        fn step(
+            &mut self,
+            ctx: &NodeCtx,
+            round: usize,
+            _: &Inbox<'_>,
+            ob: &mut Outbox<'_>,
+        ) -> Status<()> {
+            if ctx.id.0 == 0 {
+                return Status::Halt(());
+            }
+            if round == 0 {
+                ob.send(NodeId(0), BitString::from_bits([true, false, true]));
+                Status::Continue
+            } else {
+                Status::Halt(())
+            }
+        }
+    }
+
+    #[test]
+    fn undelivered_payloads_are_accounted() {
+        let out = Engine::new(2)
+            .with_bandwidth(3)
+            .run(vec![EagerAndSender, EagerAndSender])
+            .unwrap();
+        // The payload is charged at send time...
+        assert_eq!(out.stats.messages, 1);
+        assert_eq!(out.stats.bits, 3);
+        // ...and also recognised as dead on the wire: its recipient halted
+        // in the same round it was sent.
+        assert_eq!(out.stats.undelivered_messages, 1);
+        assert_eq!(out.stats.undelivered_bits, 3);
+        assert_eq!(out.stats.rounds, 1);
+    }
+
+    /// Node v halts at step v, counting every message it received; active
+    /// nodes broadcast every round. Staggered halting exercises undelivered
+    /// accounting and the clearing of halted nodes' buffer rows.
+    struct Staggered {
+        received: u64,
+    }
+    impl NodeProgram for Staggered {
+        type Output = u64;
+        fn step(
+            &mut self,
+            ctx: &NodeCtx,
+            round: usize,
+            inbox: &Inbox<'_>,
+            ob: &mut Outbox<'_>,
+        ) -> Status<u64> {
+            self.received += inbox.iter().count() as u64;
+            if round >= ctx.id.index() {
+                return Status::Halt(self.received);
+            }
+            let mut m = BitString::new();
+            m.push_uint(round as u64 & 0xff, 8);
+            ob.broadcast(&m);
+            Status::Continue
+        }
+    }
+
+    /// Expected receive count for node v: at step r (1 ≤ r ≤ v) it hears
+    /// from every u ≠ v that was still sending in round r-1, i.e. u > r-1.
+    fn staggered_expect(n: usize) -> Vec<u64> {
+        (0..n)
+            .map(|v| {
+                (1..=v)
+                    .map(|r| (r..n).filter(|u| *u != v).count() as u64)
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn staggered_halts_are_bit_identical_across_thread_counts() {
+        let n = 9;
+        let mk = || {
+            (0..n)
+                .map(|_| Staggered { received: 0 })
+                .collect::<Vec<_>>()
+        };
+        let run = |threads: usize| {
+            Engine::new(n)
+                .with_bandwidth(8)
+                .with_threads_exact(threads)
+                .with_transcripts(true)
+                .run(mk())
+                .unwrap()
+        };
+        let seq = run(1);
+        assert_eq!(seq.outputs, staggered_expect(n), "ghost or lost deliveries");
+        assert!(seq.stats.undelivered_messages > 0, "halted receivers exist");
+        for threads in [2, 3, 4] {
+            let par = run(threads);
+            assert_eq!(seq.outputs, par.outputs, "threads={threads}");
+            assert_eq!(seq.stats, par.stats, "threads={threads}");
+            assert_eq!(seq.transcripts, par.transcripts, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn timing_is_recorded_but_ignored_by_equality() {
+        let out = Engine::new(8).run(sum_ids(8)).unwrap();
+        // One wall-time entry per step phase: rounds + the halting step.
+        assert_eq!(out.stats.timing.round_wall_ns.len(), out.stats.rounds + 1);
+        assert_eq!(
+            out.stats.timing.total_ns(),
+            out.stats.timing.step_ns + out.stats.timing.delivery_ns
+        );
+        let mut other = out.stats.clone();
+        other.timing = Default::default();
+        assert_eq!(out.stats, other);
+    }
+
+    struct Bomb;
+    impl NodeProgram for Bomb {
+        type Output = ();
+        fn step(
+            &mut self,
+            ctx: &NodeCtx,
+            round: usize,
+            _: &Inbox<'_>,
+            _: &mut Outbox<'_>,
+        ) -> Status<()> {
+            if round == 1 && ctx.id.0 == 7 {
+                panic!("node exploded");
+            }
+            if round >= 2 {
+                return Status::Halt(());
+            }
+            Status::Continue
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "node exploded")]
+    fn parallel_node_panic_propagates_without_deadlock() {
+        let _ = Engine::new(16)
+            .with_threads_exact(4)
+            .run((0..16).map(|_| Bomb).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn transcripts_record_both_directions() {
         let n = 4;
-        let out = Engine::new(n).with_transcripts(true).run(sum_ids(n)).unwrap();
+        let out = Engine::new(n)
+            .with_transcripts(true)
+            .run(sum_ids(n))
+            .unwrap();
         let ts = out.transcripts.unwrap();
         assert_eq!(ts.len(), n);
         for (v, t) in ts.iter().enumerate() {
@@ -694,7 +1349,13 @@ mod tests {
     struct Broadcaster;
     impl NodeProgram for Broadcaster {
         type Output = ();
-        fn step(&mut self, ctx: &NodeCtx, round: usize, _: &Inbox<'_>, ob: &mut Outbox<'_>) -> Status<()> {
+        fn step(
+            &mut self,
+            ctx: &NodeCtx,
+            round: usize,
+            _: &Inbox<'_>,
+            ob: &mut Outbox<'_>,
+        ) -> Status<()> {
             if round == 0 {
                 let mut m = BitString::new();
                 m.push_uint(ctx.id.0 as u64, ctx.id_width());
@@ -710,7 +1371,13 @@ mod tests {
     struct Unicaster;
     impl NodeProgram for Unicaster {
         type Output = ();
-        fn step(&mut self, ctx: &NodeCtx, _: usize, _: &Inbox<'_>, ob: &mut Outbox<'_>) -> Status<()> {
+        fn step(
+            &mut self,
+            ctx: &NodeCtx,
+            _: usize,
+            _: &Inbox<'_>,
+            ob: &mut Outbox<'_>,
+        ) -> Status<()> {
             for u in 0..ctx.n {
                 if u != ctx.id.index() {
                     let mut m = BitString::new();
@@ -737,9 +1404,14 @@ mod tests {
             .broadcast_only(true)
             .run((0..5).map(|_| Unicaster).collect::<Vec<_>>())
             .unwrap_err();
-        assert!(matches!(err, SimError::BroadcastViolated { .. }), "got {err:?}");
+        assert!(
+            matches!(err, SimError::BroadcastViolated { .. }),
+            "got {err:?}"
+        );
         // The same program is fine in the unrestricted model.
-        Engine::new(5).run((0..5).map(|_| Unicaster).collect::<Vec<_>>()).unwrap();
+        Engine::new(5)
+            .run((0..5).map(|_| Unicaster).collect::<Vec<_>>())
+            .unwrap();
     }
 
     #[test]
@@ -754,7 +1426,13 @@ mod tests {
         struct SendTo(u32);
         impl NodeProgram for SendTo {
             type Output = ();
-            fn step(&mut self, ctx: &NodeCtx, _: usize, _: &Inbox<'_>, ob: &mut Outbox<'_>) -> Status<()> {
+            fn step(
+                &mut self,
+                ctx: &NodeCtx,
+                _: usize,
+                _: &Inbox<'_>,
+                ob: &mut Outbox<'_>,
+            ) -> Status<()> {
                 if ctx.id.0 == 0 {
                     let mut m = BitString::new();
                     m.push(true);
@@ -773,7 +1451,14 @@ mod tests {
             .with_topology(adj)
             .run(vec![SendTo(3), SendTo(3), SendTo(3), SendTo(3)])
             .unwrap_err();
-        assert!(matches!(err, SimError::TopologyViolated { from: NodeId(0), to: NodeId(3), .. }));
+        assert!(matches!(
+            err,
+            SimError::TopologyViolated {
+                from: NodeId(0),
+                to: NodeId(3),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -781,7 +1466,13 @@ mod tests {
         struct Partial;
         impl NodeProgram for Partial {
             type Output = ();
-            fn step(&mut self, ctx: &NodeCtx, _: usize, _: &Inbox<'_>, ob: &mut Outbox<'_>) -> Status<()> {
+            fn step(
+                &mut self,
+                ctx: &NodeCtx,
+                _: usize,
+                _: &Inbox<'_>,
+                ob: &mut Outbox<'_>,
+            ) -> Status<()> {
                 if ctx.id.0 == 0 {
                     let mut m = BitString::new();
                     m.push(true);
@@ -794,7 +1485,13 @@ mod tests {
             .broadcast_only(true)
             .run((0..4).map(|_| Partial).collect::<Vec<_>>())
             .unwrap_err();
-        assert!(matches!(err, SimError::BroadcastViolated { from: NodeId(0), .. }));
+        assert!(matches!(
+            err,
+            SimError::BroadcastViolated {
+                from: NodeId(0),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -802,7 +1499,13 @@ mod tests {
         struct Lonely;
         impl NodeProgram for Lonely {
             type Output = u32;
-            fn step(&mut self, ctx: &NodeCtx, _: usize, _: &Inbox<'_>, _: &mut Outbox<'_>) -> Status<u32> {
+            fn step(
+                &mut self,
+                ctx: &NodeCtx,
+                _: usize,
+                _: &Inbox<'_>,
+                _: &mut Outbox<'_>,
+            ) -> Status<u32> {
                 Status::Halt(ctx.id.0)
             }
         }

@@ -65,5 +65,5 @@ pub use bits::{BitReader, BitString, DecodeError};
 pub use engine::{Engine, RunOutcome, SimError};
 pub use node::{Inbox, NodeCtx, NodeId, NodeProgram, Outbox, Status};
 pub use session::Session;
-pub use stats::RunStats;
+pub use stats::{EngineTiming, RunStats};
 pub use transcript::{RoundTranscript, Transcript};

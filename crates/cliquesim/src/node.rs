@@ -10,7 +10,7 @@ use crate::bits::BitString;
 
 /// Identity of a node. The paper numbers nodes `1..=n`; internally we use
 /// `0..n` and expose [`NodeId::display`] for one-based reporting.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -107,10 +107,17 @@ impl<T: NodeProgram + ?Sized> NodeProgram for Box<T> {
 
 /// Messages received by one node in one round.
 ///
-/// Slot `u` holds the message from node `u`; an empty [`BitString`] means
-/// node `u` sent nothing.
+/// Logically, slot `u` holds the message from node `u`; an empty
+/// [`BitString`] means node `u` sent nothing. Physically the slots are a
+/// *strided view*: the message from `u` lives at `slots[u * stride +
+/// offset]`. The engine hands out views directly into its sender-major
+/// delivery buffer (`stride = n`, `offset = me`), so delivery is a buffer
+/// swap instead of an O(n²) transpose; standalone harnesses use the dense
+/// layout (`stride = 1`, `offset = 0`) via [`Inbox::from_slots`].
 pub struct Inbox<'a> {
     pub(crate) slots: &'a [BitString],
+    pub(crate) stride: usize,
+    pub(crate) offset: usize,
     pub(crate) n: usize,
     pub(crate) me: usize,
 }
@@ -122,21 +129,39 @@ impl<'a> Inbox<'a> {
     /// engine: the virtual-clique simulation of Theorem 10 and the
     /// transcript replay of Theorem 3's normal form.
     pub fn from_slots(slots: &'a [BitString], me: usize) -> Self {
-        Self { slots, n: slots.len(), me }
+        Self {
+            slots,
+            stride: 1,
+            offset: 0,
+            n: slots.len(),
+            me,
+        }
+    }
+
+    /// Build a transposed view into a sender-major `n × n` message matrix:
+    /// the message from `u` to `me` is `matrix[u * n + me]`.
+    pub(crate) fn transposed(matrix: &'a [BitString], n: usize, me: usize) -> Self {
+        debug_assert_eq!(matrix.len(), n * n);
+        Self {
+            slots: matrix,
+            stride: n,
+            offset: me,
+            n,
+            me,
+        }
     }
 
     /// The message from node `from` (empty if none). A node never receives
     /// from itself; that slot is always empty.
     pub fn from(&self, from: NodeId) -> &'a BitString {
-        &self.slots[from.index()]
+        &self.slots[from.index() * self.stride + self.offset]
     }
 
     /// Iterate over `(sender, message)` for all non-empty messages.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &'a BitString)> + '_ {
         let me = self.me;
-        self.slots
-            .iter()
-            .enumerate()
+        (0..self.n)
+            .map(move |u| (u, &self.slots[u * self.stride + self.offset]))
             .filter(move |(u, m)| *u != me && !m.is_empty())
             .map(|(u, m)| (NodeId::from(u), m))
     }
@@ -171,7 +196,12 @@ impl<'a> Outbox<'a> {
     /// already queued for `to` this round. Sending to oneself is a
     /// programming error.
     pub fn send(&mut self, to: NodeId, msg: BitString) {
-        assert_ne!(to.index(), self.me, "node {} attempted to send to itself", self.me);
+        assert_ne!(
+            to.index(),
+            self.me,
+            "node {} attempted to send to itself",
+            self.me
+        );
         self.slots[to.index()] = msg;
     }
 
@@ -232,10 +262,28 @@ mod tests {
             BitString::new(),
             BitString::from_bits([false, true]),
         ];
-        let ib = Inbox { slots: &slots, n: 3, me: 1 };
+        let ib = Inbox::from_slots(&slots, 1);
         let got: Vec<_> = ib.iter().map(|(u, m)| (u.index(), m.len())).collect();
         assert_eq!(got, vec![(0, 1), (2, 2)]);
         assert_eq!(ib.from(NodeId(0)).len(), 1);
         assert!(ib.from(NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn transposed_inbox_reads_sender_major_matrix() {
+        // 3×3 sender-major matrix: slot v*n+u = message v → u.
+        let n = 3;
+        let mut matrix = vec![BitString::new(); n * n];
+        matrix[n + 2] = BitString::from_bits([true]); // 1 → 2
+        matrix[2] = BitString::from_bits([false, true]); // 0 → 2
+        matrix[n] = BitString::from_bits([true, true, true]); // 1 → 0
+        let ib = Inbox::transposed(&matrix, n, 2);
+        assert_eq!(ib.from(NodeId(1)).len(), 1);
+        assert_eq!(ib.from(NodeId(0)).len(), 2);
+        let got: Vec<_> = ib.iter().map(|(u, m)| (u.index(), m.len())).collect();
+        assert_eq!(got, vec![(0, 2), (1, 1)]);
+        // Node 2 does not see the 1 → 0 message.
+        let ib0 = Inbox::transposed(&matrix, n, 0);
+        assert_eq!(ib0.from(NodeId(1)).len(), 3);
     }
 }

@@ -27,7 +27,11 @@ pub struct Session {
 impl Session {
     /// Start a session on the given engine.
     pub fn new(engine: Engine) -> Self {
-        Self { engine, stats: RunStats::default(), phases: 0 }
+        Self {
+            engine,
+            stats: RunStats::default(),
+            phases: 0,
+        }
     }
 
     /// Number of nodes in the clique.
@@ -46,16 +50,20 @@ impl Session {
     }
 
     /// Run one phase; its rounds/bits are added to the session totals.
-    pub fn run<P: NodeProgram>(&mut self, programs: Vec<P>) -> Result<RunOutcome<P::Output>, SimError> {
+    pub fn run<P: NodeProgram>(
+        &mut self,
+        programs: Vec<P>,
+    ) -> Result<RunOutcome<P::Output>, SimError> {
         let out = self.engine.run(programs)?;
         self.stats.absorb(&out.stats);
         self.phases += 1;
         Ok(out)
     }
 
-    /// Cumulative statistics over all phases so far.
+    /// Cumulative statistics over all phases so far. Timing fields are
+    /// concatenated across phases; see [`RunStats::absorb`].
     pub fn stats(&self) -> RunStats {
-        self.stats
+        self.stats.clone()
     }
 
     /// Number of phases executed.
@@ -80,7 +88,13 @@ mod tests {
     struct OneRound;
     impl NodeProgram for OneRound {
         type Output = ();
-        fn step(&mut self, ctx: &NodeCtx, round: usize, _: &Inbox<'_>, ob: &mut Outbox<'_>) -> Status<()> {
+        fn step(
+            &mut self,
+            ctx: &NodeCtx,
+            round: usize,
+            _: &Inbox<'_>,
+            ob: &mut Outbox<'_>,
+        ) -> Status<()> {
             if round == 0 {
                 let mut m = BitString::new();
                 m.push_uint(1, 1);
@@ -108,7 +122,10 @@ mod tests {
     #[test]
     fn charge_adds_analytical_costs() {
         let mut s = Session::new(Engine::new(2));
-        s.charge(&RunStats { rounds: 7, messages: 0, bits: 0, max_message_bits: 0 });
+        s.charge(&RunStats {
+            rounds: 7,
+            ..RunStats::default()
+        });
         assert_eq!(s.stats().rounds, 7);
     }
 }

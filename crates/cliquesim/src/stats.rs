@@ -3,29 +3,112 @@
 //! Round counts are the paper's complexity measure; bit and message totals
 //! let experiments check bandwidth-sensitive claims (e.g. Theorem 3's
 //! certificate bound) without trusting the algorithm under test.
+//!
+//! # Accounting semantics
+//!
+//! `messages` and `bits` are **sent-based**: a payload is counted the moment
+//! the engine accepts it onto the wire (at the end of the sender's step
+//! phase, after bandwidth validation), not when a recipient reads it. This
+//! matches the model — a message occupies its link for the round whether or
+//! not anyone is listening. Payloads whose recipient halted in the same
+//! round or earlier are therefore still charged; the `undelivered_*` fields
+//! break out exactly that subset so experiments can distinguish useful from
+//! wasted bandwidth.
 
 /// Totals for one run (or one session of composed runs).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+///
+/// Equality deliberately ignores [`RunStats::timing`]: wall-clock is
+/// nondeterministic, while every other field is part of the engine's
+/// bit-identity contract between sequential and parallel execution.
+#[derive(Clone, Debug, Default)]
 pub struct RunStats {
     /// Synchronous communication rounds. An algorithm that halts before any
     /// message exchange has `rounds == 0`.
     pub rounds: usize,
-    /// Total messages delivered (non-empty payloads).
+    /// Total messages accepted on the wire (non-empty payloads), counted at
+    /// send time (see module docs).
     pub messages: u64,
-    /// Total payload bits delivered.
+    /// Total payload bits accepted on the wire, counted at send time.
     pub bits: u64,
     /// Largest single message observed, in bits.
     pub max_message_bits: usize,
+    /// Messages whose recipient never stepped again (it halted in the
+    /// sending round or earlier), so the payload was never read. A subset of
+    /// `messages`.
+    pub undelivered_messages: u64,
+    /// Payload bits of the undelivered messages. A subset of `bits`.
+    pub undelivered_bits: u64,
+    /// Peak bytes of payload simultaneously live in the engine's two
+    /// delivery buffers (this round's sends plus the previous round's
+    /// not-yet-consumed deliveries), maximised over rounds.
+    pub peak_live_payload_bytes: usize,
+    /// Wall-clock measurements; excluded from `==` (see type docs).
+    pub timing: EngineTiming,
 }
+
+/// Wall-clock measurements for one run.
+///
+/// Timing is inherently nondeterministic, so it lives outside the
+/// [`RunStats`] equality relation: asserting `seq.stats == par.stats` checks
+/// the model-level fields only.
+#[derive(Clone, Debug, Default)]
+pub struct EngineTiming {
+    /// Nanoseconds spent stepping nodes, summed over rounds. In parallel
+    /// runs this is the wall-clock of the step phases, not CPU time.
+    pub step_ns: u64,
+    /// Nanoseconds spent in delivery bookkeeping between step phases
+    /// (transcript recording, undelivered accounting, halt detection),
+    /// summed over rounds.
+    pub delivery_ns: u64,
+    /// Total wall-clock nanoseconds of each round (step + delivery), one
+    /// entry per step phase executed.
+    pub round_wall_ns: Vec<u64>,
+}
+
+impl EngineTiming {
+    /// Total wall-clock nanoseconds across all rounds.
+    pub fn total_ns(&self) -> u64 {
+        self.round_wall_ns.iter().sum()
+    }
+
+    /// Fold another run's timing into this one (phases run back to back).
+    pub fn absorb(&mut self, other: &EngineTiming) {
+        self.step_ns += other.step_ns;
+        self.delivery_ns += other.delivery_ns;
+        self.round_wall_ns.extend_from_slice(&other.round_wall_ns);
+    }
+}
+
+impl PartialEq for RunStats {
+    fn eq(&self, other: &Self) -> bool {
+        // `timing` intentionally omitted: see type docs.
+        self.rounds == other.rounds
+            && self.messages == other.messages
+            && self.bits == other.bits
+            && self.max_message_bits == other.max_message_bits
+            && self.undelivered_messages == other.undelivered_messages
+            && self.undelivered_bits == other.undelivered_bits
+            && self.peak_live_payload_bytes == other.peak_live_payload_bytes
+    }
+}
+
+impl Eq for RunStats {}
 
 impl RunStats {
     /// Fold another run's totals into this one; rounds add (sequential
-    /// composition of phases is free synchronisation in this model).
+    /// composition of phases is free synchronisation in this model), peak
+    /// buffer residency maxes (phases reuse the buffers, they don't stack).
     pub fn absorb(&mut self, other: &RunStats) {
         self.rounds += other.rounds;
         self.messages += other.messages;
         self.bits += other.bits;
         self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+        self.undelivered_messages += other.undelivered_messages;
+        self.undelivered_bits += other.undelivered_bits;
+        self.peak_live_payload_bytes = self
+            .peak_live_payload_bytes
+            .max(other.peak_live_payload_bytes);
+        self.timing.absorb(&other.timing);
     }
 }
 
@@ -35,9 +118,69 @@ mod tests {
 
     #[test]
     fn absorb_adds_rounds_and_maxes_width() {
-        let mut a = RunStats { rounds: 3, messages: 10, bits: 50, max_message_bits: 5 };
-        let b = RunStats { rounds: 2, messages: 1, bits: 3, max_message_bits: 9 };
+        let mut a = RunStats {
+            rounds: 3,
+            messages: 10,
+            bits: 50,
+            max_message_bits: 5,
+            undelivered_messages: 1,
+            undelivered_bits: 4,
+            peak_live_payload_bytes: 100,
+            ..RunStats::default()
+        };
+        let b = RunStats {
+            rounds: 2,
+            messages: 1,
+            bits: 3,
+            max_message_bits: 9,
+            undelivered_messages: 2,
+            undelivered_bits: 5,
+            peak_live_payload_bytes: 60,
+            ..RunStats::default()
+        };
         a.absorb(&b);
-        assert_eq!(a, RunStats { rounds: 5, messages: 11, bits: 53, max_message_bits: 9 });
+        assert_eq!(
+            a,
+            RunStats {
+                rounds: 5,
+                messages: 11,
+                bits: 53,
+                max_message_bits: 9,
+                undelivered_messages: 3,
+                undelivered_bits: 9,
+                peak_live_payload_bytes: 100,
+                ..RunStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn equality_ignores_timing() {
+        let mut a = RunStats {
+            rounds: 1,
+            ..RunStats::default()
+        };
+        let b = a.clone();
+        a.timing.step_ns = 123;
+        a.timing.round_wall_ns.push(456);
+        assert_eq!(a, b, "wall-clock must not break bit-identity checks");
+    }
+
+    #[test]
+    fn timing_absorb_concatenates_rounds() {
+        let mut t = EngineTiming {
+            step_ns: 10,
+            delivery_ns: 5,
+            round_wall_ns: vec![8, 7],
+        };
+        t.absorb(&EngineTiming {
+            step_ns: 1,
+            delivery_ns: 2,
+            round_wall_ns: vec![3],
+        });
+        assert_eq!(t.step_ns, 11);
+        assert_eq!(t.delivery_ns, 7);
+        assert_eq!(t.round_wall_ns, vec![8, 7, 3]);
+        assert_eq!(t.total_ns(), 18);
     }
 }

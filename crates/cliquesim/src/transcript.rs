@@ -83,7 +83,10 @@ impl Transcript {
         Ok(Self { rounds })
     }
 
-    fn decode_msgs(r: &mut BitReader<'_>, w: usize) -> Result<Vec<(NodeId, BitString)>, DecodeError> {
+    fn decode_msgs(
+        r: &mut BitReader<'_>,
+        w: usize,
+    ) -> Result<Vec<(NodeId, BitString)>, DecodeError> {
         let count = r.read_uint(w)? as usize;
         let mut msgs = Vec::with_capacity(count.min(1 << 12));
         for _ in 0..count {

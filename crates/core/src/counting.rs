@@ -20,9 +20,7 @@
 //!   computable function, and [`ToyHardLanguage`] is the uniform
 //!   Theorem 2 language run end-to-end on the simulator.
 
-use cliquesim::{
-    BitString, Engine, Inbox, NodeCtx, NodeId, NodeProgram, Outbox, RunStats, Status,
-};
+use cliquesim::{BitString, Engine, Inbox, NodeCtx, NodeId, NodeProgram, Outbox, RunStats, Status};
 
 // =====================================================================
 // Lemma 1 and the theorem inequalities
@@ -163,7 +161,10 @@ fn union(parent: &mut [usize], a: usize, b: usize) {
 /// constant on the connected components of the two view partitions'
 /// overlap. For `t = 0` the views are `x_0` and `x_1` alone.
 pub fn census_two_nodes(l: usize, t: usize) -> ToyCensus {
-    assert!((1..=2).contains(&l), "census limited to 1–2 input bits per node");
+    assert!(
+        (1..=2).contains(&l),
+        "census limited to 1–2 input bits per node"
+    );
     assert!(t <= 1, "census limited to t = 0 or 1");
     let per_node = 1usize << l; // inputs per node
     let inputs = per_node * per_node; // joint inputs
@@ -282,8 +283,18 @@ impl ToyHardLanguage {
         let f = self.hard_function().expect("hard function exists");
         let engine = Engine::new(2).with_bandwidth(1);
         let programs = vec![
-            ToyDeciderNode { l, input: x0, other: 0, f },
-            ToyDeciderNode { l, input: x1, other: 0, f },
+            ToyDeciderNode {
+                l,
+                input: x0,
+                other: 0,
+                f,
+            },
+            ToyDeciderNode {
+                l,
+                input: x1,
+                other: 0,
+                f,
+            },
         ];
         let out = engine.run(programs).expect("toy decider runs");
         let verdict = *out.unanimous().expect("decider is unanimous");
@@ -321,7 +332,11 @@ impl NodeProgram for ToyDeciderNode {
             outbox.send(peer, m);
             Status::Continue
         } else {
-            let (x0, x1) = if ctx.id.0 == 0 { (self.input, self.other) } else { (self.other, self.input) };
+            let (x0, x1) = if ctx.id.0 == 0 {
+                (self.input, self.other)
+            } else {
+                (self.other, self.input)
+            };
             let idx = (x1 as usize) * (1 << self.l) + x0 as usize;
             Status::Halt((self.f >> idx) & 1 == 1)
         }
@@ -406,9 +421,15 @@ mod tests {
         // (log-log 5 vs 4), yet the exhaustive census still finds hard
         // functions — the census is the stronger tool at toy scale, the
         // counting bound takes over asymptotically.
-        assert!(!hard_function_exists(2, 1, 2, 1), "Lemma 1 is loose at n = 2");
+        assert!(
+            !hard_function_exists(2, 1, 2, 1),
+            "Lemma 1 is loose at n = 2"
+        );
         let c = census_two_nodes(2, 1);
-        assert!(c.computable_count() < c.total(), "census finds hard functions anyway");
+        assert!(
+            c.computable_count() < c.total(),
+            "census finds hard functions anyway"
+        );
         // Asymptotically the inequality certifies hardness at the same
         // (b, L, t) once n grows.
         assert!(hard_function_exists(8, 1, 2, 1));
@@ -430,6 +451,9 @@ mod tests {
         }
         // And the census certifies the lower bound side.
         let census = census_two_nodes(2, 1);
-        assert!(!census.computable[f as usize], "f* must evade every 1-round protocol");
+        assert!(
+            !census.computable[f as usize],
+            "f* must evade every 1-round protocol"
+        );
     }
 }

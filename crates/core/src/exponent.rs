@@ -39,9 +39,20 @@ pub fn fit_exponent(samples: &[(usize, usize)]) -> ExponentFit {
 
     let mean_y = sy / count;
     let ss_tot: f64 = pts.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
-    let ss_res: f64 = pts.iter().map(|p| (p.1 - (delta * p.0 + intercept)).powi(2)).sum();
-    let r_squared = if ss_tot < 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
-    ExponentFit { delta, coeff: intercept.exp(), r_squared }
+    let ss_res: f64 = pts
+        .iter()
+        .map(|p| (p.1 - (delta * p.0 + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot < 1e-12 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    ExponentFit {
+        delta,
+        coeff: intercept.exp(),
+        r_squared,
+    }
 }
 
 /// Measure an algorithm's round counts across sizes: `run(n)` must return

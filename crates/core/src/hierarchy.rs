@@ -76,7 +76,10 @@ pub fn eval_alternating<A: KLabelling + ?Sized>(
     first_existential: bool,
 ) -> Result<bool, SimError> {
     let n = g.n();
-    assert!(n * bits <= 12, "quantifier evaluation is exponential; keep n·bits ≤ 12");
+    assert!(
+        n * bits <= 12,
+        "quantifier evaluation is exponential; keep n·bits ≤ 12"
+    );
 
     fn labelling_from_mask(n: usize, bits: usize, mask: u64) -> Labelling {
         Labelling(
@@ -159,7 +162,10 @@ impl<A: KLabelling> KLabelling for Negation<A> {
     }
 
     fn node(&self, n: usize, v: NodeId, row: &BitString, labels: &[BitString]) -> BoolNode {
-        Box::new(NegationNode { inner: self.0.node(n, v, row, labels), verdict: None })
+        Box::new(NegationNode {
+            inner: self.0.node(n, v, row, labels),
+            verdict: None,
+        })
     }
 }
 
@@ -240,7 +246,9 @@ pub struct Sigma2Universal {
 impl Sigma2Universal {
     /// Wrap a predicate.
     pub fn new(predicate: impl Fn(&Graph) -> bool + Send + Sync + 'static) -> Self {
-        Self { predicate: Arc::new(predicate) }
+        Self {
+            predicate: Arc::new(predicate),
+        }
     }
 
     /// Bits in the graph encoding.
@@ -311,7 +319,10 @@ impl Sigma2Universal {
     pub fn accepts_all_challenges(&self, g: &Graph, z1: &Labelling) -> Result<bool, SimError> {
         let n = g.n();
         let m = Self::encoding_len(n);
-        assert!(m.pow(n as u32) <= 200_000, "challenge enumeration too large");
+        assert!(
+            m.pow(n as u32) <= 200_000,
+            "challenge enumeration too large"
+        );
         let mut indices = vec![0usize; n];
         loop {
             let z2 = Self::challenge(n, &indices);
@@ -428,8 +439,11 @@ impl NodeProgram for Sigma2Node {
                 let me = self.me.index();
                 // Own announcement also gets checked against the local view.
                 let mut announcements: Vec<(usize, bool)> = Vec::with_capacity(n);
-                let own_idx =
-                    self.chall.reader().read_uint(iw).expect("validated in round 0") as usize;
+                let own_idx = self
+                    .chall
+                    .reader()
+                    .read_uint(iw)
+                    .expect("validated in round 0") as usize;
                 announcements.push((own_idx, self.guess.get(own_idx)));
                 for (_, msg) in inbox.iter() {
                     let mut r = msg.reader();

@@ -36,7 +36,10 @@ fn pair_index(n: usize, a: usize, c: usize) -> usize {
 impl EdgeLabelling {
     /// An all-empty labelling.
     pub fn empty(n: usize) -> Self {
-        Self { n, labels: vec![BitString::new(); n * (n - 1) / 2] }
+        Self {
+            n,
+            labels: vec![BitString::new(); n * (n - 1) / 2],
+        }
     }
 
     /// Number of nodes.
@@ -123,7 +126,11 @@ pub fn canonical_labelling<P: NondetProblem + ?Sized>(
         return None;
     }
     let transcripts = out.transcripts.expect("recording enabled");
-    let rounds = transcripts.iter().map(|t| t.rounds.len()).max().unwrap_or(0);
+    let rounds = transcripts
+        .iter()
+        .map(|t| t.rounds.len())
+        .max()
+        .unwrap_or(0);
 
     let mut labelling = EdgeLabelling::empty(n);
     for a in 0..n {
@@ -181,7 +188,11 @@ pub fn constraint_holds<P: NondetProblem + ?Sized>(
             Some(prev) if prev == r => {}
             _ => return false, // inconsistent round counts
         }
-        let (mine, theirs) = if u < v { (lo_to_hi, hi_to_lo) } else { (hi_to_lo, lo_to_hi) };
+        let (mine, theirs) = if u < v {
+            (lo_to_hi, hi_to_lo)
+        } else {
+            (hi_to_lo, lo_to_hi)
+        };
         if sent_per_round.len() < r {
             sent_per_round.resize(r, Vec::new());
         }
@@ -209,7 +220,13 @@ pub fn constraint_holds<P: NondetProblem + ?Sized>(
         rt.sent.sort_by_key(|(d, _)| d.index());
         transcript.rounds.push(rt);
     }
-    local_search(problem, n, NodeId::from(u), &g.input_row(NodeId::from(u)), &transcript)
+    local_search(
+        problem,
+        n,
+        NodeId::from(u),
+        &g.input_row(NodeId::from(u)),
+        &transcript,
+    )
 }
 
 /// Check the whole labelling: every node's constraint holds.
@@ -310,7 +327,10 @@ mod tests {
 
     #[test]
     fn tampering_with_one_edge_label_is_caught() {
-        let p = SetProblem { kind: SetKind::IndependentSet, k: 2 };
+        let p = SetProblem {
+            kind: SetKind::IndependentSet,
+            k: 2,
+        };
         let g = gen::cycle(5);
         let lab = canonical_labelling(&p, &g).expect("C5 has a 2-IS");
         assert!(check_labelling(&p, &g, &lab));
@@ -330,7 +350,10 @@ mod tests {
         // construction; the ⟹ direction is vacuous here because canonical
         // returns None on no-instances, and adversarial checks above cover
         // soundness.)
-        let p = SetProblem { kind: SetKind::VertexCover, k: 1 };
+        let p = SetProblem {
+            kind: SetKind::VertexCover,
+            k: 1,
+        };
         for g in Graph::enumerate_all(4) {
             let lab = canonical_labelling(&p, &g);
             assert_eq!(lab.is_some(), p.contains(&g), "graph {g:?}");

@@ -53,4 +53,6 @@ pub use problems::{
     Connectivity, HamiltonianPath, KColoring, PerfectMatching, SetKind, SetProblem, TriangleExists,
 };
 pub use randomized::{MonteCarloAdapter, OneSidedMonteCarlo, RandomizedColoring};
-pub use search::{solve_by_gather, ColoringSearch, LabellingSearch, SearchOutcome, SpanningTreeSearch};
+pub use search::{
+    solve_by_gather, ColoringSearch, LabellingSearch, SearchOutcome, SpanningTreeSearch,
+};

@@ -78,17 +78,11 @@ pub trait NondetProblem {
     fn prove(&self, g: &Graph) -> Option<Labelling>;
 
     /// Build node `v`'s verifier from its local data only.
-    fn verifier_node(
-        &self,
-        n: usize,
-        v: NodeId,
-        row: &BitString,
-        label: &BitString,
-    ) -> BoolNode;
+    fn verifier_node(&self, n: usize, v: NodeId, row: &BitString, label: &BitString) -> BoolNode;
 }
 
 /// Result of running a verifier on a specific `(G, z)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Verdict {
     /// Did every node accept?
     pub accepted: bool,
@@ -104,8 +98,7 @@ pub fn verify<P: NondetProblem + ?Sized>(
 ) -> Result<Verdict, SimError> {
     let n = g.n();
     assert_eq!(z.n(), n, "labelling must have one label per node");
-    let engine =
-        Engine::new(n).with_bandwidth_multiplier(problem.bandwidth_multiplier());
+    let engine = Engine::new(n).with_bandwidth_multiplier(problem.bandwidth_multiplier());
     let mut session = Session::new(engine);
     let programs: Vec<BoolNode> = (0..n)
         .map(|v| {
@@ -114,7 +107,10 @@ pub fn verify<P: NondetProblem + ?Sized>(
         })
         .collect();
     let out = session.run(programs)?;
-    Ok(Verdict { accepted: out.outputs.iter().all(|a| *a), stats: session.stats() })
+    Ok(Verdict {
+        accepted: out.outputs.iter().all(|a| *a),
+        stats: session.stats(),
+    })
 }
 
 /// Completeness path: run the honest prover and verify its certificate.
@@ -147,7 +143,10 @@ pub fn exists_certificate<P: NondetProblem + ?Sized>(
 ) -> Result<Option<Labelling>, SimError> {
     let n = g.n();
     let total = n * bits;
-    assert!(total <= 24, "exhaustive certificate search is exponential; keep n·bits ≤ 24");
+    assert!(
+        total <= 24,
+        "exhaustive certificate search is exponential; keep n·bits ≤ 24"
+    );
     let combos: u64 = 1 << total;
     for mask in 0..combos {
         let mut labels = Vec::with_capacity(n);
@@ -220,8 +219,17 @@ mod tests {
                     .collect(),
             ))
         }
-        fn verifier_node(&self, _n: usize, _v: NodeId, row: &BitString, label: &BitString) -> BoolNode {
-            Box::new(ParityNode { label: label.clone(), row: row.clone() })
+        fn verifier_node(
+            &self,
+            _n: usize,
+            _v: NodeId,
+            row: &BitString,
+            label: &BitString,
+        ) -> BoolNode {
+            Box::new(ParityNode {
+                label: label.clone(),
+                row: row.clone(),
+            })
         }
     }
 
@@ -244,7 +252,9 @@ mod tests {
     #[test]
     fn exhaustive_search_finds_certificates() {
         let g = cc_graph::gen::path(3);
-        let z = exists_certificate(&ParityCert, &g, 1).unwrap().expect("some cert works");
+        let z = exists_certificate(&ParityCert, &g, 1)
+            .unwrap()
+            .expect("some cert works");
         assert!(verify(&ParityCert, &g, &z).unwrap().accepted);
     }
 

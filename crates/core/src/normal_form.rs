@@ -142,7 +142,10 @@ pub fn local_search<P: NondetProblem + ?Sized>(
     let s = problem.label_size(n);
     // Guard: the theorem allows unbounded local work, the test machine
     // does not.
-    assert!(s <= 20, "local search is exponential in the inner label size");
+    assert!(
+        s <= 20,
+        "local search is exponential in the inner label size"
+    );
     for len in 0..=s {
         let combos: u64 = 1 << len;
         for mask in 0..combos {
@@ -170,7 +173,11 @@ pub fn replay_matches<P: NondetProblem + ?Sized>(
     t: &Transcript,
 ) -> bool {
     let bandwidth = problem.bandwidth_multiplier() * BitString::width_for(n);
-    let ctx = NodeCtx { id: me, n, bandwidth };
+    let ctx = NodeCtx {
+        id: me,
+        n,
+        bandwidth,
+    };
     let mut prog = problem.verifier_node(n, me, row, candidate);
     prog.init(&ctx);
     let rounds = t.rounds.len();
@@ -305,8 +312,14 @@ mod tests {
     #[test]
     fn completeness_for_set_problems_and_connectivity() {
         let problems: Vec<Box<dyn NondetProblem>> = vec![
-            Box::new(NormalForm::new(SetProblem { kind: SetKind::IndependentSet, k: 2 })),
-            Box::new(NormalForm::new(SetProblem { kind: SetKind::DominatingSet, k: 2 })),
+            Box::new(NormalForm::new(SetProblem {
+                kind: SetKind::IndependentSet,
+                k: 2,
+            })),
+            Box::new(NormalForm::new(SetProblem {
+                kind: SetKind::DominatingSet,
+                k: 2,
+            })),
             Box::new(NormalForm::new(Connectivity)),
         ];
         for p in &problems {
@@ -317,7 +330,9 @@ mod tests {
                     continue;
                 }
                 yes += 1;
-                let verdict = prove_and_verify(p.as_ref(), &g).unwrap().expect("yes-instance");
+                let verdict = prove_and_verify(p.as_ref(), &g)
+                    .unwrap()
+                    .expect("yes-instance");
                 assert!(verdict.accepted, "{} seed {seed}", p.name());
             }
             assert!(yes > 0, "{}: no yes-instances sampled", p.name());
@@ -334,13 +349,20 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
         for _ in 0..10 {
             let len = rng.gen_range(0..200);
-            let z = Labelling((0..5).map(|_| (0..len).map(|_| rng.gen_bool(0.5)).collect()).collect());
+            let z = Labelling(
+                (0..5)
+                    .map(|_| (0..len).map(|_| rng.gen_bool(0.5)).collect())
+                    .collect(),
+            );
             assert!(!verify(&nf, &c5, &z).unwrap().accepted);
         }
         // Transplant: transcripts from the even cycle C4 padded to 5 nodes.
         let p4 = gen::path(5); // 2-colourable on the same node count
         let honest = nf.prove(&p4).expect("path is 2-colourable");
-        assert!(!verify(&nf, &c5, &honest).unwrap().accepted, "transplanted certificate accepted");
+        assert!(
+            !verify(&nf, &c5, &honest).unwrap().accepted,
+            "transplanted certificate accepted"
+        );
     }
 
     #[test]
@@ -359,7 +381,10 @@ mod tests {
             // And the bound itself is O(T n log n): T = 2 rounds here.
             let t = nf.horizon(n);
             let asymptotic = 64 * t * n * BitString::width_for(n).max(1);
-            assert!(bound <= asymptotic, "bound {bound} not O(T·n·log n) = {asymptotic}");
+            assert!(
+                bound <= asymptotic,
+                "bound {bound} not O(T·n·log n) = {asymptotic}"
+            );
         }
     }
 
@@ -388,7 +413,10 @@ mod tests {
         // For every graph on 4 nodes: inner yes ⟺ honest normal-form
         // certificate accepted (completeness); inner no ⟹ honest prover
         // yields nothing.
-        let nf = NormalForm::new(SetProblem { kind: SetKind::VertexCover, k: 1 });
+        let nf = NormalForm::new(SetProblem {
+            kind: SetKind::VertexCover,
+            k: 1,
+        });
         for g in Graph::enumerate_all(4) {
             match nf.prove(&g) {
                 Some(z) => {

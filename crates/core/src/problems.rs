@@ -115,7 +115,12 @@ impl NondetProblem for KColoring {
 
     fn verifier_node(&self, n: usize, _v: NodeId, row: &BitString, label: &BitString) -> BoolNode {
         assert!(self.k <= n, "colour ids must fit the bandwidth (k ≤ n)");
-        Box::new(KColoringNode { k: self.k, row: row.clone(), label: label.clone(), my_color: None })
+        Box::new(KColoringNode {
+            k: self.k,
+            row: row.clone(),
+            label: label.clone(),
+            my_color: None,
+        })
     }
 }
 
@@ -468,16 +473,14 @@ impl NodeProgram for SetNode {
                     SetKind::IndependentSet => {
                         count == self.k
                             && !(self.member
-                                && (0..ctx.n).any(|u| {
-                                    u != me && members[u] && row_has(&self.row, me, u)
-                                }))
+                                && (0..ctx.n)
+                                    .any(|u| u != me && members[u] && row_has(&self.row, me, u)))
                     }
                     SetKind::DominatingSet => {
                         count == self.k
                             && (self.member
-                                || (0..ctx.n).any(|u| {
-                                    u != me && members[u] && row_has(&self.row, me, u)
-                                }))
+                                || (0..ctx.n)
+                                    .any(|u| u != me && members[u] && row_has(&self.row, me, u)))
                     }
                     SetKind::VertexCover => {
                         count <= self.k
@@ -600,7 +603,9 @@ impl NodeProgram for MatchingNode {
             _ => {
                 for (u, msg) in inbox.iter() {
                     match msg.reader().read_uint(idw) {
-                        Ok(p) if (p as usize) < ctx.n => self.partners[u.index()] = Some(p as usize),
+                        Ok(p) if (p as usize) < ctx.n => {
+                            self.partners[u.index()] = Some(p as usize)
+                        }
                         _ => return Status::Halt(false),
                     }
                 }
@@ -826,9 +831,18 @@ mod tests {
             Box::new(KColoring { k: 3 }),
             Box::new(HamiltonianPath),
             Box::new(TriangleExists),
-            Box::new(SetProblem { kind: SetKind::IndependentSet, k: 2 }),
-            Box::new(SetProblem { kind: SetKind::DominatingSet, k: 2 }),
-            Box::new(SetProblem { kind: SetKind::VertexCover, k: 2 }),
+            Box::new(SetProblem {
+                kind: SetKind::IndependentSet,
+                k: 2,
+            }),
+            Box::new(SetProblem {
+                kind: SetKind::DominatingSet,
+                k: 2,
+            }),
+            Box::new(SetProblem {
+                kind: SetKind::VertexCover,
+                k: 2,
+            }),
             Box::new(Connectivity),
             Box::new(PerfectMatching),
         ]
@@ -843,7 +857,9 @@ mod tests {
                 if problem.contains(&g) {
                     let verdict = prove_and_verify(problem.as_ref(), &g)
                         .unwrap()
-                        .unwrap_or_else(|| panic!("{}: prover failed on yes-instance", problem.name()));
+                        .unwrap_or_else(|| {
+                            panic!("{}: prover failed on yes-instance", problem.name())
+                        });
                     assert!(verdict.accepted, "{} seed {seed}", problem.name());
                 } else {
                     assert!(
@@ -893,7 +909,11 @@ mod tests {
                     );
                 }
             }
-            assert!(tested > 0, "{}: no no-instances sampled, weak test", problem.name());
+            assert!(
+                tested > 0,
+                "{}: no no-instances sampled, weak test",
+                problem.name()
+            );
         }
     }
 
@@ -901,7 +921,11 @@ mod tests {
     fn exhaustive_soundness_tiny() {
         // For 1-bit-label problems, check *all* certificates on tiny
         // no-instances: ∃z accepted ⟺ G ∈ L, the exact NCLIQUE semantics.
-        for kind in [SetKind::IndependentSet, SetKind::DominatingSet, SetKind::VertexCover] {
+        for kind in [
+            SetKind::IndependentSet,
+            SetKind::DominatingSet,
+            SetKind::VertexCover,
+        ] {
             let problem = SetProblem { kind, k: 2 };
             for g in Graph::enumerate_all(4) {
                 let found = exists_certificate(&problem, &g, 1).unwrap();

@@ -60,12 +60,17 @@ pub struct MonteCarloAdapter<A> {
 impl<A: OneSidedMonteCarlo> MonteCarloAdapter<A> {
     /// Wrap an algorithm with a replayable prover.
     pub fn new(algorithm: A, prover_attempts: usize, seed: u64) -> Self {
-        Self { algorithm, prover_attempts, seed }
+        Self {
+            algorithm,
+            prover_attempts,
+            seed,
+        }
     }
 
     fn sample(&self, n: usize, attempt: usize) -> Labelling {
         let bits = self.algorithm.coin_bits(n);
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9));
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9));
         Labelling(
             (0..n)
                 .map(|_| (0..bits).map(|_| rng.gen_bool(0.5)).collect())
@@ -163,7 +168,9 @@ mod tests {
     fn conversion_completeness_by_amplification() {
         let a = adapter();
         let g = gen::cycle(6); // 2-colourable, certainly 3-colourable
-        let verdict = prove_and_verify(&a, &g).unwrap().expect("prover finds coins");
+        let verdict = prove_and_verify(&a, &g)
+            .unwrap()
+            .expect("prover finds coins");
         assert!(verdict.accepted);
     }
 
@@ -192,7 +199,9 @@ mod tests {
         // NCLIQUE problem — the §8 remark made executable.
         let nf = crate::normal_form::NormalForm::new(adapter());
         let g = gen::cycle(6);
-        let verdict = prove_and_verify(&nf, &g).unwrap().expect("normal-form certificate");
+        let verdict = prove_and_verify(&nf, &g)
+            .unwrap()
+            .expect("normal-form certificate");
         assert!(verdict.accepted);
     }
 

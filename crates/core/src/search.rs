@@ -52,7 +52,9 @@ pub fn solve_by_gather<S: LabellingSearch>(
     let mut session = Session::new(cliquesim::Engine::new(n));
 
     // Gather: every node broadcasts its row; afterwards everyone holds G.
-    let payloads = (0..n).map(|v| g.input_row(cliquesim::NodeId::from(v))).collect();
+    let payloads = (0..n)
+        .map(|v| g.input_row(cliquesim::NodeId::from(v)))
+        .collect();
     let _views = cc_routing::all_to_all_broadcast(&mut session, payloads)?;
 
     // Local solve (all nodes run the same deterministic oracle).
@@ -64,7 +66,10 @@ pub fn solve_by_gather<S: LabellingSearch>(
         assert!(verdict.accepted, "oracle produced an invalid labelling");
         stats.absorb(&verdict.stats);
     }
-    Ok(SearchOutcome { labelling: solution, stats })
+    Ok(SearchOutcome {
+        labelling: solution,
+        stats,
+    })
 }
 
 /// Search version of k-colouring: output a proper colouring.
@@ -76,7 +81,9 @@ pub struct ColoringSearch {
 impl ColoringSearch {
     /// Search for a proper `k`-colouring.
     pub fn new(k: usize) -> Self {
-        Self { checker: crate::problems::KColoring { k } }
+        Self {
+            checker: crate::problems::KColoring { k },
+        }
     }
 }
 
@@ -138,7 +145,10 @@ mod tests {
         let out = solve_by_gather(&s, &gen::path(7)).unwrap();
         assert!(out.labelling.is_some());
         let out2 = solve_by_gather(&s, &gen::cliques(6, 2)).unwrap();
-        assert!(out2.labelling.is_none(), "disconnected graphs have no spanning tree");
+        assert!(
+            out2.labelling.is_none(),
+            "disconnected graphs have no spanning tree"
+        );
     }
 
     #[test]
@@ -150,6 +160,9 @@ mod tests {
             let out = solve_by_gather(&s, &gen::path(n)).unwrap();
             rounds.push((n, out.stats.rounds));
         }
-        assert!(rounds[2].1 > rounds[0].1, "gather cost grows with n: {rounds:?}");
+        assert!(
+            rounds[2].1 > rounds[0].1,
+            "gather cost grows with n: {rounds:?}"
+        );
     }
 }

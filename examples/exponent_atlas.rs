@@ -11,7 +11,11 @@ use congested_clique::{graph, matmul, param, paths, reductions, subgraph, theory
 fn measure(ns: &[usize], mut run: impl FnMut(usize) -> usize) -> (f64, String) {
     let samples: Vec<(usize, usize)> = ns.iter().map(|&n| (n, run(n))).collect();
     let fit = theory::fit_exponent(&samples);
-    let row = samples.iter().map(|(n, r)| format!("{n}:{r}")).collect::<Vec<_>>().join("  ");
+    let row = samples
+        .iter()
+        .map(|(n, r)| format!("{n}:{r}"))
+        .collect::<Vec<_>>()
+        .join("  ");
     (fit.delta, row)
 }
 
@@ -39,7 +43,10 @@ fn main() {
         subgraph::detect_triangle(&mut s, &g).unwrap();
         s.stats().rounds
     });
-    println!("{:28} {:>8.3} {:>10}   {row}", "triangle (Dolev et al.)", d, "1/3*");
+    println!(
+        "{:28} {:>8.3} {:>10}   {row}",
+        "triangle (Dolev et al.)", d, "1/3*"
+    );
 
     let (d, row) = measure(&[32, 64, 128, 256], |n| {
         let (g, _) = graph::gen::planted_dominating_set(n, 2, 0.05, n as u64);
@@ -47,14 +54,20 @@ fn main() {
         param::dominating_set(&mut s, &g, 2).unwrap();
         s.stats().rounds
     });
-    println!("{:28} {:>8.3} {:>10}   {row}", "2-dominating set (Thm 9)", d, "1-1/k=1/2");
+    println!(
+        "{:28} {:>8.3} {:>10}   {row}",
+        "2-dominating set (Thm 9)", d, "1-1/k=1/2"
+    );
 
     let (d, row) = measure(&[64, 128, 256, 512], |n| {
         let g = graph::gen::star(n);
         let (_, stats) = param::vertex_cover_rounds(&g, 4).unwrap();
         stats.rounds
     });
-    println!("{:28} {:>8.3} {:>10}   {row}", "4-vertex cover (Thm 11)", d, "0");
+    println!(
+        "{:28} {:>8.3} {:>10}   {row}",
+        "4-vertex cover (Thm 11)", d, "0"
+    );
 
     let (d, row) = measure(&ns, |n| {
         let wg = graph::gen::gnp_weighted(n, 0.2, 30, n as u64);
@@ -62,7 +75,10 @@ fn main() {
         paths::apsp_exact(&mut s, &wg).unwrap();
         s.stats().rounds
     });
-    println!("{:28} {:>8.3} {:>10}   {row}", "APSP weighted (squaring)", d, "1/3*");
+    println!(
+        "{:28} {:>8.3} {:>10}   {row}",
+        "APSP weighted (squaring)", d, "1/3*"
+    );
 
     // MaxIS pays exponential *local* time (free in the model, not on this
     // machine) — keep the instance sizes small and sparse.
@@ -78,7 +94,10 @@ fn main() {
     println!("    rectangular multiplication, substituted by the 3D semiring");
     println!("    algorithm — see DESIGN.md.\n");
 
-    println!("Figure 1 arrow-closure validation: {:?}", reductions::Atlas::validate(4));
+    println!(
+        "Figure 1 arrow-closure validation: {:?}",
+        reductions::Atlas::validate(4)
+    );
     println!("\nGraphviz of the atlas (paste into `dot -Tsvg`):\n");
     println!("{}", reductions::Atlas::to_dot());
 }

@@ -73,12 +73,16 @@ fn main() {
         (graph::gen::cliques(4, 2), "2×K2 (disconnected)"),
     ] {
         let honest = theory::Sigma2Universal::honest_guess(&g);
-        let all_pass = alg.accepts_all_challenges(&g, &honest).expect("simulation ok");
+        let all_pass = alg
+            .accepts_all_challenges(&g, &honest)
+            .expect("simulation ok");
         println!("{name:22}: honest guess survives every universal challenge = {all_pass}");
     }
     let g = graph::gen::path(4);
     let mut lying = theory::Sigma2Universal::honest_guess(&g);
     lying.0[1] = theory::Sigma2Universal::encode_graph(&g.complement());
-    let caught = alg.find_rejecting_challenge(&g, &lying).expect("simulation ok");
+    let caught = alg
+        .find_rejecting_challenge(&g, &lying)
+        .expect("simulation ok");
     println!("a node guessing the wrong graph is caught by challenge {caught:?}");
 }

@@ -24,7 +24,9 @@ fn main() {
             "{:>8} {:>8} {:>10}",
             n,
             stats.rounds,
-            cover.map(|c| c.len().to_string()).unwrap_or_else(|| "-".into())
+            cover
+                .map(|c| c.len().to_string())
+                .unwrap_or_else(|| "-".into())
         );
     }
 
@@ -39,7 +41,9 @@ fn main() {
             "{:>8} {:>8} {:>10}",
             k,
             stats.rounds,
-            cover.map(|c| c.len().to_string()).unwrap_or_else(|| "-".into())
+            cover
+                .map(|c| c.len().to_string())
+                .unwrap_or_else(|| "-".into())
         );
     }
 

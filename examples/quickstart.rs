@@ -33,7 +33,11 @@ fn main() {
         s2.stats().rounds,
         s2.stats().bits
     );
-    assert_eq!(dolev.is_some(), mm.is_some(), "the two detectors must agree");
+    assert_eq!(
+        dolev.is_some(),
+        mm.is_some(),
+        "the two detectors must agree"
+    );
 
     // --- Theorem 11: k-vertex cover in O(k) rounds, independent of n.
     for k in [2usize, 4, 6] {
@@ -66,8 +70,7 @@ fn main() {
     let verdict = theory::verify(&problem, &colorable, &honest).expect("simulation ok");
     println!(
         "\nNCLIQUE(1) 3-colouring certificate     : accepted={} ({} rounds)",
-        verdict.accepted,
-        verdict.stats.rounds
+        verdict.accepted, verdict.stats.rounds
     );
     let mut forged = honest.clone();
     // Give one endpoint of an edge its neighbour's colour: a real conflict.

@@ -35,5 +35,7 @@ pub use cliquesim as sim;
 /// Commonly used items, for `use congested_clique::prelude::*`.
 pub mod prelude {
     pub use cc_graph::{Graph, WeightedGraph};
-    pub use cliquesim::{BitString, Engine, NodeCtx, NodeId, NodeProgram, RunStats, Session, Status};
+    pub use cliquesim::{
+        BitString, Engine, NodeCtx, NodeId, NodeProgram, RunStats, Session, Status,
+    };
 }

@@ -84,17 +84,30 @@ fn path_topology_needs_diameter_rounds() {
                 if v + 1 < n {
                     peers.push(v as u32 + 1);
                 }
-                MaxFlood { peers, current: 0, horizon }
+                MaxFlood {
+                    peers,
+                    current: 0,
+                    horizon,
+                }
             })
             .collect()
     };
     // With horizon n−1 the flood completes…
-    let out = Engine::new(n).with_topology(path_topology(n)).run(make(n - 1)).unwrap();
+    let out = Engine::new(n)
+        .with_topology(path_topology(n))
+        .run(make(n - 1))
+        .unwrap();
     assert_eq!(out.outputs, vec![n as u64 - 1; n]);
     // …with a shorter horizon node 0 has not heard from the far end.
-    let out_short =
-        Engine::new(n).with_topology(path_topology(n)).run(make(n / 2)).unwrap();
-    assert_ne!(out_short.outputs[0], n as u64 - 1, "information cannot outrun the bottleneck");
+    let out_short = Engine::new(n)
+        .with_topology(path_topology(n))
+        .run(make(n / 2))
+        .unwrap();
+    assert_ne!(
+        out_short.outputs[0],
+        n as u64 - 1,
+        "information cannot outrun the bottleneck"
+    );
 }
 
 #[test]
@@ -109,6 +122,12 @@ fn clique_program_violates_path_topology() {
             horizon: 1,
         })
         .collect();
-    let err = Engine::new(n).with_topology(path_topology(n)).run(programs).unwrap_err();
-    assert!(matches!(err, congested_clique::sim::SimError::TopologyViolated { .. }));
+    let err = Engine::new(n)
+        .with_topology(path_topology(n))
+        .run(programs)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        congested_clique::sim::SimError::TopologyViolated { .. }
+    ));
 }

@@ -14,9 +14,15 @@ fn triangle_arrow_boolean_mm() {
         let g = graph::gen::gnp(18, 0.2, seed);
         let expect = reference::count_triangles(&g) > 0;
         let mut s1 = Session::new(Engine::new(18));
-        assert_eq!(subgraph::triangle_via_mm(&mut s1, &g).unwrap().is_some(), expect);
+        assert_eq!(
+            subgraph::triangle_via_mm(&mut s1, &g).unwrap().is_some(),
+            expect
+        );
         let mut s2 = Session::new(Engine::new(18));
-        assert_eq!(subgraph::detect_triangle(&mut s2, &g).unwrap().is_some(), expect);
+        assert_eq!(
+            subgraph::detect_triangle(&mut s2, &g).unwrap().is_some(),
+            expect
+        );
     }
 }
 
@@ -49,8 +55,12 @@ fn dhz_arrow_boolean_mm_via_approx_apsp() {
     use rand::{Rng, SeedableRng};
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
     let n = 6;
-    let a: Vec<Vec<bool>> = (0..n).map(|_| (0..n).map(|_| rng.gen_bool(0.4)).collect()).collect();
-    let b: Vec<Vec<bool>> = (0..n).map(|_| (0..n).map(|_| rng.gen_bool(0.4)).collect()).collect();
+    let a: Vec<Vec<bool>> = (0..n)
+        .map(|_| (0..n).map(|_| rng.gen_bool(0.4)).collect())
+        .collect();
+    let b: Vec<Vec<bool>> = (0..n)
+        .map(|_| (0..n).map(|_| rng.gen_bool(0.4)).collect())
+        .collect();
     let (via_apsp, _) = reductions::boolean_mm_via_approx_apsp(&a, &b, 0.5).unwrap();
     let expect = matmul::mm_local(
         &matmul::BoolSemiring,
@@ -85,7 +95,8 @@ fn coloring_arrow_k_col_via_max_is() {
     let (g, _) = graph::gen::k_colorable(7, 3, 0.5, 5);
     let (coloring, _) = reductions::k_coloring_via_max_is(&g, 3).unwrap();
     assert!(coloring.is_some());
-    let (no_coloring, _) = reductions::k_coloring_via_max_is(&graph::Graph::complete(5), 3).unwrap();
+    let (no_coloring, _) =
+        reductions::k_coloring_via_max_is(&graph::Graph::complete(5), 3).unwrap();
     assert!(no_coloring.is_none());
 }
 
@@ -110,7 +121,10 @@ fn semiring_mm_agreement_across_carriers() {
     let b = matmul::Matrix::from_fn(n, |_, _| rng.gen_bool(0.5));
     let mut s = Session::new(Engine::new(n));
     let c = matmul::mm_three_d(&mut s, &matmul::BoolSemiring, &a.to_rows(), &b.to_rows()).unwrap();
-    assert_eq!(matmul::Matrix::from_rows(c), matmul::mm_local(&matmul::BoolSemiring, &a, &b));
+    assert_eq!(
+        matmul::Matrix::from_rows(c),
+        matmul::mm_local(&matmul::BoolSemiring, &a, &b)
+    );
     // Ring.
     let sr = matmul::RingI64::with_width(32);
     let a = matmul::Matrix::from_fn(n, |_, _| rng.gen_range(-9i64..9));

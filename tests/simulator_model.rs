@@ -29,8 +29,9 @@ fn parallel_engine_is_bit_identical_on_real_algorithms() {
     // BFS through a sequential engine...
     let mut s1 = Session::new(Engine::new(n));
     let d1 = paths::bfs(&mut s1, &g, 3).unwrap();
-    // ...and a 4-thread engine.
-    let mut s2 = Session::new(Engine::new(n).with_threads(4));
+    // ...and a 4-worker pool (exact: not capped by host cores, so the
+    // pooled path is exercised even on single-core CI).
+    let mut s2 = Session::new(Engine::new(n).with_threads_exact(4));
     let d2 = paths::bfs(&mut s2, &g, 3).unwrap();
     assert_eq!(d1, d2);
     assert_eq!(s1.stats(), s2.stats());
@@ -81,7 +82,9 @@ fn both_paper_input_encodings_reconstruct_the_graph() {
         }
     }
     // Balanced private split: partitions all pairs, each node ≥ ⌊(n−1)/2⌋.
-    let total: usize = (0..15).map(|v| graph::Graph::owned_slots(15, v).len()).sum();
+    let total: usize = (0..15)
+        .map(|v| graph::Graph::owned_slots(15, v).len())
+        .sum();
     assert_eq!(total, 15 * 14 / 2);
     for v in 0..15 {
         assert!(graph::Graph::owned_slots(15, v).len() >= 7);
@@ -103,6 +106,137 @@ fn bfs_is_a_broadcast_congested_clique_algorithm() {
     let mut demands: Vec<Vec<(NodeId, cliquesim::BitString)>> = vec![Vec::new(); 4];
     demands[0].push((NodeId(2), cliquesim::BitString::zeros(3)));
     assert!(routing::route(&mut s2, demands).is_err());
+}
+
+mod thread_count_identity {
+    //! Property: the engine's outputs, transcripts, and every model-level
+    //! stat are independent of the pool shape — across thread counts that
+    //! divide `n` unevenly, in broadcast-only mode, and under a CONGEST
+    //! ring topology.
+
+    use cliquesim::{
+        BitString, Engine, Inbox, NodeCtx, NodeId, NodeProgram, Outbox, RunStats, Status,
+        Transcript,
+    };
+    use proptest::prelude::*;
+
+    /// Deterministic message-mixing program: every round each node folds
+    /// its inbox into an accumulator, then unicasts / broadcasts /
+    /// ring-casts a bandwidth-wide digest of it. Nodes halt at staggered
+    /// rounds, so late messages land on halted receivers and exercise the
+    /// undelivered accounting too.
+    #[derive(Clone)]
+    struct Mixer {
+        /// 0 = clique unicast, 1 = broadcast-only, 2 = CONGEST ring.
+        mode: u8,
+        halt_after: usize,
+        acc: u64,
+    }
+
+    impl NodeProgram for Mixer {
+        type Output = u64;
+
+        fn step(
+            &mut self,
+            ctx: &NodeCtx,
+            round: usize,
+            inbox: &Inbox<'_>,
+            ob: &mut Outbox<'_>,
+        ) -> Status<u64> {
+            for (u, m) in inbox.iter() {
+                self.acc = self
+                    .acc
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(m.as_uint() ^ u.index() as u64);
+            }
+            if round >= self.halt_after {
+                return Status::Halt(self.acc);
+            }
+            let (me, n) = (ctx.id.index(), ctx.n);
+            let width = ctx.bandwidth.min(63);
+            let digest = |salt: u64| {
+                let mut m = BitString::new();
+                m.push_uint(
+                    (self.acc ^ round as u64 ^ salt) & ((1u64 << width) - 1),
+                    width,
+                );
+                m
+            };
+            match self.mode {
+                1 => ob.broadcast(&digest(7)),
+                2 => {
+                    for to in [(me + 1) % n, (me + n - 1) % n] {
+                        if to != me {
+                            ob.send(NodeId::from(to), digest(to as u64));
+                        }
+                    }
+                }
+                _ => {
+                    // k ∈ [1, n-1], so the target is never `me`.
+                    let to = (me + 1 + round % (n - 1)) % n;
+                    ob.send(NodeId::from(to), digest(to as u64));
+                }
+            }
+            Status::Continue
+        }
+    }
+
+    fn ring(n: usize) -> Vec<bool> {
+        let mut adj = vec![false; n * n];
+        for v in 0..n {
+            let w = (v + 1) % n;
+            adj[v * n + w] = true;
+            adj[w * n + v] = true;
+        }
+        adj
+    }
+
+    fn run(n: usize, mode: u8, k: usize, threads: usize) -> (Vec<u64>, RunStats, Vec<Transcript>) {
+        let mut engine = Engine::new(n).with_transcripts(true);
+        engine = match mode {
+            1 => engine.broadcast_only(true),
+            2 => engine.with_topology(ring(n)),
+            _ => engine,
+        };
+        if threads > 1 {
+            // Exact: the pooled path must run even when the host has
+            // fewer cores than workers (single-core CI included).
+            engine = engine.with_threads_exact(threads);
+        }
+        let programs = (0..n)
+            .map(|v| Mixer {
+                mode,
+                halt_after: k + (v * 3 + 1) % 4,
+                acc: v as u64,
+            })
+            .collect();
+        let out = engine.run(programs).expect("mixer must run clean");
+        (
+            out.outputs,
+            out.stats,
+            out.transcripts.expect("recording on"),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn engine_is_bit_identical_across_thread_counts(
+            n in 5usize..24,       // includes primes: no thread count divides evenly
+            mode in 0u8..3,
+            k in 1usize..5,
+        ) {
+            let (out0, stats0, tr0) = run(n, mode, k, 1);
+            prop_assert!(stats0.rounds >= k, "mixers run at least k rounds");
+            for threads in [2usize, 3, 4, 7] {
+                let (out, stats, tr) = run(n, mode, k, threads);
+                prop_assert_eq!(&out0, &out, "outputs differ at {} threads", threads);
+                prop_assert_eq!(&stats0, &stats, "stats differ at {} threads", threads);
+                prop_assert_eq!(&tr0, &tr, "transcripts differ at {} threads", threads);
+            }
+        }
+    }
 }
 
 #[test]

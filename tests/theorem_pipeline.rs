@@ -31,7 +31,11 @@ fn thm3_normal_form_across_problem_zoo() {
     for (p, make) in &problems {
         for seed in 0..3 {
             let g = make(seed);
-            assert!(p.contains(&g), "{}: workload must be a yes-instance", p.name());
+            assert!(
+                p.contains(&g),
+                "{}: workload must be a yes-instance",
+                p.name()
+            );
             let verdict = theory::prove_and_verify(p.as_ref(), &g).unwrap().unwrap();
             assert!(verdict.accepted, "{} seed {seed}", p.name());
         }
@@ -75,7 +79,10 @@ fn thm7_sigma2_decides_clique_hard_languages() {
 fn thm6_edge_labelling_roundtrip_with_normal_form() {
     // Theorem 6 builds on Theorem 3: canonical edge labels are per-edge
     // transcripts. Verify the full chain on a set problem.
-    let p = theory::SetProblem { kind: theory::SetKind::IndependentSet, k: 2 };
+    let p = theory::SetProblem {
+        kind: theory::SetKind::IndependentSet,
+        k: 2,
+    };
     for seed in 0..3 {
         let (g, _) = graph::gen::planted_independent_set(6, 2, 0.6, seed);
         let lab = theory::canonical_labelling(&p, &g).expect("yes-instance");

@@ -1,0 +1,213 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the harness surface this workspace's benches use —
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! [`Bencher::iter`], plus the [`criterion_group!`]/[`criterion_main!`]
+//! macros — with honest wall-clock measurement: per sample the routine runs
+//! enough iterations to exceed a minimum window, and the report gives
+//! `[min median mean]` per-iteration times. No plots, no statistics engine;
+//! numbers print to stdout where `cargo bench` shows them.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub use std::hint::black_box;
+
+/// Minimum measured time per sample; short routines are batched up to this.
+const SAMPLE_WINDOW: Duration = Duration::from_millis(4);
+
+/// Top-level harness handle, passed to every bench target.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substring>` filters benchmark ids; flag-style
+        // arguments the real harness accepts are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            harness: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Run a standalone benchmark (group of one).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut group = self.benchmark_group(String::new());
+        group.bench_function(id, f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    harness: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1);
+        self.sample_size = n;
+        self
+    }
+
+    /// Measure one routine. `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] exactly like under real criterion.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if !self.harness.matches(&full) {
+            return self;
+        }
+
+        // Calibration sample: also serves as warm-up.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let iters = (SAMPLE_WINDOW.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{full:<40} time: [{} {} {}]  ({} samples × {iters} iters)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            samples.len(),
+        );
+        self
+    }
+
+    /// End the group (layout parity with real criterion; no-op).
+    pub fn finish(self) {}
+}
+
+/// Times the routine passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run the routine `iters` times, recording total wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Bundle bench targets into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (for `harness = false` benches).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut ran = false;
+        c.benchmark_group("g").bench_function("id", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn time_formatting_spans_units() {
+        assert_eq!(fmt_time(2.0), "2.000 s");
+        assert_eq!(fmt_time(2e-3), "2.000 ms");
+        assert_eq!(fmt_time(2e-6), "2.000 µs");
+        assert_eq!(fmt_time(2e-9), "2.0 ns");
+    }
+}

@@ -1,0 +1,160 @@
+//! Offline stand-in for `rand_chacha`: [`ChaCha8Rng`] is a genuine ChaCha
+//! keystream generator (8 rounds, RFC 7539 state layout) implementing the
+//! workspace's vendored `rand` traits. Output is high-quality and fully
+//! deterministic per seed, though the stream differs from the upstream crate
+//! (which nothing in this workspace depends on — every consumer seeds
+//! explicitly and only needs reproducibility).
+
+use rand::{RngCore, SeedableRng};
+
+/// The ChaCha quarter round.
+#[inline(always)]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $doc:literal, $rounds:expr) => {
+        #[doc = $doc]
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            /// Input block: constants, key, counter, nonce.
+            input: [u32; 16],
+            /// Current keystream block.
+            buf: [u32; 16],
+            /// Next unread word of `buf` (16 = exhausted).
+            idx: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                let mut x = self.input;
+                for _ in 0..($rounds / 2) {
+                    // Column round.
+                    quarter(&mut x, 0, 4, 8, 12);
+                    quarter(&mut x, 1, 5, 9, 13);
+                    quarter(&mut x, 2, 6, 10, 14);
+                    quarter(&mut x, 3, 7, 11, 15);
+                    // Diagonal round.
+                    quarter(&mut x, 0, 5, 10, 15);
+                    quarter(&mut x, 1, 6, 11, 12);
+                    quarter(&mut x, 2, 7, 8, 13);
+                    quarter(&mut x, 3, 4, 9, 14);
+                }
+                for (o, i) in x.iter_mut().zip(self.input.iter()) {
+                    *o = o.wrapping_add(*i);
+                }
+                self.buf = x;
+                self.idx = 0;
+                // 64-bit block counter in words 12–13.
+                let (lo, carry) = self.input[12].overflowing_add(1);
+                self.input[12] = lo;
+                if carry {
+                    self.input[13] = self.input[13].wrapping_add(1);
+                }
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: [u8; 32]) -> Self {
+                let mut input = [0u32; 16];
+                // "expand 32-byte k"
+                input[0] = 0x6170_7865;
+                input[1] = 0x3320_646e;
+                input[2] = 0x7962_2d32;
+                input[3] = 0x6b20_6574;
+                for i in 0..8 {
+                    input[4 + i] =
+                        u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+                }
+                // Counter and nonce start at zero.
+                Self {
+                    input,
+                    buf: [0; 16],
+                    idx: 16,
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.idx >= 16 {
+                    self.refill();
+                }
+                let w = self.buf[self.idx];
+                self.idx += 1;
+                w
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                lo | (hi << 32)
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    "ChaCha with 8 rounds: fast, seedable, reproducible.",
+    8
+);
+chacha_rng!(ChaCha12Rng, "ChaCha with 12 rounds.", 12);
+chacha_rng!(
+    ChaCha20Rng,
+    "ChaCha with 20 rounds (the RFC 7539 cipher core).",
+    20
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn chacha20_matches_rfc7539_keystream() {
+        // RFC 7539 §2.3.2 test vector: key = 00 01 ... 1f, counter = 1,
+        // nonce = 000000090000004a00000000. Our nonce/counter start at zero,
+        // so instead check the zero-key zero-nonce vector from the original
+        // ChaCha reference: first word of block 0 is ade0b876.
+        let rng = &mut ChaCha20Rng::from_seed([0u8; 32]);
+        assert_eq!(rng.next_u32(), 0xade0_b876);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..100).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn block_counter_advances() {
+        let mut r = ChaCha8Rng::from_seed([7u8; 32]);
+        let first_block: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        let second_block: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        assert_ne!(first_block, second_block);
+    }
+
+    #[test]
+    fn bernoulli_is_roughly_fair() {
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&heads), "heads={heads}");
+    }
+}
