@@ -1,0 +1,406 @@
+//! Transcript replay + bandwidth auditing.
+//!
+//! The paper's model allows at most `⌈log₂ n⌉` bits per ordered pair per
+//! round, and each theorem declares a round bound. The engine enforces
+//! its *configured* budget at send time, but experiments may legitimately
+//! widen it (e.g. `with_bandwidth_multiplier` for Lenzen-style routing).
+//! The auditor is the independent check: it re-walks recorded
+//! [`Transcript`]s after the fact and rejects any message over a given
+//! budget, any send/receive asymmetry between nodes, and any execution
+//! longer than a declared round bound — without trusting the engine's
+//! own accounting, which it instead cross-checks.
+
+use cliquesim::{BitString, RunStats, Transcript};
+use std::fmt;
+
+/// What a transcript set is audited against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AuditSpec {
+    /// Per-message bit budget (the model's `⌈log₂ n⌉` via [`AuditSpec::model`]).
+    pub bandwidth: usize,
+    /// Optional theorem-declared round bound (inclusive).
+    pub round_bound: Option<usize>,
+}
+
+impl AuditSpec {
+    /// The paper's strict budget for an n-node clique: `⌈log₂ n⌉` bits
+    /// per ordered pair per round, no round bound.
+    pub fn model(n: usize) -> Self {
+        Self {
+            bandwidth: BitString::width_for(n),
+            round_bound: None,
+        }
+    }
+
+    /// Explicit bandwidth budget, no round bound.
+    pub fn with_bandwidth(bits: usize) -> Self {
+        Self {
+            bandwidth: bits,
+            round_bound: None,
+        }
+    }
+
+    /// Add an inclusive round bound.
+    pub fn with_round_bound(mut self, rounds: usize) -> Self {
+        self.round_bound = Some(rounds);
+        self
+    }
+}
+
+/// A violation found while re-walking transcripts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuditViolation {
+    /// A recorded payload exceeds the per-message budget.
+    OverBudget {
+        /// Node whose transcript holds the payload.
+        node: usize,
+        /// Round index within that node's transcript.
+        round: usize,
+        /// The other endpoint.
+        peer: usize,
+        /// Observed payload width.
+        bits: usize,
+        /// The budget it broke.
+        limit: usize,
+    },
+    /// The execution ran longer than the declared bound.
+    RoundBoundExceeded {
+        /// Rounds actually used.
+        rounds: usize,
+        /// The declared bound.
+        bound: usize,
+    },
+    /// A send with no matching receive in the recipient's next round,
+    /// although the recipient was still active then.
+    LostMessage {
+        /// Sender.
+        from: usize,
+        /// Intended recipient.
+        to: usize,
+        /// Round the send was recorded in.
+        round: usize,
+    },
+    /// A receive with no matching send in the source's previous round.
+    GhostMessage {
+        /// Node that recorded the receive.
+        at: usize,
+        /// Claimed source.
+        from: usize,
+        /// Round the receive was recorded in.
+        round: usize,
+    },
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditViolation::OverBudget {
+                node,
+                round,
+                peer,
+                bits,
+                limit,
+            } => write!(
+                f,
+                "node {node}, round {round}: {bits}-bit message to/from {peer} \
+                 exceeds the {limit}-bit budget"
+            ),
+            AuditViolation::RoundBoundExceeded { rounds, bound } => {
+                write!(
+                    f,
+                    "execution used {rounds} rounds, declared bound is {bound}"
+                )
+            }
+            AuditViolation::LostMessage { from, to, round } => write!(
+                f,
+                "message {from}→{to} sent in round {round} never arrived \
+                 although {to} was still active"
+            ),
+            AuditViolation::GhostMessage { at, from, round } => write!(
+                f,
+                "node {at} claims a round-{round} message from {from} that {from} never sent"
+            ),
+        }
+    }
+}
+
+/// Totals recomputed from the transcripts alone (never copied from the
+/// engine), used to cross-check [`RunStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Communication rounds: longest transcript minus the final
+    /// receive-only step.
+    pub rounds: usize,
+    /// Total sent messages across all nodes.
+    pub messages: u64,
+    /// Total sent payload bits across all nodes.
+    pub bits: u64,
+    /// Widest single payload observed.
+    pub max_message_bits: usize,
+}
+
+/// Re-walk a transcript set against a spec.
+///
+/// Checks, in order: every payload (sent *and* received) fits the
+/// budget; every receive in round `r` matches a send in the source's
+/// round `r − 1`; every send reaches its recipient in round `r + 1`
+/// unless the recipient had already halted (the engine's undelivered
+/// case); and the total round count respects the bound, if any.
+pub fn audit_transcripts(
+    transcripts: &[Transcript],
+    spec: &AuditSpec,
+) -> Result<AuditReport, AuditViolation> {
+    let mut report = AuditReport::default();
+    let steps = transcripts
+        .iter()
+        .map(|t| t.rounds.len())
+        .max()
+        .unwrap_or(0);
+    report.rounds = steps.saturating_sub(1);
+
+    for (v, t) in transcripts.iter().enumerate() {
+        for (r, round) in t.rounds.iter().enumerate() {
+            for (dst, msg) in &round.sent {
+                if msg.len() > spec.bandwidth {
+                    return Err(AuditViolation::OverBudget {
+                        node: v,
+                        round: r,
+                        peer: dst.index(),
+                        bits: msg.len(),
+                        limit: spec.bandwidth,
+                    });
+                }
+                report.messages += 1;
+                report.bits += msg.len() as u64;
+                report.max_message_bits = report.max_message_bits.max(msg.len());
+            }
+            for (src, msg) in &round.received {
+                if msg.len() > spec.bandwidth {
+                    return Err(AuditViolation::OverBudget {
+                        node: v,
+                        round: r,
+                        peer: src.index(),
+                        bits: msg.len(),
+                        limit: spec.bandwidth,
+                    });
+                }
+            }
+        }
+    }
+
+    // Cross-node symmetry: receives must trace back to sends, sends must
+    // arrive unless the recipient halted first.
+    for (v, t) in transcripts.iter().enumerate() {
+        for (r, round) in t.rounds.iter().enumerate() {
+            for (src, msg) in &round.received {
+                let sent_back = r >= 1
+                    && transcripts
+                        .get(src.index())
+                        .and_then(|ts| ts.rounds.get(r - 1))
+                        .map(|prev| prev.sent.iter().any(|(d, m)| d.index() == v && m == msg))
+                        .unwrap_or(false);
+                if !sent_back {
+                    return Err(AuditViolation::GhostMessage {
+                        at: v,
+                        from: src.index(),
+                        round: r,
+                    });
+                }
+            }
+            for (dst, msg) in &round.sent {
+                let receiver = transcripts.get(dst.index());
+                let receiver_active = receiver.map(|ts| ts.rounds.len() > r + 1).unwrap_or(false);
+                if receiver_active {
+                    let arrived = receiver
+                        .and_then(|ts| ts.rounds.get(r + 1))
+                        .map(|next| {
+                            next.received
+                                .iter()
+                                .any(|(s, m)| s.index() == v && m == msg)
+                        })
+                        .unwrap_or(false);
+                    if !arrived {
+                        return Err(AuditViolation::LostMessage {
+                            from: v,
+                            to: dst.index(),
+                            round: r,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(bound) = spec.round_bound {
+        if report.rounds > bound {
+            return Err(AuditViolation::RoundBoundExceeded {
+                rounds: report.rounds,
+                bound,
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// Panicking wrapper: audit and additionally cross-check the engine's
+/// own [`RunStats`] against the independently recomputed totals. Returns
+/// the report. The label should embed the reproducing seed.
+pub fn assert_transcripts_conform(
+    label: &str,
+    transcripts: &[Transcript],
+    stats: &RunStats,
+    spec: &AuditSpec,
+) -> AuditReport {
+    let report = audit_transcripts(transcripts, spec)
+        .unwrap_or_else(|violation| panic!("{label}: transcript audit failed: {violation}"));
+    assert!(
+        report.rounds == stats.rounds,
+        "{label}: transcripts show {} rounds, stats claim {}",
+        report.rounds,
+        stats.rounds
+    );
+    assert!(
+        report.messages == stats.messages,
+        "{label}: transcripts show {} messages, stats claim {}",
+        report.messages,
+        stats.messages
+    );
+    assert!(
+        report.bits == stats.bits,
+        "{label}: transcripts show {} payload bits, stats claim {}",
+        report.bits,
+        stats.bits
+    );
+    assert!(
+        report.max_message_bits == stats.max_message_bits,
+        "{label}: transcripts show a {}-bit max message, stats claim {}",
+        report.max_message_bits,
+        stats.max_message_bits
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliquesim::{Engine, Inbox, NodeCtx, NodeId, NodeProgram, Outbox, Status};
+
+    /// Broadcasts a payload of `width` bits for `rounds` rounds.
+    #[derive(Clone)]
+    struct Chatter {
+        width: usize,
+        rounds: usize,
+    }
+
+    impl NodeProgram for Chatter {
+        type Output = ();
+        fn step(
+            &mut self,
+            _ctx: &NodeCtx,
+            round: usize,
+            _inbox: &Inbox<'_>,
+            outbox: &mut Outbox<'_>,
+        ) -> Status<()> {
+            if round >= self.rounds {
+                return Status::Halt(());
+            }
+            let mut m = BitString::new();
+            for i in 0..self.width {
+                m.push(i % 2 == 0);
+            }
+            outbox.broadcast(&m);
+            Status::Continue
+        }
+    }
+
+    fn run_chatter(n: usize, width: usize, rounds: usize) -> (Vec<Transcript>, RunStats) {
+        let engine = Engine::new(n)
+            .with_bandwidth(width.max(BitString::width_for(n)))
+            .with_transcripts(true);
+        let out = engine
+            .run((0..n).map(|_| Chatter { width, rounds }).collect())
+            .expect("chatter runs clean");
+        (out.transcripts.expect("recording on"), out.stats)
+    }
+
+    #[test]
+    fn clean_run_passes_and_matches_stats() {
+        let n = 9;
+        let w = BitString::width_for(n);
+        let (tr, stats) = run_chatter(n, w, 3);
+        let report = assert_transcripts_conform("chatter", &tr, &stats, &AuditSpec::model(n));
+        assert_eq!(report.rounds, 3);
+        assert_eq!(report.messages, (n * (n - 1) * 3) as u64);
+        assert_eq!(report.max_message_bits, w);
+    }
+
+    #[test]
+    fn auditor_rejects_an_over_budget_protocol() {
+        // The engine is configured with double bandwidth (a legitimate
+        // experiment), but the *model* budget is ⌈log₂ n⌉ — the auditor
+        // must catch the violation the engine was told to allow.
+        let n = 8;
+        let model_w = BitString::width_for(n);
+        let (tr, _) = run_chatter(n, 2 * model_w, 2);
+        match audit_transcripts(&tr, &AuditSpec::model(n)) {
+            Err(AuditViolation::OverBudget { bits, limit, .. }) => {
+                assert_eq!(bits, 2 * model_w);
+                assert_eq!(limit, model_w);
+            }
+            other => panic!("expected OverBudget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auditor_rejects_a_round_bound_violation() {
+        let n = 8;
+        let (tr, _) = run_chatter(n, 3, 5);
+        let spec = AuditSpec::model(n).with_round_bound(3);
+        match audit_transcripts(&tr, &spec) {
+            Err(AuditViolation::RoundBoundExceeded { rounds, bound }) => {
+                assert_eq!((rounds, bound), (5, 3));
+            }
+            other => panic!("expected RoundBoundExceeded, got {other:?}"),
+        }
+        // And accepts at the exact bound (inclusive).
+        assert!(audit_transcripts(&tr, &AuditSpec::model(n).with_round_bound(5)).is_ok());
+    }
+
+    #[test]
+    fn auditor_rejects_ghost_and_lost_messages() {
+        let n = 5;
+        let (mut tr, _) = run_chatter(n, 3, 2);
+        // Forge a receive that nobody sent.
+        tr[0].rounds[1].received.retain(|(s, _)| s.index() != 1);
+        tr[0].rounds[1]
+            .received
+            .push((NodeId(1), BitString::from_bits([true, true, false])));
+        tr[0].rounds[1].received.sort_by_key(|(s, _)| s.index());
+        match audit_transcripts(&tr, &AuditSpec::model(n)) {
+            Err(AuditViolation::GhostMessage {
+                at: 0,
+                from: 1,
+                round: 1,
+            }) => {}
+            other => panic!("expected GhostMessage, got {other:?}"),
+        }
+
+        let (mut tr2, _) = run_chatter(n, 3, 2);
+        // Drop a delivery: node 2 "loses" node 3's round-1 message.
+        tr2[2].rounds[1].received.retain(|(s, _)| s.index() != 3);
+        match audit_transcripts(&tr2, &AuditSpec::model(n)) {
+            Err(AuditViolation::LostMessage {
+                from: 3,
+                to: 2,
+                round: 0,
+            }) => {}
+            other => panic!("expected LostMessage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_transcripts_audit_clean() {
+        let report = audit_transcripts(&[], &AuditSpec::with_bandwidth(1)).unwrap();
+        assert_eq!(report, AuditReport::default());
+    }
+}

@@ -1,0 +1,324 @@
+//! Differential execution across engine pool shapes and topologies.
+//!
+//! PR 1 made the engine's sequential and pooled paths bit-identical on
+//! synthetic programs; this module turns that into a standing obligation
+//! for every *real* protocol. A differential run executes the same
+//! protocol once per pool shape in [`POOL_SHAPES`] (sequential, an even
+//! 4-worker split, and a 7-worker pool that divides nothing evenly) and
+//! asserts outputs, accumulated [`RunStats`], and — for raw program runs
+//! — full transcripts are identical. Any divergence is a scheduler
+//! nondeterminism bug, and the panic names the protocol label and the
+//! offending thread count.
+
+use cliquesim::{Engine, NodeProgram, RunStats, Session, Transcript};
+use std::fmt::Debug;
+
+/// Pool shapes every differential run covers: sequential, an even split,
+/// and a worker count that divides typical `n` unevenly. `with_threads_exact`
+/// keeps the pooled path live even on single-core CI hosts.
+pub const POOL_SHAPES: [usize; 3] = [1, 4, 7];
+
+/// Run a session-level protocol under every pool shape on a plain clique
+/// engine and assert identical outputs and stats. Returns the output of
+/// the sequential run.
+pub fn differential_session<T, F>(label: &str, n: usize, protocol: F) -> T
+where
+    T: PartialEq + Debug,
+    F: FnMut(&mut Session) -> T,
+{
+    differential_engines(label, &Engine::new(n), protocol)
+}
+
+/// Like [`differential_session`], but over an arbitrary pre-configured
+/// base engine (topology, bandwidth, broadcast restriction, …). The base
+/// engine's own thread setting is overridden by each pool shape.
+pub fn differential_engines<T, F>(label: &str, base: &Engine, mut protocol: F) -> T
+where
+    T: PartialEq + Debug,
+    F: FnMut(&mut Session) -> T,
+{
+    let mut reference: Option<(T, RunStats, usize)> = None;
+    for &threads in POOL_SHAPES.iter() {
+        let mut session = Session::new(base.clone().with_threads_exact(threads));
+        let out = protocol(&mut session);
+        let stats = session.stats();
+        let phases = session.phases();
+        match &reference {
+            None => reference = Some((out, stats, phases)),
+            Some((out0, stats0, phases0)) => {
+                assert!(
+                    *out0 == out,
+                    "{label}: output diverges at threads={threads}: {out:?} vs {out0:?}"
+                );
+                assert!(
+                    *stats0 == stats,
+                    "{label}: RunStats diverge at threads={threads}: {stats:?} vs {stats0:?}"
+                );
+                assert!(
+                    *phases0 == phases,
+                    "{label}: phase count diverges at threads={threads}"
+                );
+            }
+        }
+    }
+    reference.expect("POOL_SHAPES is non-empty").0
+}
+
+/// Run a broadcast-capable protocol differentially in the unrestricted
+/// clique *and* the broadcast-only model (paper §2), asserting the two
+/// models agree with each other and across pool shapes. Returns the
+/// clique-model output.
+pub fn differential_broadcast_only<T, F>(label: &str, n: usize, mut protocol: F) -> T
+where
+    T: PartialEq + Debug,
+    F: FnMut(&mut Session) -> T,
+{
+    let clique = differential_engines(&format!("{label}/clique"), &Engine::new(n), &mut protocol);
+    let bcast = differential_engines(
+        &format!("{label}/broadcast-only"),
+        &Engine::new(n).broadcast_only(true),
+        &mut protocol,
+    );
+    assert!(
+        clique == bcast,
+        "{label}: broadcast-only model diverges from clique: {bcast:?} vs {clique:?}"
+    );
+    clique
+}
+
+/// Run raw node programs under every pool shape with transcript
+/// recording forced on, asserting byte-identical outputs, stats, and
+/// transcripts. Returns the sequential run's `(outputs, stats,
+/// transcripts)` for further auditing.
+///
+/// The factory is called once per shape and must produce identical
+/// programs each time (deterministic construction is the caller's
+/// responsibility — pass a fixed seed in).
+pub fn differential_programs<P, M>(
+    label: &str,
+    base: &Engine,
+    mut make_programs: M,
+) -> (Vec<P::Output>, RunStats, Vec<Transcript>)
+where
+    P: NodeProgram,
+    P::Output: PartialEq + Debug,
+    M: FnMut() -> Vec<P>,
+{
+    let mut reference: Option<(Vec<P::Output>, RunStats, Vec<Transcript>)> = None;
+    for &threads in POOL_SHAPES.iter() {
+        let engine = base
+            .clone()
+            .with_transcripts(true)
+            .with_threads_exact(threads);
+        let out = engine
+            .run(make_programs())
+            .unwrap_or_else(|e| panic!("{label}: engine error at threads={threads}: {e}"));
+        let transcripts = out.transcripts.expect("transcripts were requested");
+        match &reference {
+            None => reference = Some((out.outputs, out.stats, transcripts)),
+            Some((out0, stats0, tr0)) => {
+                assert!(
+                    *out0 == out.outputs,
+                    "{label}: outputs diverge at threads={threads}"
+                );
+                assert!(
+                    *stats0 == out.stats,
+                    "{label}: RunStats diverge at threads={threads}: {:?} vs {stats0:?}",
+                    out.stats
+                );
+                assert!(
+                    *tr0 == transcripts,
+                    "{label}: transcripts diverge at threads={threads}"
+                );
+            }
+        }
+    }
+    reference.expect("POOL_SHAPES is non-empty")
+}
+
+/// Adjacency matrix of the n-cycle, for CONGEST-ring differentials via
+/// `Engine::with_topology`.
+pub fn ring_topology(n: usize) -> Vec<bool> {
+    let mut adj = vec![false; n * n];
+    for v in 0..n {
+        let w = (v + 1) % n;
+        if v != w {
+            adj[v * n + w] = true;
+            adj[w * n + v] = true;
+        }
+    }
+    adj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliquesim::{BitString, Inbox, NodeCtx, NodeId, Outbox, Status};
+
+    /// One broadcast round: every node learns the minimum id.
+    #[derive(Clone)]
+    struct MinId(u64);
+
+    impl NodeProgram for MinId {
+        type Output = u64;
+        fn step(
+            &mut self,
+            ctx: &NodeCtx,
+            round: usize,
+            inbox: &Inbox<'_>,
+            outbox: &mut Outbox<'_>,
+        ) -> Status<u64> {
+            if round == 0 {
+                let mut m = BitString::new();
+                m.push_uint(ctx.id.0 as u64, ctx.id_width());
+                outbox.broadcast(&m);
+                self.0 = ctx.id.0 as u64;
+                Status::Continue
+            } else {
+                for (_, msg) in inbox.iter() {
+                    self.0 = self.0.min(msg.reader().read_uint(ctx.id_width()).unwrap());
+                }
+                Status::Halt(self.0)
+            }
+        }
+    }
+
+    /// Ring token passing: node 0 sends a token around the cycle once;
+    /// each node outputs whether it ever saw the token.
+    #[derive(Clone, Default)]
+    struct RingHop {
+        seen: bool,
+    }
+
+    impl NodeProgram for RingHop {
+        type Output = bool;
+        fn step(
+            &mut self,
+            ctx: &NodeCtx,
+            round: usize,
+            inbox: &Inbox<'_>,
+            outbox: &mut Outbox<'_>,
+        ) -> Status<bool> {
+            let (me, n) = (ctx.id.index(), ctx.n);
+            if !inbox.from(NodeId::from((me + n - 1) % n)).is_empty() {
+                self.seen = true;
+                let next = (me + 1) % n;
+                if next != 0 {
+                    outbox.send(NodeId::from(next), BitString::from_bits([true]));
+                }
+            }
+            if round == 0 && me == 0 && n > 1 {
+                outbox.send(NodeId::from(1 % n), BitString::from_bits([true]));
+            }
+            if round >= n - 1 {
+                return Status::Halt(me == 0 || self.seen);
+            }
+            Status::Continue
+        }
+    }
+
+    #[test]
+    fn program_differential_is_stable_across_shapes() {
+        // n = 15 ≥ 2·7, so the 7-worker pooled path really engages.
+        let n = 15;
+        let (outputs, stats, transcripts) =
+            differential_programs("minid", &Engine::new(n), || vec![MinId(0); n]);
+        assert_eq!(outputs, vec![0; n]);
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(transcripts.len(), n);
+    }
+
+    #[test]
+    fn ring_topology_runs_under_congest_restriction() {
+        let n = 6;
+        let engine = Engine::new(n).with_topology(ring_topology(n));
+        let (outputs, _, _) =
+            differential_programs("ringhop", &engine, || vec![RingHop::default(); n]);
+        assert!(outputs.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    #[should_panic(expected = "TopologyViolated")]
+    fn ring_topology_rejects_chords() {
+        // A broadcast from any node crosses non-ring links and must be
+        // rejected by the engine, proving the helper restricts topology.
+        let n = 6;
+        let engine = Engine::new(n).with_topology(ring_topology(n));
+        engine
+            .run((0..n).map(|_| MinId(0)).collect())
+            .map(|_| ())
+            .unwrap();
+    }
+
+    #[test]
+    fn session_differential_composes_phases() {
+        let g = crate::instances::Instance::new(crate::instances::Family::ErMedium, 14, 5).graph();
+        let out = differential_session("two-phase", 14, |s| {
+            let a = cc_graph_bfs(s, &g, 0);
+            let b = cc_graph_bfs(s, &g, 1);
+            (a, b)
+        });
+        assert_eq!(out.0.len(), 14);
+    }
+
+    /// Minimal BFS flood (testkit-local, so this module's self-test does
+    /// not depend on `cc-paths`): distances from `src` by 1-bit waves.
+    fn cc_graph_bfs(s: &mut Session, g: &cc_graph::Graph, src: usize) -> Vec<u64> {
+        #[derive(Clone)]
+        struct Flood {
+            row: BitString,
+            src: usize,
+            dist: Option<u64>,
+            frontier: bool,
+        }
+        impl NodeProgram for Flood {
+            type Output = u64;
+            fn step(
+                &mut self,
+                ctx: &NodeCtx,
+                round: usize,
+                inbox: &Inbox<'_>,
+                outbox: &mut Outbox<'_>,
+            ) -> Status<u64> {
+                let me = ctx.id.index();
+                if round == 0 {
+                    if me == self.src {
+                        self.dist = Some(0);
+                        self.frontier = true;
+                    }
+                } else {
+                    let mut newly = false;
+                    for (u, _) in inbox.iter() {
+                        let slot = if u.index() < me {
+                            u.index()
+                        } else {
+                            u.index() - 1
+                        };
+                        if self.row.get(slot) && self.dist.is_none() {
+                            self.dist = Some(round as u64);
+                            newly = true;
+                        }
+                    }
+                    self.frontier = newly;
+                }
+                if round >= ctx.n {
+                    return Status::Halt(self.dist.unwrap_or(u64::MAX));
+                }
+                if self.frontier {
+                    outbox.broadcast(&BitString::from_bits([true]));
+                }
+                Status::Continue
+            }
+        }
+        let n = g.n();
+        let programs = (0..n)
+            .map(|v| Flood {
+                row: g.input_row(NodeId::from(v)),
+                src,
+                dist: None,
+                frontier: false,
+            })
+            .collect();
+        s.run(programs).unwrap().outputs
+    }
+}

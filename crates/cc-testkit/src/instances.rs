@@ -1,0 +1,487 @@
+//! Seed-addressed instance families.
+//!
+//! An [`Instance`] is a pure function of `(family, n, seed)`: the same
+//! triple always yields the same graph, on every host, so a failing test
+//! that prints its [`Instance::label`] is reproducible from that line
+//! alone. Families cover the regimes the paper's algorithms care about:
+//! Erdős–Rényi at three densities, bounded-degeneracy graphs (sparse but
+//! adversarially ordered), planted subgraphs (so decision protocols see
+//! positive instances), and degenerate worst cases (empty, complete,
+//! star, path, cycle, disjoint cliques) that stress boundary logic.
+
+use cc_graph::{gen, Graph, WeightedGraph};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// Unweighted instance families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// G(n, p) with expected degree ≈ 1.5 (subcritical / forest-like).
+    ErSparse,
+    /// G(n, 0.3).
+    ErMedium,
+    /// G(n, 0.7).
+    ErDense,
+    /// Random graph of degeneracy ≤ 3: each vertex attaches to at most 3
+    /// randomly chosen earlier vertices in a random insertion order.
+    BoundedDegeneracy,
+    /// G(n, 0.2) with a clique of size `max(3, n/3)` planted on random
+    /// vertices.
+    PlantedClique,
+    /// G(n, 0.4) with an independent set of size `max(2, n/3)` planted.
+    PlantedIndependentSet,
+    /// No edges.
+    Empty,
+    /// All edges.
+    Complete,
+    /// Vertex 0 adjacent to everything else.
+    Star,
+    /// A simple path 0–1–…–(n−1).
+    Path,
+    /// A simple cycle (a path for n < 3).
+    Cycle,
+    /// Two disjoint cliques of balanced sizes (disconnected).
+    TwoCliques,
+}
+
+impl Family {
+    /// Every unweighted family, in a fixed order.
+    pub const ALL: [Family; 12] = [
+        Family::ErSparse,
+        Family::ErMedium,
+        Family::ErDense,
+        Family::BoundedDegeneracy,
+        Family::PlantedClique,
+        Family::PlantedIndependentSet,
+        Family::Empty,
+        Family::Complete,
+        Family::Star,
+        Family::Path,
+        Family::Cycle,
+        Family::TwoCliques,
+    ];
+
+    /// Stable name used in instance labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::ErSparse => "er-sparse",
+            Family::ErMedium => "er-medium",
+            Family::ErDense => "er-dense",
+            Family::BoundedDegeneracy => "bounded-degeneracy",
+            Family::PlantedClique => "planted-clique",
+            Family::PlantedIndependentSet => "planted-is",
+            Family::Empty => "empty",
+            Family::Complete => "complete",
+            Family::Star => "star",
+            Family::Path => "path",
+            Family::Cycle => "cycle",
+            Family::TwoCliques => "two-cliques",
+        }
+    }
+}
+
+/// One reproducible unweighted test instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Instance {
+    /// Which generator to use.
+    pub family: Family,
+    /// Number of vertices.
+    pub n: usize,
+    /// Generator seed (ignored by the deterministic families).
+    pub seed: u64,
+}
+
+impl Instance {
+    /// Build an instance descriptor.
+    pub fn new(family: Family, n: usize, seed: u64) -> Self {
+        Self { family, n, seed }
+    }
+
+    /// Materialise the graph. Pure: same `(family, n, seed)` → same graph.
+    pub fn graph(&self) -> Graph {
+        let (n, seed) = (self.n, self.seed);
+        match self.family {
+            Family::ErSparse => gen::gnp(n, (1.5 / n as f64).min(1.0), seed),
+            Family::ErMedium => gen::gnp(n, 0.3, seed),
+            Family::ErDense => gen::gnp(n, 0.7, seed),
+            Family::BoundedDegeneracy => bounded_degeneracy(n, 3, seed),
+            Family::PlantedClique => gen::planted_clique(n, (n / 3).max(3).min(n), 0.2, seed).0,
+            Family::PlantedIndependentSet => {
+                gen::planted_independent_set(n, (n / 3).max(2).min(n), 0.4, seed).0
+            }
+            Family::Empty => Graph::empty(n),
+            Family::Complete => Graph::complete(n),
+            Family::Star => gen::star(n),
+            Family::Path => gen::path(n),
+            Family::Cycle => {
+                if n >= 3 {
+                    gen::cycle(n)
+                } else {
+                    gen::path(n)
+                }
+            }
+            Family::TwoCliques => gen::cliques(n, 2),
+        }
+    }
+
+    /// The reproduction label every judge prints on failure.
+    pub fn label(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[n={}, seed={}]",
+            self.family.name(),
+            self.n,
+            self.seed
+        )
+    }
+}
+
+/// Random graph of degeneracy ≤ `d`: vertices are inserted in a random
+/// order and each attaches to at most `d` randomly chosen predecessors.
+/// The insertion order itself witnesses the degeneracy bound.
+pub fn bounded_degeneracy(n: usize, d: usize, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xDE6E_5EED_0000_0000);
+    let mut order: Vec<usize> = (0..n).collect();
+    // Fisher–Yates so vertex ids don't coincide with insertion order.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut g = Graph::empty(n);
+    for i in 1..n {
+        let picks = rng.gen_range(0..=d.min(i));
+        let mut earlier: Vec<usize> = (0..i).collect();
+        for _ in 0..picks {
+            let j = rng.gen_range(0..earlier.len());
+            let u = earlier.swap_remove(j);
+            g.add_edge(order[u], order[i]);
+        }
+    }
+    g
+}
+
+/// The default conformance corpus: every family crossed with the given
+/// sizes and seeds.
+pub fn corpus(ns: &[usize], seeds: &[u64]) -> Vec<Instance> {
+    let mut out = Vec::new();
+    for &family in Family::ALL.iter() {
+        for &n in ns {
+            for &seed in seeds {
+                out.push(Instance::new(family, n, seed));
+            }
+        }
+    }
+    out
+}
+
+/// Weighted instance families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WeightedFamily {
+    /// G(n, 0.35) with uniform weights in `1..=100`.
+    ErUniform,
+    /// Sparse G(n, p≈2/n) with uniform weights in `1..=50`; usually
+    /// disconnected, so distance-∞ paths are exercised.
+    SparseUniform,
+    /// Complete metric: vertices are random points on a 64×64 grid and
+    /// `w(u,v) = 1 + ‖p_u − p_v‖₁` (the +1 keeps weights positive while
+    /// preserving the triangle inequality).
+    Metric,
+    /// Weighted cycle with weights `1..=n` — the unique-MST worst case
+    /// where exactly one edge must be dropped.
+    WeightedCycle,
+}
+
+impl WeightedFamily {
+    /// Every weighted family, in a fixed order.
+    pub const ALL: [WeightedFamily; 4] = [
+        WeightedFamily::ErUniform,
+        WeightedFamily::SparseUniform,
+        WeightedFamily::Metric,
+        WeightedFamily::WeightedCycle,
+    ];
+
+    /// Stable name used in instance labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            WeightedFamily::ErUniform => "wer-uniform",
+            WeightedFamily::SparseUniform => "wer-sparse",
+            WeightedFamily::Metric => "metric",
+            WeightedFamily::WeightedCycle => "weighted-cycle",
+        }
+    }
+}
+
+/// One reproducible weighted test instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WeightedInstance {
+    /// Which generator to use.
+    pub family: WeightedFamily,
+    /// Number of vertices.
+    pub n: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl WeightedInstance {
+    /// Build an instance descriptor.
+    pub fn new(family: WeightedFamily, n: usize, seed: u64) -> Self {
+        Self { family, n, seed }
+    }
+
+    /// Materialise the weighted graph. Pure in `(family, n, seed)`.
+    pub fn graph(&self) -> WeightedGraph {
+        let (n, seed) = (self.n, self.seed);
+        match self.family {
+            WeightedFamily::ErUniform => gen::gnp_weighted(n, 0.35, 100, seed),
+            WeightedFamily::SparseUniform => {
+                gen::gnp_weighted(n, (2.0 / n as f64).min(1.0), 50, seed)
+            }
+            WeightedFamily::Metric => metric(n, seed),
+            WeightedFamily::WeightedCycle => {
+                let mut wg = WeightedGraph::empty(n);
+                for v in 0..n {
+                    if n >= 2 && (v + 1 < n || n >= 3) {
+                        wg.set_weight(v, (v + 1) % n, v as u64 + 1);
+                    }
+                }
+                wg
+            }
+        }
+    }
+
+    /// The reproduction label every judge prints on failure.
+    pub fn label(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for WeightedInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[n={}, seed={}]",
+            self.family.name(),
+            self.n,
+            self.seed
+        )
+    }
+}
+
+fn metric(n: usize, seed: u64) -> WeightedGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6E74_7269_6300_0000);
+    let pts: Vec<(i64, i64)> = (0..n)
+        .map(|_| (rng.gen_range(0i64..64), rng.gen_range(0i64..64)))
+        .collect();
+    let mut wg = WeightedGraph::empty(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let d = (pts[u].0 - pts[v].0).unsigned_abs() + (pts[u].1 - pts[v].1).unsigned_abs();
+            wg.set_weight(u, v, 1 + d);
+        }
+    }
+    wg
+}
+
+/// The default weighted corpus: every family × sizes × seeds.
+pub fn weighted_corpus(ns: &[usize], seeds: &[u64]) -> Vec<WeightedInstance> {
+    let mut out = Vec::new();
+    for &family in WeightedFamily::ALL.iter() {
+        for &n in ns {
+            for &seed in seeds {
+                out.push(WeightedInstance::new(family, n, seed));
+            }
+        }
+    }
+    out
+}
+
+/// Shared `proptest` strategies over the instance corpus.
+pub mod strategies {
+    use super::*;
+    use proptest::strategy::Strategy;
+    use proptest::test_runner::TestRng;
+
+    /// Strategy drawing a random [`Instance`] with `n` in a fixed range.
+    #[derive(Clone, Debug)]
+    pub struct ArbInstance {
+        lo: usize,
+        hi: usize,
+    }
+
+    /// Any family, any seed, `n ∈ [lo, hi]` (inclusive).
+    pub fn arb_instance(lo: usize, hi: usize) -> ArbInstance {
+        assert!(2 <= lo && lo <= hi, "instance size range must start ≥ 2");
+        ArbInstance { lo, hi }
+    }
+
+    impl Strategy for ArbInstance {
+        type Value = Instance;
+        fn sample(&self, rng: &mut TestRng) -> Instance {
+            let family = Family::ALL[rng.below(Family::ALL.len() as u64) as usize];
+            let n = self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize;
+            Instance::new(family, n, rng.next_u64() % 1_000_000)
+        }
+    }
+
+    /// Strategy drawing a random [`WeightedInstance`].
+    #[derive(Clone, Debug)]
+    pub struct ArbWeightedInstance {
+        lo: usize,
+        hi: usize,
+    }
+
+    /// Any weighted family, any seed, `n ∈ [lo, hi]` (inclusive).
+    pub fn arb_weighted_instance(lo: usize, hi: usize) -> ArbWeightedInstance {
+        assert!(2 <= lo && lo <= hi, "instance size range must start ≥ 2");
+        ArbWeightedInstance { lo, hi }
+    }
+
+    impl Strategy for ArbWeightedInstance {
+        type Value = WeightedInstance;
+        fn sample(&self, rng: &mut TestRng) -> WeightedInstance {
+            let family = WeightedFamily::ALL[rng.below(WeightedFamily::ALL.len() as u64) as usize];
+            let n = self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize;
+            WeightedInstance::new(family, n, rng.next_u64() % 1_000_000)
+        }
+    }
+
+    /// Strategy drawing a random [`cliquesim::BitString`] of length
+    /// `0..=max_bits`.
+    #[derive(Clone, Debug)]
+    pub struct ArbBitString {
+        max_bits: usize,
+    }
+
+    /// Bit strings of any length up to `max_bits` inclusive.
+    pub fn arb_bitstring(max_bits: usize) -> ArbBitString {
+        ArbBitString { max_bits }
+    }
+
+    impl Strategy for ArbBitString {
+        type Value = cliquesim::BitString;
+        fn sample(&self, rng: &mut TestRng) -> cliquesim::BitString {
+            let len = rng.below(self.max_bits as u64 + 1) as usize;
+            (0..len).map(|_| rng.next_u64() & 1 == 1).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn instances_are_reproducible_from_their_label_triple() {
+        for inst in corpus(&[2, 5, 9, 16], &[0, 1, 42]) {
+            assert_eq!(inst.graph(), inst.graph(), "{inst}: generator not pure");
+        }
+        for inst in weighted_corpus(&[2, 5, 9, 16], &[0, 1, 42]) {
+            assert_eq!(inst.graph(), inst.graph(), "{inst}: generator not pure");
+        }
+    }
+
+    #[test]
+    fn seeds_actually_vary_the_random_families() {
+        for family in [
+            Family::ErMedium,
+            Family::BoundedDegeneracy,
+            Family::PlantedClique,
+        ] {
+            let a = Instance::new(family, 20, 1).graph();
+            let differs = (2u64..12).any(|s| Instance::new(family, 20, s).graph() != a);
+            assert!(differs, "{}: seed has no effect", family.name());
+        }
+    }
+
+    #[test]
+    fn bounded_degeneracy_is_bounded() {
+        // Repeatedly peel a minimum-degree vertex; the max degree seen at
+        // peel time is exactly the degeneracy.
+        for seed in 0..8 {
+            let g = bounded_degeneracy(24, 3, seed);
+            let n = g.n();
+            let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+            let mut alive = vec![true; n];
+            let mut degeneracy = 0;
+            for _ in 0..n {
+                let v = (0..n)
+                    .filter(|&v| alive[v])
+                    .min_by_key(|&v| deg[v])
+                    .unwrap();
+                degeneracy = degeneracy.max(deg[v]);
+                alive[v] = false;
+                for u in g.neighbors(v) {
+                    if alive[u] {
+                        deg[u] -= 1;
+                    }
+                }
+            }
+            assert!(degeneracy <= 3, "seed {seed}: degeneracy {degeneracy} > 3");
+        }
+    }
+
+    #[test]
+    fn metric_family_satisfies_the_triangle_inequality() {
+        for seed in 0..4 {
+            let wg = WeightedInstance::new(WeightedFamily::Metric, 12, seed).graph();
+            let n = wg.n();
+            for u in 0..n {
+                for v in 0..n {
+                    for w in 0..n {
+                        if u != v && v != w && u != w {
+                            assert!(
+                                wg.weight(u, v) <= wg.weight(u, w) + wg.weight(w, v),
+                                "metric[n=12, seed={seed}]: triangle inequality violated"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_families_have_their_shapes() {
+        let n = 10;
+        assert_eq!(Instance::new(Family::Empty, n, 0).graph().edge_count(), 0);
+        assert_eq!(
+            Instance::new(Family::Complete, n, 0).graph().edge_count(),
+            n * (n - 1) / 2
+        );
+        assert_eq!(Instance::new(Family::Star, n, 0).graph().degree(0), n - 1);
+        assert_eq!(
+            Instance::new(Family::Path, n, 0).graph().edge_count(),
+            n - 1
+        );
+        assert_eq!(Instance::new(Family::Cycle, n, 0).graph().edge_count(), n);
+        assert!(!cc_graph::reference::is_connected(
+            &Instance::new(Family::TwoCliques, n, 0).graph()
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn strategy_instances_materialise(inst in strategies::arb_instance(2, 20)) {
+            let g = inst.graph();
+            prop_assert_eq!(g.n(), inst.n, "{}", inst);
+        }
+
+        #[test]
+        fn strategy_weighted_instances_materialise(
+            inst in strategies::arb_weighted_instance(2, 16),
+        ) {
+            let g = inst.graph();
+            prop_assert_eq!(g.n(), inst.n, "{}", inst);
+        }
+    }
+}

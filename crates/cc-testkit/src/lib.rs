@@ -1,0 +1,49 @@
+//! # cc-testkit — differential & conformance testing backbone
+//!
+//! The paper's claims (Korhonen & Suomela, SPAA 2018) are *exact*
+//! statements: round counts, per-message bandwidth bounds, and output
+//! correctness for Theorems 3, 7 and 9–11. This crate turns those into
+//! machine-checked conformance obligations shared by every algorithm
+//! crate in the workspace:
+//!
+//! * [`instances`] — deterministic, seed-addressed instance families
+//!   (Erdős–Rényi, bounded-degeneracy, planted subgraphs, weighted
+//!   metrics, adversarial worst cases) plus shared `proptest` strategies.
+//!   Every [`instances::Instance`] prints as `family[n=…, seed=…]`, and
+//!   every judge threads that label into its panic message, so a failing
+//!   conformance test always names the seed that reproduces it.
+//! * [`oracle`] — centralized reference implementations (matmul, APSP,
+//!   BFS/SSSP, MST, subgraph counting, covers/dominating sets) that
+//!   re-judge protocol outputs independently of the algorithm crates.
+//! * [`differential`] — runs one protocol under every engine pool shape
+//!   (sequential and pooled) and across communication modes (clique /
+//!   broadcast-only / CONGEST ring where defined), asserting identical
+//!   outputs, [`cliquesim::RunStats`], and transcripts.
+//! * [`audit`] — a transcript replay + bandwidth auditor that re-walks
+//!   recorded [`cliquesim::Transcript`]s and rejects any message over the
+//!   `⌈log₂ n⌉`-bit budget, any send/receive asymmetry, and any run
+//!   exceeding a theorem-declared round bound.
+//!
+//! ## Reproducing a failure
+//!
+//! Every judge panic starts with the instance label, e.g.
+//! `er-medium[n=16, seed=3]: apsp mismatch …`. Rebuild that exact
+//! instance with [`instances::Instance::new`] (the family name maps back
+//! via [`instances::Family::ALL`]) — generators are pure functions of
+//! `(family, n, seed)`, so the instance is bit-identical on every host.
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod differential;
+pub mod instances;
+pub mod oracle;
+
+pub use audit::{
+    assert_transcripts_conform, audit_transcripts, AuditReport, AuditSpec, AuditViolation,
+};
+pub use differential::{
+    differential_broadcast_only, differential_engines, differential_programs, differential_session,
+    ring_topology, POOL_SHAPES,
+};
+pub use instances::{corpus, weighted_corpus, Family, Instance, WeightedFamily, WeightedInstance};

@@ -521,6 +521,91 @@ mod tests {
         assert_eq!(s.as_uint(), 9);
     }
 
+    #[test]
+    fn width_zero_is_a_legal_no_op() {
+        let mut s = BitString::new();
+        s.push_uint(0, 0);
+        assert!(s.is_empty());
+        // Zero-width fields interleave freely with real ones.
+        s.push_uint(5, 3);
+        s.push_uint(0, 0);
+        s.push_uint(1, 1);
+        assert_eq!(s.len(), 4);
+        let mut r = s.reader();
+        assert_eq!(r.read_uint(0).unwrap(), 0);
+        assert_eq!(r.position(), 0, "width-0 read must not advance");
+        assert_eq!(r.read_uint(3).unwrap(), 5);
+        assert_eq!(r.read_uint(0).unwrap(), 0);
+        assert_eq!(r.read_uint(1).unwrap(), 1);
+        r.expect_end().unwrap();
+        // And an exhausted reader still serves width-0 reads.
+        assert_eq!(r.read_uint(0).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit in 0 bits")]
+    fn width_zero_rejects_nonzero_values() {
+        BitString::new().push_uint(1, 0);
+    }
+
+    #[test]
+    fn width_64_roundtrips_aligned_and_unaligned() {
+        // Aligned: a full word, extreme values.
+        for v in [0u64, 1, u64::MAX, u64::MAX - 1, 1 << 63] {
+            let mut s = BitString::new();
+            s.push_uint(v, 64);
+            assert_eq!(s.len(), 64);
+            assert_eq!(s.reader().read_uint(64).unwrap(), v);
+            assert_eq!(s.as_uint(), v);
+        }
+        // Unaligned: a 64-bit value straddling two words at every offset.
+        for off in 1usize..64 {
+            let mut s = BitString::new();
+            s.push_uint((1u64 << off) - 1, off);
+            s.push_uint(u64::MAX, 64);
+            s.push_uint(0b101, 3);
+            let mut r = s.reader();
+            assert_eq!(r.read_uint(off).unwrap(), (1u64 << off) - 1, "off={off}");
+            assert_eq!(r.read_uint(64).unwrap(), u64::MAX, "off={off}");
+            assert_eq!(r.read_uint(3).unwrap(), 0b101, "off={off}");
+            r.expect_end().unwrap();
+        }
+    }
+
+    #[test]
+    fn values_straddling_word_boundaries_roundtrip() {
+        // A 2-bit value written at offset 63 occupies the last bit of word
+        // 0 and the first of word 1.
+        let mut s = BitString::new();
+        s.push_uint(0, 63);
+        s.push_uint(0b11, 2);
+        assert_eq!(s.len(), 65);
+        assert!(s.get(63) && s.get(64));
+        let mut r = s.reader();
+        r.skip(63).unwrap();
+        assert_eq!(r.read_uint(2).unwrap(), 0b11);
+        // Same via bit-level access after a word-straddling extend.
+        let mut t = BitString::zeros(61);
+        t.extend_from(&BitString::from_bits([true; 7]));
+        assert_eq!(t.len(), 68);
+        assert!((61..68).all(|i| t.get(i)));
+        assert!((0..61).all(|i| !t.get(i)));
+    }
+
+    #[test]
+    fn as_uint_boundaries() {
+        assert_eq!(BitString::new().as_uint(), 0);
+        let mut s = BitString::new();
+        s.push_uint(u64::MAX, 64);
+        assert_eq!(s.as_uint(), u64::MAX, "exactly 64 bits is allowed");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit in u64")]
+    fn as_uint_rejects_65_bits() {
+        BitString::zeros(65).as_uint();
+    }
+
     proptest! {
         #[test]
         fn prop_bit_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
@@ -542,6 +627,33 @@ mod tests {
                 s.push_uint(v, *w);
                 expected.push((v, *w));
             }
+            let mut r = s.reader();
+            for (v, w) in expected {
+                prop_assert_eq!(r.read_uint(w).unwrap(), v);
+            }
+            r.expect_end().unwrap();
+        }
+
+        #[test]
+        fn prop_uint_roundtrip_with_boundary_widths(
+            values in proptest::collection::vec((any::<u64>(), 0usize..=64), 0..24),
+        ) {
+            // Unlike `prop_uint_roundtrip`, widths include 0 (legal no-op)
+            // and 64 (full word) so the boundary paths stay covered.
+            let mut s = BitString::new();
+            let mut expected = Vec::new();
+            let mut total = 0usize;
+            for (v, w) in &values {
+                let v = match *w {
+                    0 => 0,
+                    64 => *v,
+                    w => v & ((1u64 << w) - 1),
+                };
+                s.push_uint(v, *w);
+                total += w;
+                expected.push((v, *w));
+            }
+            prop_assert_eq!(s.len(), total);
             let mut r = s.reader();
             for (v, w) in expected {
                 prop_assert_eq!(r.read_uint(w).unwrap(), v);

@@ -659,7 +659,7 @@ mod tests {
     fn negation_flips_single_runs() {
         let g = gen::path(3);
         let z = Labelling(vec![BitString::from_bits([true]); 3]);
-        let plain = run_klabelling(&EdgeFlag, &g, &[z.clone()]).unwrap();
+        let plain = run_klabelling(&EdgeFlag, &g, std::slice::from_ref(&z)).unwrap();
         let negated = run_klabelling(&Negation(EdgeFlag), &g, &[z]).unwrap();
         assert_eq!(plain, !negated);
     }
