@@ -1,0 +1,96 @@
+//! # cc-resilient — fault-tolerant protocol wrappers
+//!
+//! The paper's model is fault-free, and every algorithm crate in this
+//! workspace is written against that idealisation. This crate provides the
+//! complementary layer: small, composable primitives that keep working when
+//! the engine's [`cliquesim::FaultPlan`] adversary crashes nodes, drops
+//! messages, or damages payloads — at a measured cost in extra rounds and
+//! bits that shows up honestly in [`cliquesim::RunStats`].
+//!
+//! Three primitives, three fault classes:
+//!
+//! * [`EchoBroadcast`] — one node's value reaches every *surviving* node
+//!   despite `f < n/3` crash faults, via a one-round echo and majority vote.
+//! * [`RepeatBroadcast`] — all-to-all exchange that survives per-link
+//!   message drop and corruption by repeating each broadcast `k` times and
+//!   taking a per-link majority; [`retry_overhead`] prices extra repeats
+//!   analytically for [`cliquesim::Session::charge`].
+//! * [`MaxGossip`] — a crash- and drop-tolerant idempotent aggregation
+//!   (maximum); extra gossip rounds only improve coverage, never change a
+//!   correct value.
+//!
+//! None of these tolerate *Byzantine* senders — a node that lies actively
+//! can defeat a majority of honest copies. That model is an open item in the
+//! ROADMAP.
+
+#![warn(missing_docs)]
+
+mod aggregate;
+mod echo;
+mod retransmit;
+
+pub use aggregate::{max_gossip, MaxGossip};
+pub use echo::{echo_broadcast, EchoBroadcast};
+pub use retransmit::{repeat_broadcast, retry_overhead, RepeatBroadcast};
+
+use cliquesim::BitString;
+
+/// Decode a `width`-bit value from a (possibly damaged) payload. Returns
+/// `None` for anything that is not *exactly* `width` bits — a truncated
+/// frame never smuggles a short value into the vote.
+pub(crate) fn decode_exact(msg: &BitString, width: usize) -> Option<u64> {
+    if msg.len() != width {
+        return None;
+    }
+    msg.reader().read_uint(width).ok()
+}
+
+/// Encode a `width`-bit value.
+pub(crate) fn encode(value: u64, width: usize) -> BitString {
+    let mut m = BitString::new();
+    m.push_uint(value, width);
+    m
+}
+
+/// Majority vote over candidate values: the most frequent value wins, ties
+/// broken towards the smallest value (a deterministic rule shared by every
+/// primitive here, so all correct nodes break ties identically).
+pub(crate) fn majority(copies: &[u64]) -> Option<u64> {
+    let mut counts: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+    for &c in copies {
+        *counts.entry(c).or_insert(0) += 1;
+    }
+    // BTreeMap iterates in ascending key order, so `>` keeps the smallest
+    // among equally-frequent values.
+    let mut best: Option<(u64, usize)> = None;
+    for (v, c) in counts {
+        if best.is_none_or(|(_, bc)| c > bc) {
+            best = Some((v, c));
+        }
+    }
+    best.map(|(v, _)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_prefers_frequency_then_smallness() {
+        assert_eq!(majority(&[]), None);
+        assert_eq!(majority(&[5]), Some(5));
+        assert_eq!(majority(&[5, 3, 5]), Some(5));
+        assert_eq!(majority(&[7, 3, 3, 7]), Some(3), "tie goes to the smaller");
+    }
+
+    #[test]
+    fn decode_exact_rejects_wrong_lengths() {
+        let m = encode(13, 5);
+        assert_eq!(decode_exact(&m, 5), Some(13));
+        assert_eq!(decode_exact(&m, 4), None, "width mismatch");
+        let mut t = m.clone();
+        t.truncate(3);
+        assert_eq!(decode_exact(&t, 5), None, "truncated frame");
+        assert_eq!(decode_exact(&BitString::new(), 5), None);
+    }
+}

@@ -1,0 +1,206 @@
+//! Certificate-corruption harness for NCLIQUE verifiers.
+//!
+//! The paper's verifiers are *sound*: no certificate makes a node accept a
+//! wrong claim. The adversary this module wires up is weaker than a fully
+//! adversarial prover but far more mechanical: take the **honest** prover's
+//! certificate on a planted yes-instance, flip 1–3 bits, and demand the
+//! verifier notice. A verifier that shrugs off damaged certificates is
+//! either ignoring its labels or under-checking them — exactly the class of
+//! bug differential runs cannot see, because honest runs never exercise the
+//! reject path near an accepting certificate.
+//!
+//! A corrupted certificate is occasionally a *legitimate alternate witness*
+//! (flip an unused tie-break bit and a matching certificate may still
+//! match); the harness therefore takes a problem-specific `witness_ok`
+//! predicate that re-judges accepted mutants against ground truth. Pass
+//! `|_| false` when no corruption of the honest certificate can remain
+//! valid (the common case at harness-chosen instance sizes).
+//!
+//! Every failure names a replayable label,
+//! `cert-corrupt[problem=…, instance=…, trial=…]` — the corruption is a
+//! pure function of the honest certificate and the trial number.
+
+use cc_core::{verify, Labelling, NondetProblem};
+use cc_graph::Graph;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Flip 1–3 distinct bits of `z`, chosen by a ChaCha stream keyed on
+/// `seed`. Returns the damaged labelling and the flipped `(node, bit)`
+/// positions. Panics if `z` has no bits to flip.
+pub fn corrupt_labelling(z: &Labelling, seed: u64) -> (Labelling, Vec<(usize, usize)>) {
+    let total = z.total_bits();
+    assert!(total > 0, "cannot corrupt an empty labelling");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let k = (1 + rng.gen_range(0..3usize)).min(total);
+    let mut picks: Vec<usize> = Vec::with_capacity(k);
+    while picks.len() < k {
+        let p = rng.gen_range(0..total);
+        if !picks.contains(&p) {
+            picks.push(p);
+        }
+    }
+    let mut damaged = z.clone();
+    let mut flips = Vec::with_capacity(k);
+    for global in picks {
+        // Map the global bit index to (node, bit) through the per-node
+        // label lengths.
+        let mut rest = global;
+        let (node, bit) =
+            z.0.iter()
+                .enumerate()
+                .find_map(|(v, b)| {
+                    if rest < b.len() {
+                        Some((v, rest))
+                    } else {
+                        rest -= b.len();
+                        None
+                    }
+                })
+                .expect("global index is < total_bits");
+        let b = &mut damaged.0[node];
+        b.set(bit, !b.get(bit));
+        flips.push((node, bit));
+    }
+    flips.sort_unstable();
+    (damaged, flips)
+}
+
+/// Corrupt the honest certificate `trials` times on a planted yes-instance
+/// and assert the verifier rejects every mutant — except those `witness_ok`
+/// confirms as legitimate alternate witnesses. Panics (with the replayable
+/// `cert-corrupt[…]` label) when the verifier accepts a mutant that is not
+/// a witness, when the prover fails on the instance, or when the honest
+/// certificate itself is rejected.
+pub fn assert_corrupted_certificates_rejected<P, W>(
+    problem: &P,
+    g: &Graph,
+    instance_label: &str,
+    trials: usize,
+    mut witness_ok: W,
+) where
+    P: NondetProblem + ?Sized,
+    W: FnMut(&Labelling) -> bool,
+{
+    let name = problem.name();
+    let honest = problem.prove(g).unwrap_or_else(|| {
+        panic!("cert-corrupt[problem={name}, instance={instance_label}]: prover produced no certificate — pick a yes-instance")
+    });
+    assert!(
+        honest.total_bits() > 0,
+        "cert-corrupt[problem={name}, instance={instance_label}]: certificate has no bits to corrupt — pick a larger instance"
+    );
+    let baseline = verify(problem, g, &honest).unwrap_or_else(|e| {
+        panic!("cert-corrupt[problem={name}, instance={instance_label}]: engine error: {e}")
+    });
+    assert!(
+        baseline.accepted,
+        "cert-corrupt[problem={name}, instance={instance_label}]: honest certificate rejected — instance is unusable"
+    );
+    for trial in 0..trials {
+        let label =
+            format!("cert-corrupt[problem={name}, instance={instance_label}, trial={trial}]");
+        let (damaged, flips) = corrupt_labelling(&honest, trial as u64);
+        let verdict =
+            verify(problem, g, &damaged).unwrap_or_else(|e| panic!("{label}: engine error: {e}"));
+        if verdict.accepted && !witness_ok(&damaged) {
+            panic!("{label}: verifier accepted a corrupted certificate (flipped bits {flips:?})");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_core::{BoolNode, KColoring};
+    use cliquesim::{BitString, Inbox, NodeCtx, NodeId, NodeProgram, Outbox, Status};
+
+    #[test]
+    fn corruption_is_deterministic_and_in_range() {
+        let z = Labelling(vec![
+            BitString::from_bits([true, false, true]),
+            BitString::new(),
+            BitString::from_bits([false, false]),
+        ]);
+        let (a, flips_a) = corrupt_labelling(&z, 9);
+        let (b, flips_b) = corrupt_labelling(&z, 9);
+        assert_eq!(a, b, "same seed, same damage");
+        assert_eq!(flips_a, flips_b);
+        assert!((1..=3).contains(&flips_a.len()));
+        for &(node, bit) in &flips_a {
+            assert_ne!(node, 1, "node 1 has no bits");
+            assert!(bit < z.0[node].len());
+            assert_ne!(a.0[node].get(bit), z.0[node].get(bit), "bit really flipped");
+        }
+        let (c, _) = corrupt_labelling(&z, 10);
+        assert_ne!(a, c, "different seeds should damage differently");
+    }
+
+    #[test]
+    fn two_colouring_rejects_every_corruption() {
+        // On an even cycle the only proper 2-colourings are the honest one
+        // and its global complement; flipping 1–3 of 6 bits reaches neither.
+        let g = cc_graph::gen::cycle(6);
+        assert_corrupted_certificates_rejected(&KColoring { k: 2 }, &g, "cycle[n=6]", 32, |_| {
+            false
+        });
+    }
+
+    /// A deliberately unsound toy verifier that ignores its label — the
+    /// harness must flag it (and `witness_ok` must be able to excuse it).
+    struct IgnoresLabels;
+
+    struct YesNode;
+    impl NodeProgram for YesNode {
+        type Output = bool;
+        fn step(
+            &mut self,
+            _ctx: &NodeCtx,
+            _round: usize,
+            _inbox: &Inbox<'_>,
+            _outbox: &mut Outbox<'_>,
+        ) -> Status<bool> {
+            Status::Halt(true)
+        }
+    }
+
+    impl NondetProblem for IgnoresLabels {
+        fn name(&self) -> String {
+            "ignores-labels".into()
+        }
+        fn contains(&self, _g: &Graph) -> bool {
+            true
+        }
+        fn label_size(&self, _n: usize) -> usize {
+            2
+        }
+        fn time_bound(&self, _n: usize) -> usize {
+            1
+        }
+        fn prove(&self, g: &Graph) -> Option<Labelling> {
+            Some(Labelling(vec![BitString::from_bits([true, true]); g.n()]))
+        }
+        fn verifier_node(
+            &self,
+            _n: usize,
+            _v: NodeId,
+            _row: &BitString,
+            _label: &BitString,
+        ) -> BoolNode {
+            Box::new(YesNode)
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cert-corrupt[problem=ignores-labels, instance=toy, trial=0]")]
+    fn label_ignoring_verifiers_are_flagged() {
+        let g = cc_graph::gen::path(3);
+        assert_corrupted_certificates_rejected(&IgnoresLabels, &g, "toy", 4, |_| false);
+    }
+
+    #[test]
+    fn witness_ok_excuses_legitimate_alternates() {
+        let g = cc_graph::gen::path(3);
+        assert_corrupted_certificates_rejected(&IgnoresLabels, &g, "toy", 4, |_| true);
+    }
+}

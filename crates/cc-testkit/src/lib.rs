@@ -23,6 +23,14 @@
 //!   recorded [`cliquesim::Transcript`]s and rejects any message over the
 //!   `⌈log₂ n⌉`-bit budget, any send/receive asymmetry, and any run
 //!   exceeding a theorem-declared round bound.
+//! * [`faults`] — fault-conformance runners: the same
+//!   [`cliquesim::FaultPlan`] replayed under every pool shape must yield
+//!   identical outputs, stats, transcripts, and fault reports, and an
+//!   empty plan must change nothing at all.
+//! * [`certificates`] — a certificate-corruption harness that bit-flips
+//!   honest NCLIQUE certificates and asserts every verifier rejects the
+//!   mutants (modulo confirmed alternate witnesses), printing replayable
+//!   `cert-corrupt[…]` labels on failure.
 //!
 //! ## Reproducing a failure
 //!
@@ -35,15 +43,19 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod certificates;
 pub mod differential;
+pub mod faults;
 pub mod instances;
 pub mod oracle;
 
 pub use audit::{
     assert_transcripts_conform, audit_transcripts, AuditReport, AuditSpec, AuditViolation,
 };
+pub use certificates::{assert_corrupted_certificates_rejected, corrupt_labelling};
 pub use differential::{
     differential_broadcast_only, differential_engines, differential_programs, differential_session,
     ring_topology, POOL_SHAPES,
 };
+pub use faults::{assert_empty_plan_transparent, differential_faulted, FaultedRun};
 pub use instances::{corpus, weighted_corpus, Family, Instance, WeightedFamily, WeightedInstance};

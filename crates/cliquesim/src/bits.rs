@@ -103,7 +103,10 @@ impl BitString {
             self.words.push(0);
         }
         if bit {
-            *self.words.last_mut().expect("word just ensured") |= 1u64 << (self.len % 64);
+            match self.words.last_mut() {
+                Some(w) => *w |= 1u64 << (self.len % 64),
+                None => unreachable!("a word was pushed above"),
+            }
         }
         self.len += 1;
     }
@@ -130,7 +133,10 @@ impl BitString {
         if shift == 0 {
             self.words.push(value);
         } else {
-            *self.words.last_mut().expect("shift != 0 implies non-empty") |= value << shift;
+            match self.words.last_mut() {
+                Some(w) => *w |= value << shift,
+                None => unreachable!("shift != 0 implies a non-empty word vector"),
+            }
             if shift + width > 64 {
                 self.words.push(value >> (64 - shift));
             }
@@ -155,12 +161,34 @@ impl BitString {
         } else {
             for &w in &other.words[..src_words] {
                 // Source invariant: bits past `other.len` are zero.
-                *self.words.last_mut().expect("shift != 0 implies non-empty") |= w << shift;
+                match self.words.last_mut() {
+                    Some(last) => *last |= w << shift,
+                    None => unreachable!("shift != 0 implies a non-empty word vector"),
+                }
                 if self.words.len() < needed {
                     self.words.push(w >> (64 - shift));
                 }
             }
             self.words.truncate(needed);
+        }
+    }
+
+    /// Shorten to the first `len` bits; a no-op if already that short.
+    ///
+    /// Keeps the zero-tail invariant by masking the new last word, so
+    /// equality/hashing stay consistent (the fault layer uses this to model
+    /// links that lose the tail of a frame).
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.len {
+            return;
+        }
+        self.len = len;
+        self.words.truncate(len.div_ceil(64));
+        let tail = len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
         }
     }
 
@@ -513,6 +541,28 @@ mod tests {
         s.push(true);
         assert_eq!(s.len(), 1);
         assert!(s.get(0));
+    }
+
+    #[test]
+    fn truncate_masks_the_tail_word() {
+        let mut s = BitString::from_bits((0..130).map(|_| true));
+        s.truncate(65);
+        assert_eq!(s.len(), 65);
+        assert!(s.iter().all(|b| b));
+        // Equality with a freshly built string proves the tail was zeroed.
+        assert_eq!(s, BitString::from_bits((0..65).map(|_| true)));
+        s.truncate(64);
+        assert_eq!(s, BitString::from_bits((0..64).map(|_| true)));
+        s.truncate(200);
+        assert_eq!(s.len(), 64, "truncate never grows");
+        s.truncate(0);
+        assert_eq!(s, BitString::new());
+        // Truncated strings keep working as append targets.
+        let mut t = BitString::from_bits([true, true, true]);
+        t.truncate(1);
+        t.push(false);
+        t.push_uint(3, 2);
+        assert_eq!(t, BitString::from_bits([true, false, true, true]));
     }
 
     #[test]

@@ -23,10 +23,11 @@
 use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Barrier;
-use std::time::Instant;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 use crate::bits::BitString;
+use crate::fault::{FaultPlan, FaultReport};
 use crate::node::{Inbox, NodeCtx, NodeId, NodeProgram, Outbox, Status};
 use crate::stats::RunStats;
 use crate::transcript::{RoundTranscript, Transcript};
@@ -77,6 +78,33 @@ pub enum SimError {
         /// Number of programs supplied.
         got: usize,
     },
+    /// A node program panicked during its step. The engine converts the
+    /// panic into this structured error on both execution paths, so a buggy
+    /// program cannot poison the worker pool — the engine stays reusable.
+    NodeProgramPanicked {
+        /// The panicking node.
+        node: NodeId,
+        /// Round in which the panic happened.
+        round: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// The run exceeded the wall-clock budget set with
+    /// [`Engine::with_deadline`]. Checked at round boundaries, so a single
+    /// round's step phase can overshoot the limit before being caught.
+    DeadlineExceeded {
+        /// The configured budget.
+        limit: Duration,
+    },
+    /// A node crash-stopped under a [`FaultPlan`], so [`Engine::run`] cannot
+    /// produce an output for every node. Use [`Engine::run_faulted`] to
+    /// observe the partial outputs of the surviving nodes instead.
+    NodeCrashed {
+        /// The crashed node.
+        node: NodeId,
+        /// Round at whose start it stopped participating.
+        round: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -105,6 +133,24 @@ impl fmt::Display for SimError {
             SimError::WrongProgramCount { expected, got } => {
                 write!(f, "expected {expected} node programs, got {got}")
             }
+            SimError::NodeProgramPanicked {
+                node,
+                round,
+                message,
+            } => write!(
+                f,
+                "node {} panicked in round {round}: {message}",
+                node.display()
+            ),
+            SimError::DeadlineExceeded { limit } => {
+                write!(f, "run exceeded the wall-clock deadline of {limit:?}")
+            }
+            SimError::NodeCrashed { node, round } => write!(
+                f,
+                "node {} crash-stopped in round {round} under the fault plan; \
+                 use run_faulted to observe partial outputs",
+                node.display()
+            ),
         }
     }
 }
@@ -120,6 +166,9 @@ pub struct RunOutcome<T> {
     pub stats: RunStats,
     /// Per-node communication transcripts, if recording was enabled.
     pub transcripts: Option<Vec<Transcript>>,
+    /// Every fault the adversary applied (empty when no plan was attached —
+    /// and for link-only plans in which no coin came up).
+    pub faults: FaultReport,
 }
 
 impl<T: PartialEq> RunOutcome<T> {
@@ -128,6 +177,40 @@ impl<T: PartialEq> RunOutcome<T> {
     pub fn unanimous(&self) -> Option<&T> {
         let first = self.outputs.first()?;
         self.outputs.iter().all(|o| o == first).then_some(first)
+    }
+}
+
+/// Result of a run under a [`FaultPlan`]: crashed nodes have no output, so
+/// each slot is an `Option`.
+#[derive(Debug)]
+pub struct FaultedOutcome<T> {
+    /// Local output of each node, indexed by node; `None` for nodes the
+    /// plan crash-stopped before they halted.
+    pub outputs: Vec<Option<T>>,
+    /// Accounting for the run, including the fault counters.
+    pub stats: RunStats,
+    /// Per-node communication transcripts, if recording was enabled. A
+    /// crashed node's transcript simply ends at its crash round.
+    pub transcripts: Option<Vec<Transcript>>,
+    /// Every fault the adversary applied, in deterministic order.
+    pub faults: FaultReport,
+}
+
+impl<T: PartialEq> FaultedOutcome<T> {
+    /// Outputs of the nodes that survived to halt, with their ids.
+    pub fn survivors(&self) -> impl Iterator<Item = (NodeId, &T)> + '_ {
+        self.outputs
+            .iter()
+            .enumerate()
+            .filter_map(|(v, o)| o.as_ref().map(|o| (NodeId::from(v), o)))
+    }
+
+    /// The common output if every *surviving* node agrees (and at least one
+    /// node survived), `None` otherwise.
+    pub fn unanimous(&self) -> Option<&T> {
+        let mut survivors = self.survivors().map(|(_, o)| o);
+        let first = survivors.next()?;
+        survivors.all(|o| o == first).then_some(first)
     }
 }
 
@@ -143,7 +226,12 @@ pub struct Engine {
     cap_threads_to_host: bool,
     broadcast_only: bool,
     /// CONGEST mode: `topology[v*n + u]` = v may send to u. Empty = clique.
-    topology: std::sync::Arc<[bool]>,
+    topology: Arc<[bool]>,
+    /// Adversary schedule; `None` (and the empty plan) leave runs
+    /// byte-identical to the fault-free engine.
+    fault_plan: Option<Arc<FaultPlan>>,
+    /// Wall-clock budget for a whole run, checked at round boundaries.
+    deadline: Option<Duration>,
 }
 
 /// Default cap on rounds; generous enough for every algorithm in this
@@ -163,7 +251,9 @@ impl Engine {
             threads: 1,
             cap_threads_to_host: true,
             broadcast_only: false,
-            topology: std::sync::Arc::from(Vec::new().into_boxed_slice()),
+            topology: Arc::from(Vec::new().into_boxed_slice()),
+            fault_plan: None,
+            deadline: None,
         }
     }
 
@@ -189,7 +279,27 @@ impl Engine {
             }
             assert!(!adjacent[v * self.n + v], "no self-loops");
         }
-        self.topology = std::sync::Arc::from(adjacent.into_boxed_slice());
+        self.topology = Arc::from(adjacent.into_boxed_slice());
+        self
+    }
+
+    /// Attach a fault-injection adversary (see [`crate::fault`]). The plan
+    /// is applied identically on the sequential and pooled paths; an empty
+    /// plan is guaranteed byte-identical to no plan at all. Runs whose plan
+    /// crashes nodes should use [`Engine::run_faulted`] to observe partial
+    /// outputs — [`Engine::run`] turns a crash into [`SimError::NodeCrashed`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(Arc::new(plan));
+        self
+    }
+
+    /// Abort the run with [`SimError::DeadlineExceeded`] once `limit` of
+    /// wall-clock time has elapsed (a watchdog for runaway protocols, e.g.
+    /// in CI). The check runs at round boundaries, so granularity is one
+    /// round's step phase. Complements [`Engine::with_max_rounds`], which
+    /// bounds rounds rather than time.
+    pub fn with_deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(limit);
         self
     }
 
@@ -278,10 +388,45 @@ impl Engine {
     }
 
     /// Run one program instance per node to completion.
-    pub fn run<P: NodeProgram>(
+    ///
+    /// If the attached [`FaultPlan`] crash-stops a node, the run fails with
+    /// [`SimError::NodeCrashed`] — this entry point promises an output for
+    /// every node. Protocols meant to tolerate crashes use
+    /// [`Engine::run_faulted`] instead.
+    pub fn run<P: NodeProgram>(&self, programs: Vec<P>) -> Result<RunOutcome<P::Output>, SimError> {
+        let faulted = self.run_faulted(programs)?;
+        let mut outputs = Vec::with_capacity(faulted.outputs.len());
+        for (v, o) in faulted.outputs.into_iter().enumerate() {
+            match o {
+                Some(o) => outputs.push(o),
+                None => {
+                    let node = NodeId::from(v);
+                    let round = match faulted.faults.crash_round(node) {
+                        Some(r) => r,
+                        // A missing output without a crash event would be an
+                        // engine bug: every non-crashed node halts (with an
+                        // output) before the run completes.
+                        None => unreachable!("node without output must have crashed"),
+                    };
+                    return Err(SimError::NodeCrashed { node, round });
+                }
+            }
+        }
+        Ok(RunOutcome {
+            outputs,
+            stats: faulted.stats,
+            transcripts: faulted.transcripts,
+            faults: faulted.faults,
+        })
+    }
+
+    /// Run one program instance per node under the attached [`FaultPlan`]
+    /// (or none), reporting crashed nodes as `None` outputs instead of
+    /// failing the run.
+    pub fn run_faulted<P: NodeProgram>(
         &self,
         mut programs: Vec<P>,
-    ) -> Result<RunOutcome<P::Output>, SimError> {
+    ) -> Result<FaultedOutcome<P::Output>, SimError> {
         let n = self.n;
         if programs.len() != n {
             return Err(SimError::WrongProgramCount {
@@ -312,6 +457,10 @@ impl Engine {
             .record_transcripts
             .then(|| vec![Transcript::default(); n]);
         let mut stats = RunStats::default();
+        let mut report = FaultReport::default();
+        // An empty plan must be transparent: skip every fault hook.
+        let plan = self.fault_plan.as_deref().filter(|p| !p.is_empty());
+        let watchdog = self.deadline.map(|limit| (Instant::now(), limit));
 
         let threads = if self.cap_threads_to_host {
             let host = std::thread::available_parallelism().map_or(1, |p| p.get());
@@ -329,6 +478,9 @@ impl Engine {
                 &mut outputs,
                 &mut transcripts,
                 &mut stats,
+                plan,
+                &mut report,
+                watchdog,
             )?;
         } else {
             self.run_sequential(
@@ -339,17 +491,18 @@ impl Engine {
                 &mut outputs,
                 &mut transcripts,
                 &mut stats,
+                plan,
+                &mut report,
+                watchdog,
             )?;
         }
 
-        let outputs = outputs
-            .into_iter()
-            .map(|o| o.expect("halted node must have produced an output"))
-            .collect();
-        Ok(RunOutcome {
+        report.tally_into(&mut stats);
+        Ok(FaultedOutcome {
             outputs,
             stats,
             transcripts,
+            faults: report,
         })
     }
 
@@ -364,6 +517,9 @@ impl Engine {
         outputs: &mut [Option<P::Output>],
         transcripts: &mut Option<Vec<Transcript>>,
         stats: &mut RunStats,
+        plan: Option<&FaultPlan>,
+        report: &mut FaultReport,
+        watchdog: Option<(Instant, Duration)>,
     ) -> Result<(), SimError> {
         let n = self.n;
         let mut book = RoundBook::new(n, self.max_rounds, stats, transcripts.as_mut());
@@ -371,6 +527,17 @@ impl Engine {
         let [buf_a, buf_b] = bufs;
         let mut round = 0usize;
         loop {
+            if let Some(plan) = plan {
+                // Crashes fire before the activity snapshot: a node crashing
+                // in round r never steps in it, and the messages it was due
+                // to read this round (written last round) are lost.
+                let inbound: &[BitString] = if round.is_multiple_of(2) {
+                    buf_b
+                } else {
+                    buf_a
+                };
+                plan.apply_crashes(round, halted, inbound, n, report);
+            }
             for v in 0..n {
                 active[v] = !halted[v];
             }
@@ -405,7 +572,20 @@ impl Engine {
             }
             let step_end = Instant::now();
             match book.close_round(round, acc, cur, prev, halted, &active, step_start, step_end) {
-                Verdict::Continue => round += 1,
+                Verdict::Continue => {
+                    if let Some(plan) = plan {
+                        // Link faults strike after the round closes: stats
+                        // and transcripts record what was *sent*; next
+                        // round's inboxes see what *survived* the wire.
+                        plan.apply_link_faults(round, cur, n, report);
+                    }
+                    if let Some((start, limit)) = watchdog {
+                        if start.elapsed() >= limit {
+                            return Err(SimError::DeadlineExceeded { limit });
+                        }
+                    }
+                    round += 1;
+                }
                 Verdict::Done => return Ok(()),
                 Verdict::Limit => {
                     return Err(SimError::RoundLimit {
@@ -430,6 +610,9 @@ impl Engine {
         outputs: &mut [Option<P::Output>],
         transcripts: &mut Option<Vec<Transcript>>,
         stats: &mut RunStats,
+        plan: Option<&FaultPlan>,
+        report: &mut FaultReport,
+        watchdog: Option<(Instant, Duration)>,
     ) -> Result<(), SimError> {
         let n = self.n;
         let chunk = n.div_ceil(threads);
@@ -529,7 +712,15 @@ impl Engine {
             loop {
                 {
                     // SAFETY: workers are parked at the round-start barrier,
-                    // so the main thread has exclusive access here.
+                    // so the main thread has exclusive access here. Faults
+                    // are applied only on the main thread between barriers —
+                    // that (plus address-keyed coins) is what makes the
+                    // adversary pool-shape independent.
+                    if let Some(plan) = plan {
+                        let halted_mut = unsafe { SyncCell::exclusive(halted_cells) };
+                        let inbound = unsafe { SyncCell::shared(buf_cells[1 - round % 2]) };
+                        plan.apply_crashes(round, halted_mut, inbound, n, report);
+                    }
                     let halted_now = unsafe { SyncCell::shared(halted_cells) };
                     for v in 0..n {
                         active[v] = !halted_now[v];
@@ -575,7 +766,21 @@ impl Engine {
                 match book.close_round(
                     round, acc, cur, prev, halted_now, &active, step_start, step_end,
                 ) {
-                    Verdict::Continue => round += 1,
+                    Verdict::Continue => {
+                        if let Some(plan) = plan {
+                            // SAFETY: workers are still parked; the shared
+                            // views taken for close_round are no longer used.
+                            let cur_mut = unsafe { SyncCell::exclusive(buf_cells[write]) };
+                            plan.apply_link_faults(round, cur_mut, n, report);
+                        }
+                        if let Some((start, limit)) = watchdog {
+                            if start.elapsed() >= limit {
+                                shutdown(ctrl);
+                                return Err(SimError::DeadlineExceeded { limit });
+                            }
+                        }
+                        round += 1;
+                    }
                     Verdict::Done => {
                         shutdown(ctrl);
                         return Ok(());
@@ -794,6 +999,18 @@ fn nanos(from: Instant, to: Instant) -> u64 {
     to.saturating_duration_since(from).as_nanos() as u64
 }
 
+/// Best-effort extraction of a panic payload's message (the payloads of
+/// `panic!("…")` are `&str` or `String`; anything else is opaque).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast_ref::<&str>() {
+        Some(s) => (*s).to_string(),
+        None => match payload.downcast_ref::<String>() {
+            Some(s) => s.clone(),
+            None => "<non-string panic payload>".to_string(),
+        },
+    }
+}
+
 /// Step a single node and validate its outbox against the bandwidth bound.
 /// `prev` is the full sender-major matrix written last round; the node reads
 /// it through a transposed [`Inbox`] view.
@@ -815,7 +1032,17 @@ fn step_one<P: NodeProgram>(
     let v = ctx.id.index();
     let inbox = Inbox::transposed(prev, n, v);
     let mut outbox = Outbox::new(sent_row, v);
-    match prog.step(ctx, round, &inbox, &mut outbox) {
+    // A panicking program becomes a structured error, not a torn-down pool:
+    // the engine (and its caller) must stay usable after a buggy algorithm.
+    let status = catch_unwind(AssertUnwindSafe(|| {
+        prog.step(ctx, round, &inbox, &mut outbox)
+    }))
+    .map_err(|payload| SimError::NodeProgramPanicked {
+        node: ctx.id,
+        round,
+        message: panic_message(payload),
+    })?;
+    match status {
         Status::Continue => {}
         Status::Halt(out) => {
             *halted = true;
@@ -1309,11 +1536,199 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "node exploded")]
-    fn parallel_node_panic_propagates_without_deadlock() {
-        let _ = Engine::new(16)
+    fn node_panic_is_a_structured_error_and_engine_stays_usable() {
+        // The same engine value must survive a panicking program: run clean,
+        // panic, then run clean again — sequentially and on the pool (no
+        // poisoned barrier, no stuck parked workers).
+        for threads in [1usize, 4] {
+            let engine = Engine::new(16).with_threads_exact(threads);
+            let n = 16;
+            engine.run(sum_ids(n)).unwrap();
+            let err = engine
+                .run((0..n).map(|_| Bomb).collect::<Vec<_>>())
+                .unwrap_err();
+            match &err {
+                SimError::NodeProgramPanicked {
+                    node,
+                    round,
+                    message,
+                } => {
+                    assert_eq!(*node, NodeId(7), "threads={threads}");
+                    assert_eq!(*round, 1, "threads={threads}");
+                    assert!(message.contains("node exploded"), "got {message:?}");
+                }
+                other => panic!("unexpected error {other:?} (threads={threads})"),
+            }
+            let out = engine.run(sum_ids(n)).unwrap();
+            assert_eq!(out.outputs, vec![(0..n as u64).sum::<u64>(); n]);
+        }
+    }
+
+    #[test]
+    fn panic_error_is_identical_across_pool_shapes() {
+        let seq = Engine::new(16)
+            .run((0..16).map(|_| Bomb).collect::<Vec<_>>())
+            .unwrap_err();
+        let par = Engine::new(16)
             .with_threads_exact(4)
-            .run((0..16).map(|_| Bomb).collect::<Vec<_>>());
+            .run((0..16).map(|_| Bomb).collect::<Vec<_>>())
+            .unwrap_err();
+        assert_eq!(seq, par);
+    }
+
+    /// Spends real wall-clock every round and never halts.
+    struct Sleeper;
+    impl NodeProgram for Sleeper {
+        type Output = ();
+        fn step(&mut self, _: &NodeCtx, _: usize, _: &Inbox<'_>, _: &mut Outbox<'_>) -> Status<()> {
+            std::thread::sleep(Duration::from_millis(2));
+            Status::Continue
+        }
+    }
+
+    #[test]
+    fn deadline_aborts_runaway_programs() {
+        for threads in [1usize, 4] {
+            let limit = Duration::from_millis(20);
+            let err = Engine::new(8)
+                .with_threads_exact(threads)
+                .with_deadline(limit)
+                .run((0..8).map(|_| Sleeper).collect::<Vec<_>>())
+                .unwrap_err();
+            assert_eq!(
+                err,
+                SimError::DeadlineExceeded { limit },
+                "threads={threads}"
+            );
+        }
+        // A fast run under a generous deadline is unaffected.
+        Engine::new(8)
+            .with_deadline(Duration::from_secs(60))
+            .run(sum_ids(8))
+            .unwrap();
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_no_plan() {
+        let n = 9;
+        let mk = || {
+            (0..n)
+                .map(|_| Staggered { received: 0 })
+                .collect::<Vec<_>>()
+        };
+        for threads in [1usize, 4] {
+            let base = Engine::new(n)
+                .with_bandwidth(8)
+                .with_threads_exact(threads)
+                .with_transcripts(true);
+            let plain = base.clone().run(mk()).unwrap();
+            let planned = base
+                .with_fault_plan(crate::fault::FaultPlan::new(99))
+                .run(mk())
+                .unwrap();
+            assert_eq!(plain.outputs, planned.outputs, "threads={threads}");
+            assert_eq!(plain.stats, planned.stats, "threads={threads}");
+            assert_eq!(plain.transcripts, planned.transcripts, "threads={threads}");
+            assert!(planned.faults.is_empty());
+        }
+    }
+
+    #[test]
+    fn crashed_node_fails_run_but_not_run_faulted() {
+        use crate::fault::FaultPlan;
+        let n = 8;
+        let mk = || {
+            (0..n)
+                .map(|_| Staggered { received: 0 })
+                .collect::<Vec<_>>()
+        };
+        let engine = Engine::new(n)
+            .with_bandwidth(8)
+            .with_fault_plan(FaultPlan::new(1).crash(NodeId(6), 2));
+        let err = engine.run(mk()).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::NodeCrashed {
+                node: NodeId(6),
+                round: 2
+            }
+        );
+        let out = engine.run_faulted(mk()).unwrap();
+        assert!(out.outputs[6].is_none(), "crashed node has no output");
+        assert_eq!(out.outputs.iter().filter(|o| o.is_some()).count(), n - 1);
+        assert_eq!(out.stats.dead_nodes, 1);
+        assert_eq!(out.faults.crashed_nodes(), vec![NodeId(6)]);
+        // The crash victim was still being broadcast to: its unread inbound
+        // payloads are charged as undelivered.
+        assert!(out.stats.undelivered_messages > 0);
+    }
+
+    #[test]
+    fn dropping_every_message_silences_the_clique() {
+        use crate::fault::FaultPlan;
+        let n = 8;
+        let out = Engine::new(n)
+            .with_fault_plan(FaultPlan::new(3).drop_messages(1.0))
+            .run(sum_ids(n))
+            .unwrap();
+        // Round-1 inboxes are empty, so every node only sees its own id.
+        assert_eq!(out.outputs, (0..n as u64).collect::<Vec<_>>());
+        assert_eq!(out.stats.dropped_messages, (n * (n - 1)) as u64);
+        // Sent-based accounting still charges the wire for what was sent.
+        assert_eq!(out.stats.messages, (n * (n - 1)) as u64);
+    }
+
+    #[test]
+    fn faulted_runs_are_identical_across_pool_shapes() {
+        use crate::fault::FaultPlan;
+        let n = 12;
+        let mk = || {
+            (0..n)
+                .map(|_| Staggered { received: 0 })
+                .collect::<Vec<_>>()
+        };
+        let plan = FaultPlan::new(2024)
+            .crash(NodeId(9), 3)
+            .drop_messages(0.2)
+            .corrupt_messages(0.1)
+            .truncate_messages(0.1);
+        let run = |threads: usize| {
+            Engine::new(n)
+                .with_bandwidth(8)
+                .with_threads_exact(threads)
+                .with_transcripts(true)
+                .with_fault_plan(plan.clone())
+                .run_faulted(mk())
+                .unwrap()
+        };
+        let seq = run(1);
+        assert!(
+            seq.stats.dropped_messages > 0 && seq.stats.corrupted_messages > 0,
+            "plan too weak to exercise the sweeps: {:?}",
+            seq.stats
+        );
+        for threads in [4usize, 7] {
+            let par = run(threads);
+            assert_eq!(seq.outputs, par.outputs, "threads={threads}");
+            assert_eq!(seq.stats, par.stats, "threads={threads}");
+            assert_eq!(seq.faults, par.faults, "threads={threads}");
+            assert_eq!(seq.transcripts, par.transcripts, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn faulted_unanimity_is_over_survivors() {
+        use crate::fault::FaultPlan;
+        let n = 6;
+        let out = Engine::new(n)
+            .with_fault_plan(FaultPlan::new(0).crash(NodeId(2), 1))
+            .run_faulted(sum_ids(n))
+            .unwrap();
+        // Node 2 received round-0 broadcasts but crashed before reading
+        // them; survivors all computed the full sum.
+        let expect = (0..n as u64).sum::<u64>();
+        assert_eq!(out.unanimous(), Some(&expect));
+        assert_eq!(out.survivors().count(), n - 1);
     }
 
     #[test]

@@ -1,0 +1,701 @@
+//! Deterministic fault injection: seed-addressed adversary plans.
+//!
+//! The paper's model (§3) assumes a perfectly reliable synchronous clique.
+//! A production-scale simulator must also answer the question the model
+//! abstracts away: *what does this protocol do when the network misbehaves?*
+//! A [`FaultPlan`] is a pure-data, ChaCha-seeded schedule of adversarial
+//! events — crash-stop at a round, per-link message drop, deterministic
+//! bit-flip corruption, and bandwidth truncation — that the engine applies
+//! identically on its sequential and worker-pool paths.
+//!
+//! # Determinism contract
+//!
+//! Every fault decision is a pure function of `(plan seed, round, sender,
+//! receiver)` — a fresh ChaCha8 stream is keyed per message, so decisions do
+//! not depend on iteration order, pool shape, or host. The same plan against
+//! the same programs replays the same faults, bit for bit; a plan's
+//! [`FaultPlan::label`] (e.g. `plan[seed=7, drop=0.25, crashes=2]`) names
+//! the adversary the way testkit's `family[n, seed]` labels name instances.
+//!
+//! An **empty plan is transparent**: `FaultPlan::new(seed)` with no faults
+//! configured produces byte-identical outputs, transcripts, and
+//! [`crate::RunStats`] to a run with no plan at all.
+//!
+//! # Semantics
+//!
+//! * **Crash-stop** at round `r`: the node does not step in round `r` or any
+//!   later round. Messages it sent in round `r - 1` are still delivered
+//!   (they were on the wire before the crash); messages addressed *to* it
+//!   that it never read are charged to the undelivered counters. A node
+//!   that already halted normally is unaffected.
+//! * **Drop**: the message is removed from the wire after the sender is
+//!   charged for it (sent-based accounting, see [`crate::stats`]).
+//! * **Corrupt**: exactly one bit of the payload is flipped; the length is
+//!   unchanged, so a corrupted message still satisfies the bandwidth bound.
+//! * **Truncate**: the payload is cut to a strict prefix (possibly empty),
+//!   modelling a link that loses the tail of a frame.
+//!
+//! Faults are applied on the main thread between round barriers, after the
+//! sender-side accounting and transcript recording for the round — so a
+//! node's transcript records what it *sent* pre-fault and what it
+//! *received* post-fault, exactly the asymmetry a real lossy network shows.
+
+use std::fmt;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::bits::BitString;
+use crate::node::NodeId;
+use crate::stats::RunStats;
+
+/// A deterministic, forced fault on one message (as opposed to the
+/// probabilistic coins, which apply to every link).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Remove the message from the wire.
+    Drop,
+    /// Flip payload bit `bit % len` (no-op on an empty payload).
+    Flip {
+        /// Bit position to flip, reduced modulo the payload length.
+        bit: usize,
+    },
+    /// Keep only the first `min(keep, len)` payload bits.
+    Truncate {
+        /// Number of prefix bits to keep.
+        keep: usize,
+    },
+}
+
+/// One scheduled forced fault: `(round, from, to, kind)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ForcedFault {
+    /// Round in which the message is sent.
+    pub round: usize,
+    /// Sender of the targeted message.
+    pub from: NodeId,
+    /// Recipient of the targeted message.
+    pub to: NodeId,
+    /// What happens to it.
+    pub kind: FaultKind,
+}
+
+/// A seed-addressed adversary schedule. Pure data: construct with the
+/// builder methods, attach to an engine with
+/// [`crate::Engine::with_fault_plan`], replay by reconstructing from the
+/// same parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    crashes: Vec<(NodeId, usize)>,
+    drop_p: f64,
+    corrupt_p: f64,
+    truncate_p: f64,
+    forced: Vec<ForcedFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan. Attaching it to an engine is guaranteed to leave
+    /// every run byte-identical to a plan-less run.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            crashes: Vec::new(),
+            drop_p: 0.0,
+            corrupt_p: 0.0,
+            truncate_p: 0.0,
+            forced: Vec::new(),
+        }
+    }
+
+    /// The plan's seed (drives every probabilistic coin).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True if the plan schedules nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+            && self.forced.is_empty()
+            && self.drop_p == 0.0
+            && self.corrupt_p == 0.0
+            && self.truncate_p == 0.0
+    }
+
+    /// Crash-stop `node` at the start of `round` (it never steps again).
+    pub fn crash(mut self, node: NodeId, round: usize) -> Self {
+        self.crashes.push((node, round));
+        self
+    }
+
+    /// Schedule `f` distinct crash victims among `n` nodes, each at a
+    /// ChaCha-chosen round in `1..=max_round`, excluding the nodes in
+    /// `spare` (e.g. a broadcast source). Victims and rounds are a pure
+    /// function of the plan seed.
+    pub fn with_random_crashes(
+        mut self,
+        n: usize,
+        f: usize,
+        max_round: usize,
+        spare: &[NodeId],
+    ) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(mix(self.seed, 0xC4A5_4ED0, 0, 0));
+        let mut victims: Vec<usize> = (0..n)
+            .filter(|v| !spare.iter().any(|s| s.index() == *v))
+            .collect();
+        // Fisher–Yates prefix selection.
+        for i in 0..f.min(victims.len()) {
+            let j = i + rng.gen_range(0..victims.len() - i);
+            victims.swap(i, j);
+            let round = rng.gen_range(1..=max_round.max(1));
+            self.crashes.push((NodeId::from(victims[i]), round));
+        }
+        self
+    }
+
+    /// Drop every message independently with probability `p`.
+    pub fn drop_messages(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        self.drop_p = p;
+        self
+    }
+
+    /// Flip one bit of every message independently with probability `p`.
+    pub fn corrupt_messages(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        self.corrupt_p = p;
+        self
+    }
+
+    /// Truncate every message independently with probability `p`.
+    pub fn truncate_messages(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        self.truncate_p = p;
+        self
+    }
+
+    /// Force a specific fault on the message `from → to` sent in `round`.
+    pub fn force(mut self, round: usize, from: NodeId, to: NodeId, kind: FaultKind) -> Self {
+        self.forced.push(ForcedFault {
+            round,
+            from,
+            to,
+            kind,
+        });
+        self
+    }
+
+    /// The round at which `node` is scheduled to crash (minimum over
+    /// duplicate entries), if any.
+    pub fn crash_round(&self, node: NodeId) -> Option<usize> {
+        self.crashes
+            .iter()
+            .filter(|(v, _)| *v == node)
+            .map(|(_, r)| *r)
+            .min()
+    }
+
+    /// The replayable adversary label, `plan[seed=…, …]`.
+    pub fn label(&self) -> String {
+        self.to_string()
+    }
+
+    /// The forced fault scheduled for `(round, from, to)`, if any (first
+    /// match wins).
+    fn forced_for(&self, round: usize, from: usize, to: usize) -> Option<FaultKind> {
+        self.forced
+            .iter()
+            .find(|f| f.round == round && f.from.index() == from && f.to.index() == to)
+            .map(|f| f.kind)
+    }
+
+    /// True if any link fault (probabilistic or forced) can ever fire.
+    pub(crate) fn has_link_faults(&self) -> bool {
+        self.drop_p > 0.0
+            || self.corrupt_p > 0.0
+            || self.truncate_p > 0.0
+            || !self.forced.is_empty()
+    }
+
+    /// Apply the crash schedule for `round`: mark scheduled victims halted,
+    /// record one [`FaultEvent::Crashed`] per victim still running, and
+    /// charge the messages the victim will now never read (column `v` of
+    /// the matrix this round reads).
+    pub(crate) fn apply_crashes(
+        &self,
+        round: usize,
+        halted: &mut [bool],
+        inbound: &[BitString],
+        n: usize,
+        report: &mut FaultReport,
+    ) {
+        if self.crashes.is_empty() {
+            return;
+        }
+        for v in 0..n {
+            if halted[v] || self.crash_round(NodeId::from(v)) != Some(round) {
+                continue;
+            }
+            halted[v] = true;
+            let mut lost_messages = 0u64;
+            let mut lost_bits = 0u64;
+            for u in 0..n {
+                if u == v {
+                    continue;
+                }
+                let m = &inbound[u * n + v];
+                if !m.is_empty() {
+                    lost_messages += 1;
+                    lost_bits += m.len() as u64;
+                }
+            }
+            report.events.push(FaultEvent::Crashed {
+                node: NodeId::from(v),
+                round,
+                lost_messages,
+                lost_bits,
+            });
+        }
+    }
+
+    /// Apply link faults to the matrix written in `round` (it will be read
+    /// next round). Sweep order is sender-major and decisions are keyed per
+    /// `(seed, round, from, to)`, so the result is independent of pool
+    /// shape.
+    pub(crate) fn apply_link_faults(
+        &self,
+        round: usize,
+        matrix: &mut [BitString],
+        n: usize,
+        report: &mut FaultReport,
+    ) {
+        if !self.has_link_faults() {
+            return;
+        }
+        for v in 0..n {
+            for u in 0..n {
+                if u == v {
+                    continue;
+                }
+                let m = &mut matrix[v * n + u];
+                if m.is_empty() {
+                    continue;
+                }
+                self.fault_one(round, v, u, m, report);
+            }
+        }
+    }
+
+    /// Decide and apply the fault (if any) for one non-empty message.
+    fn fault_one(
+        &self,
+        round: usize,
+        from: usize,
+        to: usize,
+        m: &mut BitString,
+        report: &mut FaultReport,
+    ) {
+        let forced = self.forced_for(round, from, to);
+        // The coin stream is keyed per message: same (seed, round, link) →
+        // same draws, regardless of how many other messages exist.
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(mix(self.seed, round as u64, from as u64, to as u64));
+        // Fixed draw order keeps partial plans deterministic.
+        let drop = rng.gen_bool(self.drop_p) || forced == Some(FaultKind::Drop);
+        let corrupt = rng.gen_bool(self.corrupt_p);
+        let corrupt_bit = rng.gen_range(0..m.len());
+        let truncate = rng.gen_bool(self.truncate_p);
+        let truncate_keep = rng.gen_range(0..m.len());
+        let (from_id, to_id) = (NodeId::from(from), NodeId::from(to));
+        if drop {
+            report.events.push(FaultEvent::Dropped {
+                from: from_id,
+                to: to_id,
+                round,
+                bits: m.len(),
+            });
+            m.clear();
+            return;
+        }
+        let flip = match forced {
+            Some(FaultKind::Flip { bit }) => Some(bit % m.len()),
+            _ if corrupt => Some(corrupt_bit),
+            _ => None,
+        };
+        if let Some(bit) = flip {
+            m.set(bit, !m.get(bit));
+            report.events.push(FaultEvent::Corrupted {
+                from: from_id,
+                to: to_id,
+                round,
+                bit,
+            });
+        }
+        let keep = match forced {
+            Some(FaultKind::Truncate { keep }) => Some(keep.min(m.len())),
+            _ if truncate => Some(truncate_keep),
+            _ => None,
+        };
+        if let Some(keep) = keep {
+            if keep < m.len() {
+                let from_bits = m.len();
+                m.truncate(keep);
+                report.events.push(FaultEvent::Truncated {
+                    from: from_id,
+                    to: to_id,
+                    round,
+                    from_bits,
+                    to_bits: keep,
+                });
+            }
+        }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plan[seed={}", self.seed)?;
+        if !self.crashes.is_empty() {
+            write!(f, ", crashes={}", self.crashes.len())?;
+        }
+        if self.drop_p > 0.0 {
+            write!(f, ", drop={}", self.drop_p)?;
+        }
+        if self.corrupt_p > 0.0 {
+            write!(f, ", corrupt={}", self.corrupt_p)?;
+        }
+        if self.truncate_p > 0.0 {
+            write!(f, ", trunc={}", self.truncate_p)?;
+        }
+        if !self.forced.is_empty() {
+            write!(f, ", forced={}", self.forced.len())?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// SplitMix64-style finalizer mixing the plan seed with a message address.
+/// Any bijective avalanche works here; what matters is that distinct
+/// `(round, from, to)` triples get statistically independent streams.
+fn mix(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut x = seed
+        ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ c.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// One fault the engine actually applied during a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A node crash-stopped.
+    Crashed {
+        /// The victim.
+        node: NodeId,
+        /// Round at whose start it stopped participating.
+        round: usize,
+        /// In-flight messages addressed to it that it never read.
+        lost_messages: u64,
+        /// Payload bits of those messages.
+        lost_bits: u64,
+    },
+    /// A message was removed from the wire.
+    Dropped {
+        /// Sender of the lost message.
+        from: NodeId,
+        /// Intended recipient.
+        to: NodeId,
+        /// Round the message was sent in.
+        round: usize,
+        /// Payload size of the lost message.
+        bits: usize,
+    },
+    /// One bit of a message was flipped.
+    Corrupted {
+        /// Sender of the damaged message.
+        from: NodeId,
+        /// Recipient of the damaged message.
+        to: NodeId,
+        /// Round the message was sent in.
+        round: usize,
+        /// Which bit was flipped.
+        bit: usize,
+    },
+    /// A message lost its tail.
+    Truncated {
+        /// Sender of the damaged message.
+        from: NodeId,
+        /// Recipient of the damaged message.
+        to: NodeId,
+        /// Round the message was sent in.
+        round: usize,
+        /// Payload size before truncation.
+        from_bits: usize,
+        /// Payload size after truncation.
+        to_bits: usize,
+    },
+}
+
+/// Everything the adversary did in one run, in deterministic order
+/// (ascending rounds; within a round crashes by node id, then link faults
+/// sender-major).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Applied faults in order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultReport {
+    /// True if the adversary did nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Nodes that crash-stopped, in event order.
+    pub fn crashed_nodes(&self) -> Vec<NodeId> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::Crashed { node, .. } => Some(*node),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The round `node` crashed in, if it did.
+    pub fn crash_round(&self, node: NodeId) -> Option<usize> {
+        self.events.iter().find_map(|e| match e {
+            FaultEvent::Crashed { node: v, round, .. } if *v == node => Some(*round),
+            _ => None,
+        })
+    }
+
+    /// Fold the report's totals into run statistics: the fault counters,
+    /// plus the in-flight payloads crash victims never read (charged to the
+    /// undelivered counters, consistent with sent-based accounting).
+    pub fn tally_into(&self, stats: &mut RunStats) {
+        for e in &self.events {
+            match e {
+                FaultEvent::Crashed {
+                    lost_messages,
+                    lost_bits,
+                    ..
+                } => {
+                    stats.dead_nodes += 1;
+                    stats.undelivered_messages += lost_messages;
+                    stats.undelivered_bits += lost_bits;
+                }
+                FaultEvent::Dropped { .. } => stats.dropped_messages += 1,
+                FaultEvent::Corrupted { .. } => stats.corrupted_messages += 1,
+                FaultEvent::Truncated { .. } => stats.truncated_messages += 1,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty_and_labelled() {
+        let p = FaultPlan::new(42);
+        assert!(p.is_empty());
+        assert_eq!(p.label(), "plan[seed=42]");
+    }
+
+    #[test]
+    fn builder_composes_and_labels() {
+        let p = FaultPlan::new(7)
+            .crash(NodeId(3), 2)
+            .drop_messages(0.25)
+            .force(0, NodeId(0), NodeId(1), FaultKind::Drop);
+        assert!(!p.is_empty());
+        assert_eq!(p.crash_round(NodeId(3)), Some(2));
+        assert_eq!(p.crash_round(NodeId(0)), None);
+        assert_eq!(p.label(), "plan[seed=7, crashes=1, drop=0.25, forced=1]");
+    }
+
+    #[test]
+    fn duplicate_crashes_take_the_earliest_round() {
+        let p = FaultPlan::new(0).crash(NodeId(1), 5).crash(NodeId(1), 2);
+        assert_eq!(p.crash_round(NodeId(1)), Some(2));
+    }
+
+    #[test]
+    fn random_crashes_are_seed_deterministic_and_spare_nodes() {
+        let mk = |seed| FaultPlan::new(seed).with_random_crashes(10, 3, 4, &[NodeId(0)]);
+        let a = mk(9);
+        let b = mk(9);
+        let c = mk(10);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seed, different schedule");
+        assert_eq!(a.crashes_len(), 3);
+        assert_eq!(a.crash_round(NodeId(0)), None, "spared node never crashes");
+    }
+
+    impl FaultPlan {
+        fn crashes_len(&self) -> usize {
+            self.crashes.len()
+        }
+    }
+
+    #[test]
+    fn link_decisions_are_address_keyed() {
+        // Same (seed, round, from, to) → same decision, independent of the
+        // order messages are visited in.
+        let plan = FaultPlan::new(123).drop_messages(0.5);
+        let n = 6;
+        let mk_matrix = || {
+            let mut m = vec![BitString::new(); n * n];
+            for v in 0..n {
+                for u in 0..n {
+                    if u != v {
+                        m[v * n + u] = BitString::from_bits([true, false, true]);
+                    }
+                }
+            }
+            m
+        };
+        let mut a = mk_matrix();
+        let mut b = mk_matrix();
+        let mut ra = FaultReport::default();
+        let mut rb = FaultReport::default();
+        plan.apply_link_faults(3, &mut a, n, &mut ra);
+        plan.apply_link_faults(3, &mut b, n, &mut rb);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        // With p = 0.5 over 30 messages, both outcomes occur.
+        assert!(!ra.is_empty());
+        assert!(ra.events.len() < 30);
+    }
+
+    #[test]
+    fn forced_faults_apply_exactly() {
+        let n = 3;
+        let plan = FaultPlan::new(0)
+            .force(1, NodeId(0), NodeId(1), FaultKind::Flip { bit: 0 })
+            .force(1, NodeId(0), NodeId(2), FaultKind::Truncate { keep: 1 })
+            .force(1, NodeId(1), NodeId(0), FaultKind::Drop);
+        let mut m = vec![BitString::new(); n * n];
+        m[1] = BitString::from_bits([true, true, true]); // 0 → 1
+        m[2] = BitString::from_bits([true, true, true]); // 0 → 2
+        m[n] = BitString::from_bits([true, true, true]); // 1 → 0
+        let mut report = FaultReport::default();
+        plan.apply_link_faults(1, &mut m, n, &mut report);
+        assert_eq!(
+            m[1],
+            BitString::from_bits([false, true, true]),
+            "bit 0 flipped"
+        );
+        assert_eq!(m[2], BitString::from_bits([true]), "truncated to 1 bit");
+        assert!(m[n].is_empty(), "dropped");
+        // Wrong round: nothing happens.
+        let mut m2 = vec![BitString::new(); n * n];
+        m2[1] = BitString::from_bits([true]);
+        let mut r2 = FaultReport::default();
+        plan.apply_link_faults(0, &mut m2, n, &mut r2);
+        assert!(r2.is_empty());
+        assert_eq!(m2[1].len(), 1);
+    }
+
+    #[test]
+    fn crash_sweep_marks_halted_and_charges_inflight() {
+        let n = 3;
+        let plan = FaultPlan::new(0).crash(NodeId(1), 4);
+        let mut halted = vec![false; n];
+        let mut inbound = vec![BitString::new(); n * n];
+        inbound[1] = BitString::from_bits([true, true]); // 0 → 1, never read
+        let mut report = FaultReport::default();
+        plan.apply_crashes(4, &mut halted, &inbound, n, &mut report);
+        assert!(halted[1]);
+        assert_eq!(
+            report.events,
+            vec![FaultEvent::Crashed {
+                node: NodeId(1),
+                round: 4,
+                lost_messages: 1,
+                lost_bits: 2,
+            }]
+        );
+        // Already-halted nodes are not crashed again.
+        let mut r2 = FaultReport::default();
+        plan.apply_crashes(4, &mut halted, &inbound, n, &mut r2);
+        assert!(r2.is_empty());
+    }
+
+    #[test]
+    fn tally_folds_counters_into_stats() {
+        let report = FaultReport {
+            events: vec![
+                FaultEvent::Crashed {
+                    node: NodeId(2),
+                    round: 1,
+                    lost_messages: 2,
+                    lost_bits: 5,
+                },
+                FaultEvent::Dropped {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    round: 0,
+                    bits: 3,
+                },
+                FaultEvent::Corrupted {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    round: 2,
+                    bit: 1,
+                },
+                FaultEvent::Truncated {
+                    from: NodeId(1),
+                    to: NodeId(0),
+                    round: 2,
+                    from_bits: 4,
+                    to_bits: 1,
+                },
+            ],
+        };
+        let mut stats = RunStats::default();
+        report.tally_into(&mut stats);
+        assert_eq!(stats.dead_nodes, 1);
+        assert_eq!(stats.dropped_messages, 1);
+        assert_eq!(stats.corrupted_messages, 1);
+        assert_eq!(stats.truncated_messages, 1);
+        assert_eq!(stats.undelivered_messages, 2);
+        assert_eq!(stats.undelivered_bits, 5);
+        assert_eq!(report.crashed_nodes(), vec![NodeId(2)]);
+        assert_eq!(report.crash_round(NodeId(2)), Some(1));
+        assert_eq!(report.crash_round(NodeId(0)), None);
+    }
+
+    #[test]
+    fn corruption_preserves_length_truncation_shortens() {
+        let plan = FaultPlan::new(5).corrupt_messages(1.0);
+        let n = 2;
+        let mut m = vec![BitString::new(); n * n];
+        m[1] = BitString::from_bits([true, false, true, false]);
+        let before = m[1].clone();
+        let mut report = FaultReport::default();
+        plan.apply_link_faults(0, &mut m, n, &mut report);
+        assert_eq!(m[1].len(), before.len());
+        assert_ne!(m[1], before, "exactly one bit differs");
+        let differing = before
+            .iter()
+            .zip(m[1].iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(differing, 1);
+
+        let plan = FaultPlan::new(5).truncate_messages(1.0);
+        let mut m = vec![BitString::new(); n * n];
+        m[1] = BitString::from_bits([true, false, true, false]);
+        let mut report = FaultReport::default();
+        plan.apply_link_faults(0, &mut m, n, &mut report);
+        assert!(m[1].len() < 4, "strict prefix");
+    }
+}

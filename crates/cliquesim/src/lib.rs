@@ -53,16 +53,21 @@
 //! ```
 
 #![warn(missing_docs)]
+// Fault paths must surface `SimError`, not panic: non-test code may not
+// unwrap/expect. Test modules are exempt (asserting via unwrap is idiomatic).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bits;
 pub mod engine;
+pub mod fault;
 pub mod node;
 pub mod session;
 pub mod stats;
 pub mod transcript;
 
 pub use bits::{BitReader, BitString, DecodeError};
-pub use engine::{Engine, RunOutcome, SimError};
+pub use engine::{Engine, FaultedOutcome, RunOutcome, SimError};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultReport, ForcedFault};
 pub use node::{Inbox, NodeCtx, NodeId, NodeProgram, Outbox, Status};
 pub use session::Session;
 pub use stats::{EngineTiming, RunStats};

@@ -27,7 +27,10 @@ impl NodeId {
 
 impl From<usize> for NodeId {
     fn from(i: usize) -> Self {
-        NodeId(u32::try_from(i).expect("node index fits in u32"))
+        match u32::try_from(i) {
+            Ok(v) => NodeId(v),
+            Err(_) => panic!("node index {i} does not fit in u32"),
+        }
     }
 }
 

@@ -12,7 +12,7 @@
 //! outputs (plus globally known parameters). Every algorithm crate in this
 //! workspace follows that rule.
 
-use crate::engine::{Engine, RunOutcome, SimError};
+use crate::engine::{Engine, FaultedOutcome, RunOutcome, SimError};
 use crate::node::NodeProgram;
 use crate::stats::RunStats;
 
@@ -55,6 +55,20 @@ impl Session {
         programs: Vec<P>,
     ) -> Result<RunOutcome<P::Output>, SimError> {
         let out = self.engine.run(programs)?;
+        self.stats.absorb(&out.stats);
+        self.phases += 1;
+        Ok(out)
+    }
+
+    /// Run one phase under the engine's fault plan, tolerating crashed
+    /// nodes (their output slots are `None`). Rounds, bits, and the fault
+    /// counters are added to the session totals, so a resilient protocol's
+    /// overhead is visible in the same ledger as its fault exposure.
+    pub fn run_faulted<P: NodeProgram>(
+        &mut self,
+        programs: Vec<P>,
+    ) -> Result<FaultedOutcome<P::Output>, SimError> {
+        let out = self.engine.run_faulted(programs)?;
         self.stats.absorb(&out.stats);
         self.phases += 1;
         Ok(out)
@@ -117,6 +131,17 @@ mod tests {
         assert_eq!(s.stats().rounds, 3);
         assert_eq!(s.phases(), 3);
         assert_eq!(s.stats().messages, 12);
+    }
+
+    #[test]
+    fn run_faulted_accumulates_fault_counters() {
+        use crate::fault::FaultPlan;
+        let mut s =
+            Session::new(Engine::new(4).with_fault_plan(FaultPlan::new(0).crash(NodeId(3), 1)));
+        let out = s.run_faulted((0..4).map(|_| OneRound).collect()).unwrap();
+        assert!(out.outputs[3].is_none());
+        assert_eq!(s.stats().dead_nodes, 1);
+        assert_eq!(s.phases(), 1);
     }
 
     #[test]

@@ -42,6 +42,18 @@ pub struct RunStats {
     /// delivery buffers (this round's sends plus the previous round's
     /// not-yet-consumed deliveries), maximised over rounds.
     pub peak_live_payload_bytes: usize,
+    /// Messages removed from the wire by a fault plan. Like all fault
+    /// counters, this is disjoint from `undelivered_*`: a dropped message
+    /// was destroyed by the adversary, not ignored by a halted recipient.
+    pub dropped_messages: u64,
+    /// Messages that had one payload bit flipped by a fault plan.
+    pub corrupted_messages: u64,
+    /// Messages cut to a strict prefix by a fault plan.
+    pub truncated_messages: u64,
+    /// Nodes that crash-stopped under a fault plan (never produced an
+    /// output). In-flight payloads they never read are charged to
+    /// `undelivered_*`.
+    pub dead_nodes: u64,
     /// Wall-clock measurements; excluded from `==` (see type docs).
     pub timing: EngineTiming,
 }
@@ -89,6 +101,10 @@ impl PartialEq for RunStats {
             && self.undelivered_messages == other.undelivered_messages
             && self.undelivered_bits == other.undelivered_bits
             && self.peak_live_payload_bytes == other.peak_live_payload_bytes
+            && self.dropped_messages == other.dropped_messages
+            && self.corrupted_messages == other.corrupted_messages
+            && self.truncated_messages == other.truncated_messages
+            && self.dead_nodes == other.dead_nodes
     }
 }
 
@@ -108,6 +124,10 @@ impl RunStats {
         self.peak_live_payload_bytes = self
             .peak_live_payload_bytes
             .max(other.peak_live_payload_bytes);
+        self.dropped_messages += other.dropped_messages;
+        self.corrupted_messages += other.corrupted_messages;
+        self.truncated_messages += other.truncated_messages;
+        self.dead_nodes += other.dead_nodes;
         self.timing.absorb(&other.timing);
     }
 }
@@ -152,6 +172,24 @@ mod tests {
                 ..RunStats::default()
             }
         );
+    }
+
+    #[test]
+    fn absorb_adds_fault_counters() {
+        let mut a = RunStats {
+            dropped_messages: 1,
+            corrupted_messages: 2,
+            truncated_messages: 3,
+            dead_nodes: 1,
+            ..RunStats::default()
+        };
+        let b = a.clone();
+        a.absorb(&b);
+        assert_eq!(a.dropped_messages, 2);
+        assert_eq!(a.corrupted_messages, 4);
+        assert_eq!(a.truncated_messages, 6);
+        assert_eq!(a.dead_nodes, 2);
+        assert_ne!(a, b, "fault counters participate in equality");
     }
 
     #[test]

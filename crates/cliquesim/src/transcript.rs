@@ -5,6 +5,14 @@
 //! vector consisting of all messages sent and received by v during the
 //! execution". The engine can record exactly that, and this module defines
 //! the canonical bit-level encoding used as certificate format.
+//!
+//! # Faulted runs
+//!
+//! Under a [`crate::FaultPlan`] a transcript stays *locally honest*: `sent`
+//! records what the node handed to the engine (pre-fault), `received`
+//! records what survived the wire (post-fault). Cross-node symmetry — every
+//! send matched by a receive — therefore holds only for fault-free runs; a
+//! crashed node's transcript simply ends at its crash round.
 
 use crate::bits::{BitReader, BitString, DecodeError};
 use crate::node::NodeId;

@@ -50,7 +50,8 @@ pub use nondet::{
 };
 pub use normal_form::{local_search, replay_matches, NormalForm};
 pub use problems::{
-    Connectivity, HamiltonianPath, KColoring, PerfectMatching, SetKind, SetProblem, TriangleExists,
+    all_problems, Connectivity, HamiltonianPath, KColoring, PerfectMatching, SetKind, SetProblem,
+    TriangleExists,
 };
 pub use randomized::{MonteCarloAdapter, OneSidedMonteCarlo, RandomizedColoring};
 pub use search::{

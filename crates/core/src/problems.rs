@@ -12,6 +12,33 @@ use cliquesim::{BitString, Inbox, NodeCtx, NodeId, NodeProgram, Outbox, Status};
 
 use crate::nondet::{BoolNode, Labelling, NondetProblem};
 
+/// Every registered NCLIQUE(1) problem, for conformance sweeps: soundness
+/// and completeness suites, the certificate-corruption harness, and any
+/// experiment that wants "all of them" iterate this list rather than
+/// hard-coding their own (and silently going stale when a problem lands).
+pub fn all_problems() -> Vec<Box<dyn NondetProblem>> {
+    vec![
+        Box::new(KColoring { k: 2 }),
+        Box::new(KColoring { k: 3 }),
+        Box::new(HamiltonianPath),
+        Box::new(TriangleExists),
+        Box::new(SetProblem {
+            kind: SetKind::IndependentSet,
+            k: 2,
+        }),
+        Box::new(SetProblem {
+            kind: SetKind::DominatingSet,
+            k: 2,
+        }),
+        Box::new(SetProblem {
+            kind: SetKind::VertexCover,
+            k: 2,
+        }),
+        Box::new(Connectivity),
+        Box::new(PerfectMatching),
+    ]
+}
+
 /// Look up the adjacency bit for peer `u` in an input row of node `me`.
 fn row_has(row: &BitString, me: usize, u: usize) -> bool {
     debug_assert_ne!(me, u);
@@ -824,29 +851,6 @@ mod tests {
     use cc_graph::gen;
     use proptest::prelude::*;
     use rand::{Rng, SeedableRng};
-
-    fn all_problems() -> Vec<Box<dyn NondetProblem>> {
-        vec![
-            Box::new(KColoring { k: 2 }),
-            Box::new(KColoring { k: 3 }),
-            Box::new(HamiltonianPath),
-            Box::new(TriangleExists),
-            Box::new(SetProblem {
-                kind: SetKind::IndependentSet,
-                k: 2,
-            }),
-            Box::new(SetProblem {
-                kind: SetKind::DominatingSet,
-                k: 2,
-            }),
-            Box::new(SetProblem {
-                kind: SetKind::VertexCover,
-                k: 2,
-            }),
-            Box::new(Connectivity),
-            Box::new(PerfectMatching),
-        ]
-    }
 
     #[test]
     fn completeness_on_yes_instances() {

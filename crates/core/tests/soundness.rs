@@ -1,0 +1,192 @@
+//! Verifier soundness under certificate corruption.
+//!
+//! For every registered NCLIQUE(1) problem we plant a yes-instance, take
+//! the honest prover's certificate, flip 1–3 bits, and demand the verifier
+//! reject — unless the mutant is provably a *legitimate alternate witness*,
+//! which each problem's ground-truth validator below re-checks directly
+//! against the graph (colourings stay proper, matchings stay mutual, …).
+//! Completeness suites only ever exercise the accept path; this suite walks
+//! the boundary around it, where under-checking verifiers hide.
+//!
+//! Failures from the deterministic sweep print replayable
+//! `cert-corrupt[problem=…, instance=…, trial=…]` labels via the
+//! cc-testkit harness.
+
+use cc_core::{all_problems, exists_certificate, verify, Labelling, SetKind, SetProblem};
+use cc_graph::{gen, Graph};
+use cc_testkit::{assert_corrupted_certificates_rejected, corrupt_labelling};
+use cliquesim::BitString;
+use proptest::prelude::*;
+
+/// Decode an exactly-`width`-bit label; `None` on any length mismatch.
+fn decode(label: &BitString, width: usize) -> Option<u64> {
+    if label.len() != width {
+        return None;
+    }
+    label.reader().read_uint(width).ok()
+}
+
+fn coloring_ok(g: &Graph, z: &Labelling, k: usize) -> bool {
+    let cw = BitString::width_for(k.max(2));
+    let colors: Option<Vec<u64>> = z.0.iter().map(|b| decode(b, cw)).collect();
+    let Some(colors) = colors else { return false };
+    colors.iter().all(|&c| (c as usize) < k) && g.edges().all(|(u, v)| colors[u] != colors[v])
+}
+
+fn ham_path_ok(g: &Graph, z: &Labelling) -> bool {
+    let n = g.n();
+    let idw = BitString::width_for(n);
+    let pos: Option<Vec<u64>> = z.0.iter().map(|b| decode(b, idw)).collect();
+    let Some(pos) = pos else { return false };
+    let mut order = vec![usize::MAX; n];
+    for (v, &p) in pos.iter().enumerate() {
+        if (p as usize) >= n || order[p as usize] != usize::MAX {
+            return false;
+        }
+        order[p as usize] = v;
+    }
+    order.windows(2).all(|w| g.has_edge(w[0], w[1]))
+}
+
+fn set_ok(g: &Graph, z: &Labelling, kind: SetKind, k: usize) -> bool {
+    let members: Option<Vec<bool>> = z.0.iter().map(|b| decode(b, 1).map(|x| x == 1)).collect();
+    let Some(members) = members else { return false };
+    let n = g.n();
+    let count = members.iter().filter(|m| **m).count();
+    match kind {
+        SetKind::IndependentSet => {
+            count == k && g.edges().all(|(u, v)| !(members[u] && members[v]))
+        }
+        SetKind::DominatingSet => {
+            count == k && (0..n).all(|v| members[v] || g.neighbors(v).any(|u| members[u]))
+        }
+        SetKind::VertexCover => count <= k && g.edges().all(|(u, v)| members[u] || members[v]),
+    }
+}
+
+fn matching_ok(g: &Graph, z: &Labelling) -> bool {
+    let n = g.n();
+    let idw = BitString::width_for(n);
+    let partner: Option<Vec<u64>> = z.0.iter().map(|b| decode(b, idw)).collect();
+    let Some(partner) = partner else { return false };
+    (0..n).all(|v| {
+        let p = partner[v] as usize;
+        p < n && p != v && partner[p] as usize == v && g.has_edge(v, p)
+    })
+}
+
+fn connectivity_ok(g: &Graph, z: &Labelling) -> bool {
+    let n = g.n();
+    let idw = BitString::width_for(n);
+    let decoded: Option<Vec<(usize, u64)>> =
+        z.0.iter()
+            .map(|b| {
+                if b.len() != 2 * idw {
+                    return None;
+                }
+                let mut r = b.reader();
+                let p = r.read_uint(idw).ok()?;
+                let d = r.read_uint(idw).ok()?;
+                ((p as usize) < n && (d as usize) < n).then_some((p as usize, d))
+            })
+            .collect();
+    let Some(pd) = decoded else { return false };
+    let roots = pd
+        .iter()
+        .enumerate()
+        .filter(|(v, (p, d))| p == v && *d == 0)
+        .count();
+    roots == 1
+        && pd
+            .iter()
+            .enumerate()
+            .all(|(v, &(p, d))| (p == v && d == 0) || (g.has_edge(v, p) && pd[p].1 + 1 == d))
+}
+
+/// Planted yes-instance and ground-truth witness validator for each
+/// registered problem. Panics on an unknown name, so adding a problem to
+/// [`all_problems`] without extending this table fails loudly here.
+fn planted(name: &str) -> (Graph, fn(&Graph, &Labelling) -> bool) {
+    match name {
+        "2-colouring" => (gen::cycle(6), |g, z| coloring_ok(g, z, 2)),
+        "3-colouring" => (gen::cycle(5), |g, z| coloring_ok(g, z, 3)),
+        "hamiltonian-path" => (gen::path(6), ham_path_ok),
+        // Path 0–1–2–3–4 plus the chord (0,2): exactly one triangle, and
+        // the certificate is replicated at every node, so ≤ 3 flips always
+        // break the cross-node consistency check — no mutant is a witness.
+        "triangle-exists" => (
+            Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 2)]),
+            |_, _| false,
+        ),
+        "2-independent-set" => (gen::path(4), |g, z| {
+            set_ok(g, z, SetKind::IndependentSet, 2)
+        }),
+        "2-dominating-set" => (gen::path(6), |g, z| set_ok(g, z, SetKind::DominatingSet, 2)),
+        "vertex-cover-at-most-2" => (gen::path(4), |g, z| set_ok(g, z, SetKind::VertexCover, 2)),
+        "connectivity" => (gen::cycle(6), connectivity_ok),
+        "perfect-matching" => (gen::cycle(6), matching_ok),
+        other => panic!("no planted soundness instance for {other} — add one to planted()"),
+    }
+}
+
+/// Deterministic sweep through the cc-testkit harness: 24 corruption
+/// trials per problem, every failure labelled for replay.
+#[test]
+fn corrupted_certificates_are_rejected_everywhere() {
+    for problem in all_problems() {
+        let name = problem.name();
+        let (g, witness_ok) = planted(&name);
+        assert_corrupted_certificates_rejected(
+            problem.as_ref(),
+            &g,
+            &format!("planted-{name}"),
+            24,
+            |z| witness_ok(&g, z),
+        );
+    }
+}
+
+/// Certificates found by exhaustive search are just as fragile as the
+/// honest prover's: corrupting them must flip the verdict unless the
+/// mutant is itself an independent set.
+#[test]
+fn exhaustively_found_certificates_are_fragile_too() {
+    let problem = SetProblem {
+        kind: SetKind::IndependentSet,
+        k: 2,
+    };
+    let g = gen::path(4);
+    let z = exists_certificate(&problem, &g, 1)
+        .unwrap()
+        .expect("P4 has an independent set of size 2");
+    assert!(verify(&problem, &g, &z).unwrap().accepted);
+    for seed in 0..16u64 {
+        let (damaged, flips) = corrupt_labelling(&z, seed);
+        let verdict = verify(&problem, &g, &damaged).unwrap();
+        assert!(
+            !verdict.accepted || set_ok(&g, &damaged, SetKind::IndependentSet, 2),
+            "seed {seed}: accepted a non-witness mutant (flips {flips:?})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomised corruption seeds on top of the deterministic sweep:
+    /// whatever 1–3 bits a seed picks, acceptance implies witness-hood.
+    #[test]
+    fn random_corruptions_never_smuggle_a_verdict(seed in 0u64..1_000_000) {
+        for problem in all_problems() {
+            let name = problem.name();
+            let (g, witness_ok) = planted(&name);
+            let z = problem.prove(&g).expect("planted yes-instance");
+            let (damaged, flips) = corrupt_labelling(&z, seed);
+            let verdict = verify(problem.as_ref(), &g, &damaged).unwrap();
+            prop_assert!(
+                !verdict.accepted || witness_ok(&g, &damaged),
+                "{name}: seed {seed} accepted a non-witness mutant (flips {flips:?})"
+            );
+        }
+    }
+}

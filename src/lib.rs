@@ -17,7 +17,10 @@
 //! * [`mst`] — distributed Borůvka MST (the §2/§8 flagship problem);
 //! * [`reductions`] — Theorem 10's gadget, the Figure 1 atlas;
 //! * [`theory`] — NCLIQUE, the normal form (Thm 3), decision hierarchies
-//!   (Thms 7/8), counting arguments (Lemma 1, Thms 2/4), exponents (§7).
+//!   (Thms 7/8), counting arguments (Lemma 1, Thms 2/4), exponents (§7);
+//! * [`resilient`] — fault-tolerant wrappers (echo-broadcast,
+//!   k-retransmission, crash-tolerant aggregation) for runs under the
+//!   simulator's deterministic [`sim::FaultPlan`] adversary.
 //!
 //! See `examples/quickstart.rs` for a guided tour.
 
@@ -28,6 +31,7 @@ pub use cc_mst as mst;
 pub use cc_param as param;
 pub use cc_paths as paths;
 pub use cc_reductions as reductions;
+pub use cc_resilient as resilient;
 pub use cc_routing as routing;
 pub use cc_subgraph as subgraph;
 pub use cliquesim as sim;
@@ -36,6 +40,6 @@ pub use cliquesim as sim;
 pub mod prelude {
     pub use cc_graph::{Graph, WeightedGraph};
     pub use cliquesim::{
-        BitString, Engine, NodeCtx, NodeId, NodeProgram, RunStats, Session, Status,
+        BitString, Engine, FaultPlan, NodeCtx, NodeId, NodeProgram, RunStats, Session, Status,
     };
 }
