@@ -1,4 +1,19 @@
 //! Crash-tolerant aggregation by idempotent gossip.
+//!
+//! **Guarantee**: `max` is idempotent and monotone, so crashes, drops, and
+//! duplicate deliveries can only delay convergence, never corrupt a correct
+//! estimate downwards; with `r` rounds any value can hop `r` links around
+//! failures.
+//!
+//! **Fault assumptions**: crash-stop and message-drop faults
+//! ([`cliquesim::FaultPlan`]) with honest senders and intact payloads.
+//! Corruption or a Byzantine sender can forge a too-large value that `max`
+//! then propagates forever — for that tier use
+//! [`crate::byzantine_max_gossip`], which gates every value behind a
+//! reliable-broadcast quorum.
+//!
+//! **Overhead**: `r` rounds and at most `r·n(n-1)` messages of `width`
+//! bits; one round suffices fault-free.
 
 use cliquesim::{FaultedOutcome, Inbox, NodeCtx, NodeProgram, Outbox, Session, SimError, Status};
 

@@ -1,4 +1,17 @@
 //! Crash-tolerant single-source broadcast via echo and majority vote.
+//!
+//! **Guarantee**: if the source survives round 0 (or any node that received
+//! the direct copy survives round 1), every surviving node outputs
+//! `Some(value)`; a node that never sees a copy outputs `None` rather than
+//! guessing.
+//!
+//! **Fault assumptions**: crash-stop nodes and (for the majority step)
+//! per-link corruption with `f < n/3` faults, per [`cliquesim::FaultPlan`].
+//! The sender is trusted — a Byzantine source defeats the vote; use
+//! [`crate::BrachaBroadcast`] for that tier.
+//!
+//! **Overhead**: exactly 2 rounds and up to `(n-1)(n+1)` messages of
+//! `width` bits — one echo round over the one-round bare broadcast.
 
 use cliquesim::{
     FaultedOutcome, Inbox, NodeCtx, NodeId, NodeProgram, Outbox, Session, SimError, Status,

@@ -7,7 +7,9 @@
 //! messages, or damages payloads — at a measured cost in extra rounds and
 //! bits that shows up honestly in [`cliquesim::RunStats`].
 //!
-//! Three primitives, three fault classes:
+//! The primitives form a ladder, one per adversary tier (the full map with
+//! guarantees and overheads is `docs/THREAT-MODEL.md` at the workspace
+//! root):
 //!
 //! * [`EchoBroadcast`] — one node's value reaches every *surviving* node
 //!   despite `f < n/3` crash faults, via a one-round echo and majority vote.
@@ -18,18 +20,28 @@
 //! * [`MaxGossip`] — a crash- and drop-tolerant idempotent aggregation
 //!   (maximum); extra gossip rounds only improve coverage, never change a
 //!   correct value.
+//! * [`BrachaBroadcast`] — Bracha-style reliable broadcast: unanimous
+//!   delivery among honest nodes despite `f < n/3` *Byzantine* senders
+//!   ([`cliquesim::ByzantinePlan`]), at a cost of `f + 4` rounds;
+//!   [`bracha_overhead`] prices it for [`cliquesim::Session::charge`].
+//! * [`byzantine_max_gossip`] — Byzantine-tolerant maximum via `n`
+//!   sequential Bracha phases (`n(f + 4)` rounds).
 //!
-//! None of these tolerate *Byzantine* senders — a node that lies actively
-//! can defeat a majority of honest copies. That model is an open item in the
-//! ROADMAP.
+//! The first three do **not** tolerate Byzantine senders: a traitor that
+//! equivocates — sends different payloads to different peers — makes every
+//! copy on a link agree and still lie, so per-link majorities are forged by
+//! a single traitor (`cc-testkit`'s `equivocation_witness` demonstrates
+//! this against [`RepeatBroadcast`]). That tier needs the quorum layer.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod aggregate;
+mod bracha;
 mod echo;
 mod retransmit;
 
 pub use aggregate::{max_gossip, MaxGossip};
+pub use bracha::{bracha_broadcast, bracha_overhead, byzantine_max_gossip, BrachaBroadcast};
 pub use echo::{echo_broadcast, EchoBroadcast};
 pub use retransmit::{repeat_broadcast, retry_overhead, RepeatBroadcast};
 

@@ -1,4 +1,18 @@
 //! Drop-tolerant all-to-all exchange via k-fold retransmission.
+//!
+//! **Guarantee**: a link's exchange fails only if all `k` copies on it are
+//! lost (probability `p^k` under independent drop `p`), and a corrupted
+//! copy is outvoted while a majority of copies on the link arrive intact.
+//!
+//! **Fault assumptions**: oblivious per-link drop/corrupt/truncate faults
+//! ([`cliquesim::FaultPlan`]) with *honest senders*. A Byzantine sender
+//! defeats this primitive outright: every copy on a link carries the same
+//! per-recipient lie, so the per-link majority votes unanimously for a
+//! forgery (`cc-testkit`'s `equivocation_witness` exhibits this).
+//!
+//! **Overhead**: `k` rounds and `k·n(n-1)` messages of `width` bits — a
+//! factor `k` over the one-round exchange; [`retry_overhead`] prices extra
+//! repeats analytically.
 
 use cliquesim::{
     FaultedOutcome, Inbox, NodeCtx, NodeProgram, Outbox, RunStats, Session, SimError, Status,

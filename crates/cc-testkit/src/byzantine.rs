@@ -1,0 +1,344 @@
+//! Byzantine-conformance runners: the [`ByzantinePlan`] adversary must be
+//! a pure function of `(seed, round, from, to)`, so a run with traitors is
+//! just as schedule-independent as an honest one. This module mirrors
+//! [`crate::faults`] for the stronger tier: the same plan, replayed under
+//! every pool shape in [`POOL_SHAPES`], must yield byte-identical outputs,
+//! [`RunStats`], transcripts, the same [`FaultReport`], *and* the same
+//! [`ByzantineReport`] event for event — and an empty plan must change
+//! nothing at all.
+//!
+//! It also carries the tier's *negative* obligation:
+//! [`equivocation_witness`] searches an all-to-all exchange's outputs for
+//! two honest nodes that a single traitor told different stories — the
+//! proof that per-link majorities (`RepeatBroadcast`) are forged by
+//! equivocation and the quorum layer (`BrachaBroadcast`) is not optional.
+//!
+//! Every panic message carries the plan's label (e.g.
+//! `byz[seed=7, traitors=1, garble=1]`) next to the protocol label, so a
+//! failing conformance run names the exact adversary that reproduces it.
+
+use cliquesim::{
+    ByzantinePlan, ByzantineReport, Engine, FaultReport, NodeId, NodeProgram, RunStats, Transcript,
+};
+use std::fmt::Debug;
+
+use crate::differential::POOL_SHAPES;
+
+/// Everything a Byzantine differential compares: per-node outputs (`None`
+/// for crashed nodes), accumulated stats, full transcripts, the link-fault
+/// event log, and the Byzantine rewrite log.
+pub type ByzantineRun<T> = (
+    Vec<Option<T>>,
+    RunStats,
+    Vec<Transcript>,
+    FaultReport,
+    ByzantineReport,
+);
+
+/// Run node programs under `plan` on every pool shape with transcripts
+/// forced on, asserting byte-identical outputs, stats, transcripts, fault
+/// reports, and Byzantine reports. Returns the sequential run for further
+/// auditing.
+///
+/// The factory is called once per shape and must produce identical
+/// programs each time (pass a fixed seed in, like
+/// [`crate::differential_programs`]).
+pub fn differential_byzantine<P, M>(
+    label: &str,
+    base: &Engine,
+    plan: &ByzantinePlan,
+    mut make_programs: M,
+) -> ByzantineRun<P::Output>
+where
+    P: NodeProgram,
+    P::Output: PartialEq + Debug,
+    M: FnMut() -> Vec<P>,
+{
+    let tag = format!("{label} under {plan}");
+    let mut reference: Option<ByzantineRun<P::Output>> = None;
+    for &threads in POOL_SHAPES.iter() {
+        let engine = base
+            .clone()
+            .with_transcripts(true)
+            .with_threads_exact(threads)
+            .with_byzantine_plan(plan.clone());
+        let out = engine
+            .run_byzantine(make_programs())
+            .unwrap_or_else(|e| panic!("{tag}: engine error at threads={threads}: {e}"));
+        let transcripts = out.transcripts.expect("transcripts were requested");
+        match &reference {
+            None => {
+                reference = Some((
+                    out.outputs,
+                    out.stats,
+                    transcripts,
+                    out.faults,
+                    out.byzantine,
+                ))
+            }
+            Some((out0, stats0, tr0, faults0, byz0)) => {
+                assert!(
+                    *out0 == out.outputs,
+                    "{tag}: outputs diverge at threads={threads}"
+                );
+                assert!(
+                    *stats0 == out.stats,
+                    "{tag}: RunStats diverge at threads={threads}: {:?} vs {stats0:?}",
+                    out.stats
+                );
+                assert!(
+                    *byz0 == out.byzantine,
+                    "{tag}: Byzantine reports diverge at threads={threads}: {:?} vs {byz0:?}",
+                    out.byzantine
+                );
+                assert!(
+                    *faults0 == out.faults,
+                    "{tag}: fault reports diverge at threads={threads}: {:?} vs {faults0:?}",
+                    out.faults
+                );
+                assert!(
+                    *tr0 == transcripts,
+                    "{tag}: transcripts diverge at threads={threads}"
+                );
+            }
+        }
+    }
+    reference.expect("POOL_SHAPES is non-empty")
+}
+
+/// Assert the engine's transparency guarantee for the Byzantine tier:
+/// attaching an *empty* [`ByzantinePlan`] changes nothing. Runs the
+/// programs once with no plan and once with `ByzantinePlan::new(seed)` (no
+/// traitors, no lies) on every pool shape, and requires byte-identical
+/// outputs, stats, and transcripts — plus an empty rewrite log and zeroed
+/// Byzantine counters.
+pub fn assert_empty_byzantine_transparent<P, M>(label: &str, base: &Engine, mut make_programs: M)
+where
+    P: NodeProgram,
+    P::Output: PartialEq + Debug,
+    M: FnMut() -> Vec<P>,
+{
+    let plan = ByzantinePlan::new(0);
+    assert!(plan.is_empty(), "ByzantinePlan::new must start empty");
+    for &threads in POOL_SHAPES.iter() {
+        let bare = base
+            .clone()
+            .with_transcripts(true)
+            .with_threads_exact(threads)
+            .run(make_programs())
+            .unwrap_or_else(|e| panic!("{label}: bare engine error at threads={threads}: {e}"));
+        let planned = base
+            .clone()
+            .with_transcripts(true)
+            .with_threads_exact(threads)
+            .with_byzantine_plan(plan.clone())
+            .run_byzantine(make_programs())
+            .unwrap_or_else(|e| {
+                panic!("{label}: empty-plan engine error at threads={threads}: {e}")
+            });
+        assert!(
+            planned.byzantine.is_empty(),
+            "{label}: empty plan produced rewrite events at threads={threads}"
+        );
+        assert!(
+            bare.outputs
+                .iter()
+                .map(Some)
+                .eq(planned.outputs.iter().map(|o| o.as_ref())),
+            "{label}: empty plan changed outputs at threads={threads}"
+        );
+        assert!(
+            bare.stats == planned.stats,
+            "{label}: empty plan changed RunStats at threads={threads}: {:?} vs {:?}",
+            planned.stats,
+            bare.stats
+        );
+        assert!(
+            bare.transcripts == planned.transcripts,
+            "{label}: empty plan changed transcripts at threads={threads}"
+        );
+    }
+}
+
+/// Search an all-to-all exchange's outputs for an **equivocation witness**:
+/// two honest nodes `a ≠ b` whose slots for some traitor `t` disagree —
+/// i.e. a single traitor successfully told two honest nodes different
+/// stories, each locally backed by a full per-link majority.
+///
+/// `outputs[v]` is node `v`'s decided view, one slot per peer (the shape
+/// `RepeatBroadcast` emits); `None` outer slots (crashed nodes) are
+/// skipped. Returns `(a, b, t)` for the first witness found, or `None` if
+/// every pair of honest nodes agrees on every traitor.
+pub fn equivocation_witness(
+    outputs: &[Option<Vec<Option<u64>>>],
+    plan: &ByzantinePlan,
+) -> Option<(NodeId, NodeId, NodeId)> {
+    let honest: Vec<usize> = (0..outputs.len())
+        .filter(|v| !plan.is_traitor(NodeId::from(*v)) && outputs[*v].is_some())
+        .collect();
+    for t in plan.traitors() {
+        for (i, &a) in honest.iter().enumerate() {
+            for &b in &honest[i + 1..] {
+                let (va, vb) = (&outputs[a], &outputs[b]);
+                if let (Some(va), Some(vb)) = (va, vb) {
+                    if va[t.index()] != vb[t.index()] {
+                        return Some((NodeId::from(a), NodeId::from(b), *t));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Shared `proptest` strategies over Byzantine adversary plans.
+pub mod strategies {
+    use super::*;
+    use proptest::strategy::Strategy;
+    use proptest::test_runner::TestRng;
+
+    /// Strategy drawing a random [`ByzantinePlan`] with `f < n/3` traitors
+    /// for an `n`-node clique, optionally sparing listed nodes.
+    #[derive(Clone, Debug)]
+    pub struct ArbTraitorPlan {
+        n: usize,
+        spare: Vec<NodeId>,
+    }
+
+    /// Any seed, any traitor count `f ∈ [0, ⌈n/3⌉ - 1]`, any mix of lie
+    /// probabilities; nodes in `spare` are never traitors.
+    pub fn arb_traitor_plan(n: usize, spare: &[NodeId]) -> ArbTraitorPlan {
+        assert!(n >= 4, "need n ≥ 4 for a non-trivial traitor bound");
+        ArbTraitorPlan {
+            n,
+            spare: spare.to_vec(),
+        }
+    }
+
+    impl Strategy for ArbTraitorPlan {
+        type Value = ByzantinePlan;
+        fn sample(&self, rng: &mut TestRng) -> ByzantinePlan {
+            let max_f = self.n.div_ceil(3) - 1;
+            let f = rng.below(max_f as u64 + 1) as usize;
+            // At least one lie kind is always on, so a sampled plan with
+            // f > 0 traitors is never accidentally transparent.
+            let garble = 1.0;
+            let replay = (rng.below(100) as f64) / 100.0;
+            let silence = (rng.below(50) as f64) / 100.0;
+            ByzantinePlan::new(rng.next_u64() % 1_000_000)
+                .with_random_traitors(self.n, f, &self.spare)
+                .garble(garble)
+                .replay(replay)
+                .silence(silence)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliquesim::{BitString, Inbox, NodeCtx, Outbox, Status};
+
+    /// Three rounds of id gossip (same shape as the fault-module fixture):
+    /// order-sensitive enough to notice any nondeterminism.
+    #[derive(Clone)]
+    struct Gossip {
+        heard: Vec<u64>,
+    }
+
+    impl NodeProgram for Gossip {
+        type Output = Vec<u64>;
+        fn step(
+            &mut self,
+            ctx: &NodeCtx,
+            round: usize,
+            inbox: &Inbox<'_>,
+            outbox: &mut Outbox<'_>,
+        ) -> Status<Vec<u64>> {
+            for (u, m) in inbox.iter() {
+                if let Ok(v) = m.reader().read_uint(ctx.id_width()) {
+                    self.heard.push(u.0 as u64 * 1000 + v);
+                }
+            }
+            if round < 3 {
+                let mut m = BitString::new();
+                m.push_uint(ctx.id.0 as u64, ctx.id_width());
+                outbox.broadcast(&m);
+                return Status::Continue;
+            }
+            Status::Halt(self.heard.clone())
+        }
+    }
+
+    fn gossip(n: usize) -> Vec<Gossip> {
+        (0..n).map(|_| Gossip { heard: Vec::new() }).collect()
+    }
+
+    #[test]
+    fn byzantine_differential_is_stable_across_shapes() {
+        // n = 15 ≥ 2·7, so the 7-worker pooled path really engages.
+        let n = 15;
+        let plan = ByzantinePlan::new(42)
+            .with_random_traitors(n, 4, &[])
+            .garble(0.6)
+            .replay(0.3)
+            .silence(0.1);
+        let (outputs, stats, transcripts, faults, byz) =
+            differential_byzantine("gossip", &Engine::new(n), &plan, || gossip(n));
+        assert!(outputs.iter().all(|o| o.is_some()), "no one crashes here");
+        assert!(stats.forged_messages > 0, "{plan}: nothing forged");
+        assert!(faults.is_empty(), "no link-fault plan was attached");
+        assert!(!byz.is_empty());
+        assert_eq!(transcripts.len(), n);
+    }
+
+    #[test]
+    fn empty_byzantine_plan_is_transparent_for_gossip() {
+        let n = 10;
+        assert_empty_byzantine_transparent("gossip", &Engine::new(n), || gossip(n));
+    }
+
+    #[test]
+    fn witness_finds_a_planted_disagreement() {
+        let plan = ByzantinePlan::new(0).traitor(NodeId(2)).garble(1.0);
+        // Nodes 0 and 1 are honest but disagree about traitor 2.
+        let outputs = vec![
+            Some(vec![Some(0), Some(1), Some(7)]),
+            Some(vec![Some(0), Some(1), Some(9)]),
+            Some(vec![Some(0), Some(1), Some(2)]),
+        ];
+        assert_eq!(
+            equivocation_witness(&outputs, &plan),
+            Some((NodeId(0), NodeId(1), NodeId(2)))
+        );
+        // Agreement about the traitor → no witness.
+        let agree = vec![
+            Some(vec![Some(0), Some(1), Some(7)]),
+            Some(vec![Some(0), Some(1), Some(7)]),
+            Some(vec![Some(0), Some(1), Some(2)]),
+        ];
+        assert_eq!(equivocation_witness(&agree, &plan), None);
+        // Disagreement between honest nodes about an *honest* node is not
+        // an equivocation witness (that would be a link fault, not a lie).
+        let honest_noise = vec![
+            Some(vec![Some(0), Some(5), Some(7)]),
+            Some(vec![Some(0), Some(6), Some(7)]),
+            Some(vec![Some(0), Some(1), Some(2)]),
+        ];
+        assert_eq!(equivocation_witness(&honest_noise, &plan), None);
+    }
+
+    #[test]
+    fn sampled_traitor_plans_respect_the_bound() {
+        use proptest::strategy::Strategy;
+        use proptest::test_runner::TestRng;
+        let strat = strategies::arb_traitor_plan(9, &[NodeId(0)]);
+        let mut rng = TestRng::deterministic("sampled_traitor_plans_respect_the_bound");
+        for _ in 0..50 {
+            let plan = strat.sample(&mut rng);
+            assert!(3 * plan.f() < 9 + 3, "f = {} too large", plan.f());
+            assert!(plan.f() <= 2, "⌈9/3⌉ - 1 = 2 is the cap");
+            assert!(!plan.is_traitor(NodeId(0)), "spared node drafted");
+        }
+    }
+}

@@ -27,6 +27,11 @@
 //!   [`cliquesim::FaultPlan`] replayed under every pool shape must yield
 //!   identical outputs, stats, transcripts, and fault reports, and an
 //!   empty plan must change nothing at all.
+//! * [`byzantine`] — the same obligations for the
+//!   [`cliquesim::ByzantinePlan`] traitor tier, plus the
+//!   [`byzantine::equivocation_witness`] checker that exhibits a single
+//!   traitor forging per-link majorities, and `proptest` strategies for
+//!   `f < n/3` traitor sets.
 //! * [`certificates`] — a certificate-corruption harness that bit-flips
 //!   honest NCLIQUE certificates and asserts every verifier rejects the
 //!   mutants (modulo confirmed alternate witnesses), printing replayable
@@ -43,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod byzantine;
 pub mod certificates;
 pub mod differential;
 pub mod faults;
@@ -51,6 +57,9 @@ pub mod oracle;
 
 pub use audit::{
     assert_transcripts_conform, audit_transcripts, AuditReport, AuditSpec, AuditViolation,
+};
+pub use byzantine::{
+    assert_empty_byzantine_transparent, differential_byzantine, equivocation_witness, ByzantineRun,
 };
 pub use certificates::{assert_corrupted_certificates_rejected, corrupt_labelling};
 pub use differential::{

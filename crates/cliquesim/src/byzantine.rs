@@ -1,0 +1,726 @@
+//! Byzantine sender adversary: seed-addressed per-recipient equivocation.
+//!
+//! The [`crate::fault::FaultPlan`] adversary is *oblivious*: it damages
+//! links without regard to content, and in particular it damages every
+//! recipient of a broadcast identically or independently at random. The
+//! next tier up the threat-model ladder (docs/THREAT-MODEL.md) is a
+//! **Byzantine sender** — a traitor node whose outbound messages are
+//! rewritten *per recipient*, so that it can tell different peers
+//! different things (equivocation) and can base its lies on what it has
+//! heard (adaptive lying). A single equivocating traitor defeats every
+//! per-link majority vote, which is why `cc-resilient` pairs this plan
+//! with Bracha-style reliable broadcast.
+//!
+//! # Determinism contract
+//!
+//! A [`ByzantinePlan`] follows the same replayability discipline as
+//! [`crate::fault::FaultPlan`]: every lie is a pure function of
+//! `(plan seed, round, traitor, recipient)` — a fresh ChaCha8 stream is
+//! keyed per message, so decisions do not depend on iteration order, pool
+//! shape, or host. The adaptive [`Lie::Replay`] additionally reads the
+//! traitor's *received* matrix column for the round, which the engine
+//! fixes before any rewrite is applied, so it is equally schedule-free.
+//! Plans print as replayable labels, e.g.
+//! `byz[seed=7, traitors=1, garble=1]`.
+//!
+//! An **empty plan is transparent**: no traitors, or traitors with no lie
+//! probabilities and no forced lies, produces byte-identical outputs,
+//! transcripts, and [`crate::RunStats`] to a run with no plan at all.
+//!
+//! # Semantics
+//!
+//! Rewrites apply only to **non-empty messages sent by traitor nodes** —
+//! the adversary can corrupt, replace, or suppress what a traitor sends,
+//! but it cannot inject messages the traitor never sent (injection would
+//! bypass the engine's bandwidth accounting). Honest nodes' messages are
+//! never touched; under a pure Byzantine plan, honest-to-honest links are
+//! reliable. Every rewrite preserves the bandwidth bound: garbles and
+//! inversions keep the payload length, and replays reuse a payload that
+//! already passed the bound.
+//!
+//! Rewrites are applied on the main thread between round barriers, after
+//! the sender-side accounting and transcript recording — a traitor's
+//! transcript records what its (honest) program *sent*, and recipients
+//! see what the adversary *substituted*. Byzantine rewrites strike
+//! **before** link faults when both plans are attached: the sender lies
+//! first, then the wire damages what was actually transmitted.
+
+use std::fmt;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::bits::BitString;
+use crate::fault::mix;
+use crate::node::NodeId;
+use crate::stats::RunStats;
+
+/// One way a traitor's outbound message can be rewritten.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lie {
+    /// Replace the payload with address-keyed random bits of the same
+    /// length. Distinct recipients draw distinct streams, so a garbled
+    /// broadcast *equivocates*: every peer sees a different payload.
+    Garble,
+    /// Flip every payload bit (deterministic content-dependent lie).
+    Invert,
+    /// Replace the payload with one the traitor *received* this round
+    /// (adaptive lying: the substitute is drawn from the traitor's inbound
+    /// history). Falls back to [`Lie::Garble`] when the traitor received
+    /// nothing this round.
+    Replay,
+    /// Suppress the message towards this recipient (selective silence —
+    /// distinct from a link drop because it is sender-chosen and
+    /// per-recipient).
+    Silence,
+}
+
+/// One scheduled forced lie: `(round, from, to, lie)`. Fires only if
+/// `from` is marked as a traitor in the plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ForcedLie {
+    /// Round in which the targeted message is sent.
+    pub round: usize,
+    /// The traitor sending the message.
+    pub from: NodeId,
+    /// The recipient whose copy is rewritten.
+    pub to: NodeId,
+    /// How the copy is rewritten.
+    pub lie: Lie,
+}
+
+/// A seed-addressed Byzantine sender schedule. Pure data: construct with
+/// the builder methods, attach to an engine with
+/// [`crate::Engine::with_byzantine_plan`], replay by reconstructing from
+/// the same parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ByzantinePlan {
+    seed: u64,
+    traitors: Vec<NodeId>,
+    garble_p: f64,
+    replay_p: f64,
+    silence_p: f64,
+    forced: Vec<ForcedLie>,
+}
+
+impl ByzantinePlan {
+    /// An empty plan (no traitors). Attaching it to an engine is
+    /// guaranteed to leave every run byte-identical to a plan-less run.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            traitors: Vec::new(),
+            garble_p: 0.0,
+            replay_p: 0.0,
+            silence_p: 0.0,
+            forced: Vec::new(),
+        }
+    }
+
+    /// The plan's seed (drives every probabilistic lie).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True if the plan can never rewrite anything: no traitors, or no
+    /// lie probabilities and no forced lies.
+    pub fn is_empty(&self) -> bool {
+        self.traitors.is_empty()
+            || (self.garble_p == 0.0
+                && self.replay_p == 0.0
+                && self.silence_p == 0.0
+                && self.forced.is_empty())
+    }
+
+    /// Mark `node` as a traitor (its outbound messages become subject to
+    /// the plan's lies). Duplicates are idempotent.
+    pub fn traitor(mut self, node: NodeId) -> Self {
+        if !self.traitors.contains(&node) {
+            self.traitors.push(node);
+        }
+        self
+    }
+
+    /// Mark `f` ChaCha-chosen distinct traitors among `n` nodes, excluding
+    /// the nodes in `spare` (e.g. a broadcast source that a test wants
+    /// honest). The traitor set is a pure function of the plan seed.
+    pub fn with_random_traitors(mut self, n: usize, f: usize, spare: &[NodeId]) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(mix(self.seed, 0x0B12_A471, 0, 0));
+        let mut pool: Vec<usize> = (0..n)
+            .filter(|v| !spare.iter().any(|s| s.index() == *v))
+            .collect();
+        // Fisher–Yates prefix selection, mirroring FaultPlan's crash picker.
+        for i in 0..f.min(pool.len()) {
+            let j = i + rng.gen_range(0..pool.len() - i);
+            pool.swap(i, j);
+            let t = NodeId::from(pool[i]);
+            if !self.traitors.contains(&t) {
+                self.traitors.push(t);
+            }
+        }
+        self
+    }
+
+    /// The traitor set, in insertion order.
+    pub fn traitors(&self) -> &[NodeId] {
+        &self.traitors
+    }
+
+    /// Number of traitors `f` the plan marks.
+    pub fn f(&self) -> usize {
+        self.traitors.len()
+    }
+
+    /// True if `node` is marked as a traitor.
+    pub fn is_traitor(&self, node: NodeId) -> bool {
+        self.traitors.contains(&node)
+    }
+
+    /// Garble every traitor message independently with probability `p`
+    /// (per recipient — a garbled broadcast equivocates).
+    pub fn garble(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        self.garble_p = p;
+        self
+    }
+
+    /// Replace every traitor message independently with probability `p`
+    /// by a payload the traitor received this round (adaptive lying).
+    pub fn replay(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        self.replay_p = p;
+        self
+    }
+
+    /// Suppress every traitor message independently with probability `p`
+    /// (selective per-recipient silence).
+    pub fn silence(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        self.silence_p = p;
+        self
+    }
+
+    /// Force a specific lie on the message `from → to` sent in `round`.
+    /// The lie fires only if `from` is (also) marked as a traitor.
+    pub fn force(mut self, round: usize, from: NodeId, to: NodeId, lie: Lie) -> Self {
+        self.forced.push(ForcedLie {
+            round,
+            from,
+            to,
+            lie,
+        });
+        self
+    }
+
+    /// The replayable adversary label, `byz[seed=…, …]`.
+    pub fn label(&self) -> String {
+        self.to_string()
+    }
+
+    /// The forced lie scheduled for `(round, from, to)`, if any (first
+    /// match wins).
+    fn forced_for(&self, round: usize, from: usize, to: usize) -> Option<Lie> {
+        self.forced
+            .iter()
+            .find(|l| l.round == round && l.from.index() == from && l.to.index() == to)
+            .map(|l| l.lie)
+    }
+
+    /// Rewrite the traitor rows of the matrix written in `round` (read
+    /// next round). `cur` is the sender-major send matrix; `prev` is the
+    /// matrix the nodes read this round, i.e. each traitor's received
+    /// history for adaptive replays. Sweep order is sender-major and every
+    /// decision is keyed per `(seed, round, from, to)`, so the result is
+    /// independent of pool shape.
+    pub(crate) fn apply_rewrites(
+        &self,
+        round: usize,
+        cur: &mut [BitString],
+        prev: &[BitString],
+        n: usize,
+        report: &mut ByzantineReport,
+    ) {
+        if self.is_empty() {
+            return;
+        }
+        for v in 0..n {
+            if !self.is_traitor(NodeId::from(v)) {
+                continue;
+            }
+            for u in 0..n {
+                if u == v {
+                    continue;
+                }
+                if cur[v * n + u].is_empty() {
+                    continue;
+                }
+                self.lie_one(round, v, u, cur, prev, n, report);
+            }
+        }
+    }
+
+    /// Decide and apply the lie (if any) for one non-empty traitor
+    /// message `from → to` in `round`.
+    #[allow(clippy::too_many_arguments)]
+    fn lie_one(
+        &self,
+        round: usize,
+        from: usize,
+        to: usize,
+        cur: &mut [BitString],
+        prev: &[BitString],
+        n: usize,
+        report: &mut ByzantineReport,
+    ) {
+        let forced = self.forced_for(round, from, to);
+        // The coin stream is keyed per message: same (seed, round, link) →
+        // same draws, regardless of how many other messages exist.
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(mix(self.seed, round as u64, from as u64, to as u64));
+        // Fixed draw order keeps partial plans deterministic.
+        let silence = rng.gen_bool(self.silence_p);
+        let garble = rng.gen_bool(self.garble_p);
+        let replay = rng.gen_bool(self.replay_p);
+        let lie = match forced {
+            Some(l) => Some(l),
+            None if silence => Some(Lie::Silence),
+            None if garble => Some(Lie::Garble),
+            None if replay => Some(Lie::Replay),
+            None => None,
+        };
+        let Some(mut lie) = lie else { return };
+        let (from_id, to_id) = (NodeId::from(from), NodeId::from(to));
+        // An adaptive replay needs inbound history; without any it
+        // degrades to a garble (still a lie, still deterministic).
+        let mut replay_source = None;
+        if lie == Lie::Replay {
+            let inbound: Vec<usize> = (0..n)
+                .filter(|w| *w != from && !prev[w * n + from].is_empty())
+                .collect();
+            match inbound.is_empty() {
+                true => lie = Lie::Garble,
+                false => replay_source = Some(inbound[rng.gen_range(0..inbound.len())]),
+            }
+        }
+        let m = &mut cur[from * n + to];
+        match lie {
+            Lie::Silence => {
+                report.events.push(ByzantineEvent::Silenced {
+                    from: from_id,
+                    to: to_id,
+                    round,
+                    bits: m.len(),
+                });
+                m.clear();
+            }
+            Lie::Invert => {
+                for i in 0..m.len() {
+                    m.set(i, !m.get(i));
+                }
+                report.events.push(ByzantineEvent::Inverted {
+                    from: from_id,
+                    to: to_id,
+                    round,
+                    bits: m.len(),
+                });
+            }
+            Lie::Garble => {
+                let forged: BitString = (0..m.len()).map(|_| rng.gen::<bool>()).collect();
+                *m = forged;
+                report.events.push(ByzantineEvent::Garbled {
+                    from: from_id,
+                    to: to_id,
+                    round,
+                    bits: m.len(),
+                });
+            }
+            Lie::Replay => {
+                // `replay_source` is always set on this path (see above);
+                // guard instead of unwrap to honour the no-panic lint.
+                let Some(src) = replay_source else { return };
+                let substitute = prev[src * n + from].clone();
+                let from_bits = m.len();
+                let to_bits = substitute.len();
+                *m = substitute;
+                report.events.push(ByzantineEvent::Replayed {
+                    from: from_id,
+                    to: to_id,
+                    round,
+                    source: NodeId::from(src),
+                    from_bits,
+                    to_bits,
+                });
+            }
+        }
+    }
+}
+
+impl fmt::Display for ByzantinePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "byz[seed={}", self.seed)?;
+        if !self.traitors.is_empty() {
+            write!(f, ", traitors={}", self.traitors.len())?;
+        }
+        if self.garble_p > 0.0 {
+            write!(f, ", garble={}", self.garble_p)?;
+        }
+        if self.replay_p > 0.0 {
+            write!(f, ", replay={}", self.replay_p)?;
+        }
+        if self.silence_p > 0.0 {
+            write!(f, ", silence={}", self.silence_p)?;
+        }
+        if !self.forced.is_empty() {
+            write!(f, ", forced={}", self.forced.len())?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// One rewrite the engine actually applied during a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ByzantineEvent {
+    /// A traitor message was replaced with random bits of the same length.
+    Garbled {
+        /// The lying traitor.
+        from: NodeId,
+        /// The recipient whose copy was rewritten.
+        to: NodeId,
+        /// Round the message was sent in.
+        round: usize,
+        /// Payload size (unchanged by a garble).
+        bits: usize,
+    },
+    /// A traitor message had every bit flipped.
+    Inverted {
+        /// The lying traitor.
+        from: NodeId,
+        /// The recipient whose copy was rewritten.
+        to: NodeId,
+        /// Round the message was sent in.
+        round: usize,
+        /// Payload size (unchanged by an inversion).
+        bits: usize,
+    },
+    /// A traitor message was replaced by a payload the traitor received.
+    Replayed {
+        /// The lying traitor.
+        from: NodeId,
+        /// The recipient whose copy was rewritten.
+        to: NodeId,
+        /// Round the message was sent in.
+        round: usize,
+        /// Whose inbound payload was substituted.
+        source: NodeId,
+        /// Payload size before the substitution.
+        from_bits: usize,
+        /// Payload size after the substitution.
+        to_bits: usize,
+    },
+    /// A traitor message was suppressed towards one recipient.
+    Silenced {
+        /// The lying traitor.
+        from: NodeId,
+        /// The recipient whose copy was suppressed.
+        to: NodeId,
+        /// Round the message was sent in.
+        round: usize,
+        /// Payload size of the suppressed message.
+        bits: usize,
+    },
+}
+
+impl ByzantineEvent {
+    /// The traitor that performed this rewrite.
+    pub fn from(&self) -> NodeId {
+        match self {
+            ByzantineEvent::Garbled { from, .. }
+            | ByzantineEvent::Inverted { from, .. }
+            | ByzantineEvent::Replayed { from, .. }
+            | ByzantineEvent::Silenced { from, .. } => *from,
+        }
+    }
+}
+
+/// Everything the Byzantine adversary did in one run, in deterministic
+/// order (ascending rounds; within a round sender-major, recipients
+/// ascending).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ByzantineReport {
+    /// Applied rewrites in order.
+    pub events: Vec<ByzantineEvent>,
+}
+
+impl ByzantineReport {
+    /// True if the adversary rewrote nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Distinct traitors that actually lied, in first-lie order.
+    pub fn liars(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for e in &self.events {
+            let t = e.from();
+            if !out.contains(&t) {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    /// Rewrites applied to messages from `traitor` to `recipient`.
+    pub fn on_link(&self, traitor: NodeId, recipient: NodeId) -> Vec<&ByzantineEvent> {
+        self.events
+            .iter()
+            .filter(|e| match e {
+                ByzantineEvent::Garbled { from, to, .. }
+                | ByzantineEvent::Inverted { from, to, .. }
+                | ByzantineEvent::Replayed { from, to, .. }
+                | ByzantineEvent::Silenced { from, to, .. } => *from == traitor && *to == recipient,
+            })
+            .collect()
+    }
+
+    /// Fold the report's totals into run statistics: content rewrites go
+    /// to `forged_messages`, suppressions to `silenced_messages`, and the
+    /// number of distinct lying traitors to `traitor_nodes`.
+    pub fn tally_into(&self, stats: &mut RunStats) {
+        for e in &self.events {
+            match e {
+                ByzantineEvent::Garbled { .. }
+                | ByzantineEvent::Inverted { .. }
+                | ByzantineEvent::Replayed { .. } => stats.forged_messages += 1,
+                ByzantineEvent::Silenced { .. } => stats.silenced_messages += 1,
+            }
+        }
+        stats.traitor_nodes += self.liars().len() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_matrix(n: usize, bits: usize) -> Vec<BitString> {
+        let mut m = vec![BitString::new(); n * n];
+        for v in 0..n {
+            for u in 0..n {
+                if u != v {
+                    m[v * n + u] = (0..bits).map(|i| i % 2 == 0).collect();
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn empty_plan_is_empty_and_labelled() {
+        let p = ByzantinePlan::new(42);
+        assert!(p.is_empty());
+        assert_eq!(p.label(), "byz[seed=42]");
+        // Traitors without lies are still transparent.
+        let q = ByzantinePlan::new(42).traitor(NodeId(1));
+        assert!(q.is_empty());
+        // Lies without traitors are transparent too.
+        let r = ByzantinePlan::new(42).garble(1.0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn builder_composes_and_labels() {
+        let p = ByzantinePlan::new(7)
+            .traitor(NodeId(3))
+            .traitor(NodeId(3)) // idempotent
+            .garble(0.5)
+            .force(0, NodeId(3), NodeId(1), Lie::Silence);
+        assert!(!p.is_empty());
+        assert_eq!(p.f(), 1);
+        assert!(p.is_traitor(NodeId(3)));
+        assert!(!p.is_traitor(NodeId(0)));
+        assert_eq!(p.label(), "byz[seed=7, traitors=1, garble=0.5, forced=1]");
+    }
+
+    #[test]
+    fn random_traitors_are_seed_deterministic_and_spare_nodes() {
+        let mk = |seed| ByzantinePlan::new(seed).with_random_traitors(10, 3, &[NodeId(0)]);
+        let a = mk(9);
+        let b = mk(9);
+        let c = mk(10);
+        assert_eq!(a, b, "same seed, same traitor set");
+        assert_ne!(a, c, "different seed, different traitor set");
+        assert_eq!(a.f(), 3);
+        assert!(!a.is_traitor(NodeId(0)), "spared node is never a traitor");
+    }
+
+    #[test]
+    fn rewrites_touch_only_traitor_rows() {
+        let n = 4;
+        let plan = ByzantinePlan::new(5).traitor(NodeId(1)).garble(1.0);
+        let mut cur = full_matrix(n, 8);
+        let prev = vec![BitString::new(); n * n];
+        let before = cur.clone();
+        let mut report = ByzantineReport::default();
+        plan.apply_rewrites(0, &mut cur, &prev, n, &mut report);
+        for v in 0..n {
+            for u in 0..n {
+                if u == v {
+                    continue;
+                }
+                if v == 1 {
+                    assert_eq!(cur[v * n + u].len(), 8, "garble preserves length");
+                } else {
+                    assert_eq!(cur[v * n + u], before[v * n + u], "honest row untouched");
+                }
+            }
+        }
+        assert_eq!(report.events.len(), n - 1);
+        assert_eq!(report.liars(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn garbled_broadcast_equivocates() {
+        // A traitor broadcasting the same payload to everyone ends up
+        // with per-recipient distinct payloads under a full garble: the
+        // definition of equivocation.
+        let n = 8;
+        let plan = ByzantinePlan::new(3).traitor(NodeId(0)).garble(1.0);
+        let mut cur = full_matrix(n, 32);
+        let prev = vec![BitString::new(); n * n];
+        let mut report = ByzantineReport::default();
+        plan.apply_rewrites(0, &mut cur, &prev, n, &mut report);
+        let copies: Vec<&BitString> = (1..n).map(|u| &cur[u]).collect();
+        let distinct = copies
+            .iter()
+            .enumerate()
+            .any(|(i, a)| copies.iter().skip(i + 1).any(|b| a != b));
+        assert!(distinct, "32-bit garbles must differ between recipients");
+    }
+
+    #[test]
+    fn decisions_are_address_keyed() {
+        let n = 6;
+        let plan = ByzantinePlan::new(123)
+            .traitor(NodeId(2))
+            .garble(0.5)
+            .silence(0.2);
+        let mut a = full_matrix(n, 8);
+        let mut b = full_matrix(n, 8);
+        let prev = full_matrix(n, 8);
+        let mut ra = ByzantineReport::default();
+        let mut rb = ByzantineReport::default();
+        plan.apply_rewrites(3, &mut a, &prev, n, &mut ra);
+        plan.apply_rewrites(3, &mut b, &prev, n, &mut rb);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        assert!(!ra.is_empty());
+    }
+
+    #[test]
+    fn forced_lies_apply_exactly_and_only_to_traitors() {
+        let n = 3;
+        let plan = ByzantinePlan::new(0)
+            .traitor(NodeId(0))
+            .force(1, NodeId(0), NodeId(1), Lie::Invert)
+            .force(1, NodeId(0), NodeId(2), Lie::Silence)
+            // Node 1 is honest: this forced lie must never fire.
+            .force(1, NodeId(1), NodeId(0), Lie::Silence);
+        let mut cur = vec![BitString::new(); n * n];
+        cur[1] = BitString::from_bits([true, true, false]); // 0 → 1
+        cur[2] = BitString::from_bits([true, true, true]); // 0 → 2
+        cur[n] = BitString::from_bits([true, true, true]); // 1 → 0
+        let prev = vec![BitString::new(); n * n];
+        let mut report = ByzantineReport::default();
+        plan.apply_rewrites(1, &mut cur, &prev, n, &mut report);
+        assert_eq!(
+            cur[1],
+            BitString::from_bits([false, false, true]),
+            "inverted"
+        );
+        assert!(cur[2].is_empty(), "silenced");
+        assert_eq!(cur[n].len(), 3, "honest sender's forced lie ignored");
+        // Wrong round: nothing happens.
+        let mut c2 = vec![BitString::new(); n * n];
+        c2[1] = BitString::from_bits([true]);
+        let mut r2 = ByzantineReport::default();
+        plan.apply_rewrites(0, &mut c2, &prev, n, &mut r2);
+        assert!(r2.is_empty());
+        assert_eq!(c2[1].len(), 1);
+    }
+
+    #[test]
+    fn replay_substitutes_received_payloads_adaptively() {
+        let n = 3;
+        let plan =
+            ByzantinePlan::new(9)
+                .traitor(NodeId(0))
+                .force(2, NodeId(0), NodeId(1), Lie::Replay);
+        let mut cur = vec![BitString::new(); n * n];
+        cur[1] = BitString::from_bits([true, true]); // 0 → 1 (truth)
+        let mut prev = vec![BitString::new(); n * n];
+        // The traitor received exactly one payload this round, from node 2.
+        prev[2 * n] = BitString::from_bits([false, true, false, true]); // 2 → 0
+        let mut report = ByzantineReport::default();
+        plan.apply_rewrites(2, &mut cur, &prev, n, &mut report);
+        assert_eq!(
+            cur[1],
+            prev[2 * n],
+            "the only inbound payload is the substitute"
+        );
+        match &report.events[..] {
+            [ByzantineEvent::Replayed {
+                source,
+                from_bits,
+                to_bits,
+                ..
+            }] => {
+                assert_eq!(*source, NodeId(2));
+                assert_eq!((*from_bits, *to_bits), (2, 4));
+            }
+            other => panic!("unexpected events {other:?}"),
+        }
+        // With an empty inbound history the replay degrades to a garble.
+        let mut c2 = vec![BitString::new(); n * n];
+        c2[1] = BitString::from_bits([true, true]);
+        let empty = vec![BitString::new(); n * n];
+        let mut r2 = ByzantineReport::default();
+        plan.apply_rewrites(2, &mut c2, &empty, n, &mut r2);
+        assert_eq!(c2[1].len(), 2, "garble fallback preserves length");
+        assert!(matches!(r2.events[..], [ByzantineEvent::Garbled { .. }]));
+    }
+
+    #[test]
+    fn tally_folds_counters_into_stats() {
+        let report = ByzantineReport {
+            events: vec![
+                ByzantineEvent::Garbled {
+                    from: NodeId(1),
+                    to: NodeId(0),
+                    round: 0,
+                    bits: 8,
+                },
+                ByzantineEvent::Replayed {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    round: 1,
+                    source: NodeId(0),
+                    from_bits: 8,
+                    to_bits: 4,
+                },
+                ByzantineEvent::Silenced {
+                    from: NodeId(3),
+                    to: NodeId(2),
+                    round: 1,
+                    bits: 8,
+                },
+            ],
+        };
+        let mut stats = RunStats::default();
+        report.tally_into(&mut stats);
+        assert_eq!(stats.forged_messages, 2);
+        assert_eq!(stats.silenced_messages, 1);
+        assert_eq!(stats.traitor_nodes, 2);
+        assert_eq!(report.liars(), vec![NodeId(1), NodeId(3)]);
+        assert_eq!(report.on_link(NodeId(1), NodeId(2)).len(), 1);
+    }
+}

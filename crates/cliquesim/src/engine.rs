@@ -27,6 +27,7 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use crate::bits::BitString;
+use crate::byzantine::{ByzantinePlan, ByzantineReport};
 use crate::fault::{FaultPlan, FaultReport};
 use crate::node::{Inbox, NodeCtx, NodeId, NodeProgram, Outbox, Status};
 use crate::stats::RunStats;
@@ -214,6 +215,65 @@ impl<T: PartialEq> FaultedOutcome<T> {
     }
 }
 
+/// Result of a run under a [`ByzantinePlan`] (and, optionally, a concurrent
+/// [`FaultPlan`]): a [`FaultedOutcome`] plus the Byzantine event log.
+///
+/// Traitor nodes still run their (honest) programs and still produce
+/// outputs — it is their *outbound messages* the adversary rewrote — so
+/// agreement claims about Byzantine-tolerant protocols should be stated
+/// over the honest nodes only: see
+/// [`ByzantineOutcome::honest_unanimous`].
+#[derive(Debug)]
+pub struct ByzantineOutcome<T> {
+    /// Local output of each node, indexed by node; `None` for nodes a
+    /// concurrent fault plan crash-stopped before they halted.
+    pub outputs: Vec<Option<T>>,
+    /// Accounting for the run, including the fault and Byzantine counters.
+    pub stats: RunStats,
+    /// Per-node communication transcripts, if recording was enabled.
+    /// Transcripts record what each program *sent* — a traitor's lies are
+    /// visible only in its recipients' inboxes and in the event log.
+    pub transcripts: Option<Vec<Transcript>>,
+    /// Every link/crash fault a concurrent [`FaultPlan`] applied.
+    pub faults: FaultReport,
+    /// Every rewrite the Byzantine adversary applied, in deterministic
+    /// order.
+    pub byzantine: ByzantineReport,
+}
+
+impl<T: PartialEq> ByzantineOutcome<T> {
+    /// Outputs of the nodes that survived to halt, with their ids.
+    pub fn survivors(&self) -> impl Iterator<Item = (NodeId, &T)> + '_ {
+        self.outputs
+            .iter()
+            .enumerate()
+            .filter_map(|(v, o)| o.as_ref().map(|o| (NodeId::from(v), o)))
+    }
+
+    /// The common output if every *surviving* node agrees (and at least one
+    /// node survived), `None` otherwise. Includes traitors — use
+    /// [`ByzantineOutcome::honest_unanimous`] for the guarantee
+    /// Byzantine-tolerant protocols actually make.
+    pub fn unanimous(&self) -> Option<&T> {
+        let mut survivors = self.survivors().map(|(_, o)| o);
+        let first = survivors.next()?;
+        survivors.all(|o| o == first).then_some(first)
+    }
+
+    /// The common output if every surviving node *not marked as a traitor
+    /// in `plan`* agrees (and at least one honest node survived), `None`
+    /// otherwise. This is the agreement relation under which Bracha-style
+    /// reliable broadcast is correct for `f < n/3`.
+    pub fn honest_unanimous(&self, plan: &ByzantinePlan) -> Option<&T> {
+        let mut honest = self
+            .survivors()
+            .filter(|(v, _)| !plan.is_traitor(*v))
+            .map(|(_, o)| o);
+        let first = honest.next()?;
+        honest.all(|o| o == first).then_some(first)
+    }
+}
+
 /// Engine configuration and entry point. Construct with [`Engine::new`] and
 /// customise with the builder methods.
 #[derive(Clone, Debug)]
@@ -230,6 +290,9 @@ pub struct Engine {
     /// Adversary schedule; `None` (and the empty plan) leave runs
     /// byte-identical to the fault-free engine.
     fault_plan: Option<Arc<FaultPlan>>,
+    /// Byzantine sender schedule; `None` (and the empty plan) leave runs
+    /// byte-identical to the honest engine.
+    byzantine_plan: Option<Arc<ByzantinePlan>>,
     /// Wall-clock budget for a whole run, checked at round boundaries.
     deadline: Option<Duration>,
 }
@@ -253,6 +316,7 @@ impl Engine {
             broadcast_only: false,
             topology: Arc::from(Vec::new().into_boxed_slice()),
             fault_plan: None,
+            byzantine_plan: None,
             deadline: None,
         }
     }
@@ -290,6 +354,18 @@ impl Engine {
     /// outputs — [`Engine::run`] turns a crash into [`SimError::NodeCrashed`].
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(Arc::new(plan));
+        self
+    }
+
+    /// Attach a Byzantine sender adversary (see [`crate::byzantine`]): the
+    /// plan's traitor nodes get their outbound messages rewritten per
+    /// recipient. Applied identically on the sequential and pooled paths;
+    /// an empty plan is guaranteed byte-identical to no plan at all.
+    /// Composes with [`Engine::with_fault_plan`]: each round, traitors lie
+    /// first, then link faults damage what was actually transmitted. Use
+    /// [`Engine::run_byzantine`] to observe the per-event rewrite log.
+    pub fn with_byzantine_plan(mut self, plan: ByzantinePlan) -> Self {
+        self.byzantine_plan = Some(Arc::new(plan));
         self
     }
 
@@ -423,10 +499,33 @@ impl Engine {
     /// Run one program instance per node under the attached [`FaultPlan`]
     /// (or none), reporting crashed nodes as `None` outputs instead of
     /// failing the run.
+    ///
+    /// Delegates to [`Engine::run_byzantine`] and drops the per-event
+    /// Byzantine rewrite log; if a [`ByzantinePlan`] is attached, its
+    /// aggregate counters still appear in the returned stats.
     pub fn run_faulted<P: NodeProgram>(
         &self,
-        mut programs: Vec<P>,
+        programs: Vec<P>,
     ) -> Result<FaultedOutcome<P::Output>, SimError> {
+        let out = self.run_byzantine(programs)?;
+        Ok(FaultedOutcome {
+            outputs: out.outputs,
+            stats: out.stats,
+            transcripts: out.transcripts,
+            faults: out.faults,
+        })
+    }
+
+    /// Run one program instance per node under the attached
+    /// [`ByzantinePlan`] and/or [`FaultPlan`] (or neither), reporting
+    /// crashed nodes as `None` outputs and returning the full Byzantine
+    /// rewrite log alongside the fault report. This is the engine's most
+    /// general entry point; [`Engine::run_faulted`] and [`Engine::run`]
+    /// are restrictions of it.
+    pub fn run_byzantine<P: NodeProgram>(
+        &self,
+        mut programs: Vec<P>,
+    ) -> Result<ByzantineOutcome<P::Output>, SimError> {
         let n = self.n;
         if programs.len() != n {
             return Err(SimError::WrongProgramCount {
@@ -458,8 +557,10 @@ impl Engine {
             .then(|| vec![Transcript::default(); n]);
         let mut stats = RunStats::default();
         let mut report = FaultReport::default();
+        let mut byz_report = ByzantineReport::default();
         // An empty plan must be transparent: skip every fault hook.
         let plan = self.fault_plan.as_deref().filter(|p| !p.is_empty());
+        let byz = self.byzantine_plan.as_deref().filter(|p| !p.is_empty());
         let watchdog = self.deadline.map(|limit| (Instant::now(), limit));
 
         let threads = if self.cap_threads_to_host {
@@ -480,6 +581,8 @@ impl Engine {
                 &mut stats,
                 plan,
                 &mut report,
+                byz,
+                &mut byz_report,
                 watchdog,
             )?;
         } else {
@@ -493,16 +596,20 @@ impl Engine {
                 &mut stats,
                 plan,
                 &mut report,
+                byz,
+                &mut byz_report,
                 watchdog,
             )?;
         }
 
         report.tally_into(&mut stats);
-        Ok(FaultedOutcome {
+        byz_report.tally_into(&mut stats);
+        Ok(ByzantineOutcome {
             outputs,
             stats,
             transcripts,
             faults: report,
+            byzantine: byz_report,
         })
     }
 
@@ -519,6 +626,8 @@ impl Engine {
         stats: &mut RunStats,
         plan: Option<&FaultPlan>,
         report: &mut FaultReport,
+        byz: Option<&ByzantinePlan>,
+        byz_report: &mut ByzantineReport,
         watchdog: Option<(Instant, Duration)>,
     ) -> Result<(), SimError> {
         let n = self.n;
@@ -573,10 +682,19 @@ impl Engine {
             let step_end = Instant::now();
             match book.close_round(round, acc, cur, prev, halted, &active, step_start, step_end) {
                 Verdict::Continue => {
+                    if let Some(byz) = byz {
+                        // Byzantine rewrites strike first, after the round
+                        // closes: stats and transcripts record what the
+                        // traitor's (honest) program *sent*; next round's
+                        // inboxes see the lies. `prev` is what the traitor
+                        // received this round — the adaptive-lying input.
+                        byz.apply_rewrites(round, cur, prev, n, byz_report);
+                    }
                     if let Some(plan) = plan {
-                        // Link faults strike after the round closes: stats
-                        // and transcripts record what was *sent*; next
-                        // round's inboxes see what *survived* the wire.
+                        // Link faults strike after the round closes (and
+                        // after any Byzantine rewrite): stats and
+                        // transcripts record what was *sent*; next round's
+                        // inboxes see what *survived* the wire.
                         plan.apply_link_faults(round, cur, n, report);
                     }
                     if let Some((start, limit)) = watchdog {
@@ -612,6 +730,8 @@ impl Engine {
         stats: &mut RunStats,
         plan: Option<&FaultPlan>,
         report: &mut FaultReport,
+        byz: Option<&ByzantinePlan>,
+        byz_report: &mut ByzantineReport,
         watchdog: Option<(Instant, Duration)>,
     ) -> Result<(), SimError> {
         let n = self.n;
@@ -767,6 +887,15 @@ impl Engine {
                     round, acc, cur, prev, halted_now, &active, step_start, step_end,
                 ) {
                     Verdict::Continue => {
+                        if let Some(byz) = byz {
+                            // SAFETY: workers are still parked; the shared
+                            // views taken for close_round are no longer used.
+                            // Rewrites happen only here on the main thread
+                            // between barriers, which (plus address-keyed
+                            // coins) makes them pool-shape independent.
+                            let cur_mut = unsafe { SyncCell::exclusive(buf_cells[write]) };
+                            byz.apply_rewrites(round, cur_mut, prev, n, byz_report);
+                        }
                         if let Some(plan) = plan {
                             // SAFETY: workers are still parked; the shared
                             // views taken for close_round are no longer used.
@@ -1927,5 +2056,105 @@ mod tests {
         let out = Engine::new(1).run(vec![Lonely]).unwrap();
         assert_eq!(out.outputs, vec![0]);
         assert_eq!(out.stats.rounds, 0);
+    }
+
+    #[test]
+    fn empty_byzantine_plan_is_transparent() {
+        use crate::byzantine::ByzantinePlan;
+        let n = 9;
+        let bare = Engine::new(n)
+            .with_transcripts(true)
+            .run(sum_ids(n))
+            .unwrap();
+        let planned = Engine::new(n)
+            .with_transcripts(true)
+            .with_byzantine_plan(ByzantinePlan::new(99))
+            .run_byzantine(sum_ids(n))
+            .unwrap();
+        assert_eq!(
+            planned
+                .outputs
+                .iter()
+                .flatten()
+                .copied()
+                .collect::<Vec<_>>(),
+            bare.outputs
+        );
+        assert_eq!(planned.stats, bare.stats);
+        assert_eq!(planned.transcripts, bare.transcripts);
+        assert!(planned.byzantine.is_empty());
+        assert_eq!(planned.stats.forged_messages, 0);
+        assert_eq!(planned.stats.traitor_nodes, 0);
+    }
+
+    #[test]
+    fn byzantine_garble_disrupts_recipients_not_the_traitor() {
+        use crate::byzantine::ByzantinePlan;
+        let n = 8;
+        let honest = Engine::new(n).run(sum_ids(n)).unwrap();
+        let expect = (0..n as u64).sum::<u64>();
+        assert_eq!(honest.outputs, vec![expect; n]);
+
+        let plan = ByzantinePlan::new(17).traitor(NodeId(2)).garble(1.0);
+        let out = Engine::new(n)
+            .with_byzantine_plan(plan.clone())
+            .run_byzantine(sum_ids(n))
+            .unwrap();
+        // Transcripts/stats still record the traitor's honest sends; the
+        // rewrite log records the lies.
+        assert_eq!(out.stats.messages, honest.stats.messages);
+        assert_eq!(out.stats.forged_messages, (n - 1) as u64);
+        assert_eq!(out.stats.traitor_nodes, 1);
+        assert_eq!(out.byzantine.liars(), vec![NodeId(2)]);
+        // The traitor itself read honest messages, so it still sums right.
+        assert_eq!(out.outputs[2], Some(expect));
+        // The paper's all-node unanimity fails; only honest agreement is a
+        // meaningful question under this adversary.
+        assert!(out.unanimous().is_none() || out.honest_unanimous(&plan).is_some());
+    }
+
+    #[test]
+    fn byzantine_rewrites_are_pool_shape_independent() {
+        use crate::byzantine::ByzantinePlan;
+        let n = 15; // ≥ 2·7 keeps the 7-worker pool genuinely engaged
+        let plan = ByzantinePlan::new(31)
+            .with_random_traitors(n, 4, &[])
+            .garble(0.5)
+            .replay(0.3)
+            .silence(0.2);
+        let run = |threads: usize| {
+            Engine::new(n)
+                .with_transcripts(true)
+                .with_threads_exact(threads)
+                .with_byzantine_plan(plan.clone())
+                .run_byzantine(sum_ids(n))
+                .unwrap()
+        };
+        let base = run(1);
+        assert!(!base.byzantine.is_empty());
+        for threads in [4, 7] {
+            let other = run(threads);
+            assert_eq!(base.outputs, other.outputs, "{threads} workers");
+            assert_eq!(base.stats, other.stats, "{threads} workers");
+            assert_eq!(base.transcripts, other.transcripts, "{threads} workers");
+            assert_eq!(base.byzantine, other.byzantine, "{threads} workers");
+        }
+    }
+
+    #[test]
+    fn byzantine_composes_with_link_faults() {
+        use crate::byzantine::ByzantinePlan;
+        let n = 10;
+        let byz = ByzantinePlan::new(1).traitor(NodeId(0)).garble(1.0);
+        let faults = FaultPlan::new(2).drop_messages(0.3);
+        let out = Engine::new(n)
+            .with_byzantine_plan(byz)
+            .with_fault_plan(faults)
+            .run_byzantine(sum_ids(n))
+            .unwrap();
+        assert_eq!(out.stats.forged_messages, (n - 1) as u64);
+        assert!(out.stats.dropped_messages > 0, "both adversaries fired");
+        assert!(!out.faults.is_empty());
+        assert!(!out.byzantine.is_empty());
     }
 }

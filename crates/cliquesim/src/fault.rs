@@ -39,6 +39,16 @@
 //! sender-side accounting and transcript recording for the round — so a
 //! node's transcript records what it *sent* pre-fault and what it
 //! *received* post-fault, exactly the asymmetry a real lossy network shows.
+//!
+//! # Position in the adversary ladder
+//!
+//! This plan is the *oblivious* tier of the workspace's threat model
+//! (`docs/THREAT-MODEL.md`): faults are content-blind and link-local, so a
+//! broadcast is damaged independently per link but the sender itself never
+//! lies. The stronger tier — a sender that equivocates per recipient and
+//! adapts to what it heard — is [`crate::byzantine::ByzantinePlan`], which
+//! shares this module's seed-addressed keying and composes with it (lies
+//! first, then link damage).
 
 use std::fmt;
 
@@ -377,7 +387,8 @@ impl fmt::Display for FaultPlan {
 /// SplitMix64-style finalizer mixing the plan seed with a message address.
 /// Any bijective avalanche works here; what matters is that distinct
 /// `(round, from, to)` triples get statistically independent streams.
-fn mix(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+/// Shared with the Byzantine adversary so both tiers use one keying scheme.
+pub(crate) fn mix(seed: u64, a: u64, b: u64, c: u64) -> u64 {
     let mut x = seed
         ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9)

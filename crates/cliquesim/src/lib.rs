@@ -58,6 +58,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bits;
+pub mod byzantine;
 pub mod engine;
 pub mod fault;
 pub mod node;
@@ -66,7 +67,8 @@ pub mod stats;
 pub mod transcript;
 
 pub use bits::{BitReader, BitString, DecodeError};
-pub use engine::{Engine, FaultedOutcome, RunOutcome, SimError};
+pub use byzantine::{ByzantineEvent, ByzantinePlan, ByzantineReport, ForcedLie, Lie};
+pub use engine::{ByzantineOutcome, Engine, FaultedOutcome, RunOutcome, SimError};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultReport, ForcedFault};
 pub use node::{Inbox, NodeCtx, NodeId, NodeProgram, Outbox, Status};
 pub use session::Session;

@@ -12,7 +12,7 @@
 //! outputs (plus globally known parameters). Every algorithm crate in this
 //! workspace follows that rule.
 
-use crate::engine::{Engine, FaultedOutcome, RunOutcome, SimError};
+use crate::engine::{ByzantineOutcome, Engine, FaultedOutcome, RunOutcome, SimError};
 use crate::node::NodeProgram;
 use crate::stats::RunStats;
 
@@ -69,6 +69,21 @@ impl Session {
         programs: Vec<P>,
     ) -> Result<FaultedOutcome<P::Output>, SimError> {
         let out = self.engine.run_faulted(programs)?;
+        self.stats.absorb(&out.stats);
+        self.phases += 1;
+        Ok(out)
+    }
+
+    /// Run one phase under the engine's Byzantine plan (and fault plan, if
+    /// any), keeping the per-event rewrite log. Rounds, bits, and all
+    /// adversary counters are added to the session totals. Note that each
+    /// phase restarts its round count at 0, so a plan's round-addressed
+    /// schedule re-applies per phase.
+    pub fn run_byzantine<P: NodeProgram>(
+        &mut self,
+        programs: Vec<P>,
+    ) -> Result<ByzantineOutcome<P::Output>, SimError> {
+        let out = self.engine.run_byzantine(programs)?;
         self.stats.absorb(&out.stats);
         self.phases += 1;
         Ok(out)

@@ -54,6 +54,16 @@ pub struct RunStats {
     /// output). In-flight payloads they never read are charged to
     /// `undelivered_*`.
     pub dead_nodes: u64,
+    /// Messages whose content a Byzantine plan rewrote (garbled, inverted,
+    /// or replayed). The payload still occupies the wire, so it stays in
+    /// `messages`/`bits`; this counter marks it as a lie.
+    pub forged_messages: u64,
+    /// Messages a Byzantine traitor selectively withheld from a recipient.
+    /// Like the link-fault counters, disjoint from `undelivered_*`.
+    pub silenced_messages: u64,
+    /// Distinct traitor nodes that actually rewrote at least one message
+    /// under a Byzantine plan.
+    pub traitor_nodes: u64,
     /// Wall-clock measurements; excluded from `==` (see type docs).
     pub timing: EngineTiming,
 }
@@ -105,6 +115,9 @@ impl PartialEq for RunStats {
             && self.corrupted_messages == other.corrupted_messages
             && self.truncated_messages == other.truncated_messages
             && self.dead_nodes == other.dead_nodes
+            && self.forged_messages == other.forged_messages
+            && self.silenced_messages == other.silenced_messages
+            && self.traitor_nodes == other.traitor_nodes
     }
 }
 
@@ -128,6 +141,9 @@ impl RunStats {
         self.corrupted_messages += other.corrupted_messages;
         self.truncated_messages += other.truncated_messages;
         self.dead_nodes += other.dead_nodes;
+        self.forged_messages += other.forged_messages;
+        self.silenced_messages += other.silenced_messages;
+        self.traitor_nodes += other.traitor_nodes;
         self.timing.absorb(&other.timing);
     }
 }
@@ -181,6 +197,9 @@ mod tests {
             corrupted_messages: 2,
             truncated_messages: 3,
             dead_nodes: 1,
+            forged_messages: 4,
+            silenced_messages: 5,
+            traitor_nodes: 1,
             ..RunStats::default()
         };
         let b = a.clone();
@@ -189,6 +208,9 @@ mod tests {
         assert_eq!(a.corrupted_messages, 4);
         assert_eq!(a.truncated_messages, 6);
         assert_eq!(a.dead_nodes, 2);
+        assert_eq!(a.forged_messages, 8);
+        assert_eq!(a.silenced_messages, 10);
+        assert_eq!(a.traitor_nodes, 2);
         assert_ne!(a, b, "fault counters participate in equality");
     }
 

@@ -19,8 +19,10 @@
 //! * [`theory`] — NCLIQUE, the normal form (Thm 3), decision hierarchies
 //!   (Thms 7/8), counting arguments (Lemma 1, Thms 2/4), exponents (§7);
 //! * [`resilient`] — fault-tolerant wrappers (echo-broadcast,
-//!   k-retransmission, crash-tolerant aggregation) for runs under the
-//!   simulator's deterministic [`sim::FaultPlan`] adversary.
+//!   k-retransmission, crash-tolerant aggregation, Bracha-style reliable
+//!   broadcast) for runs under the simulator's deterministic
+//!   [`sim::FaultPlan`] and [`sim::ByzantinePlan`] adversaries; see
+//!   `docs/THREAT-MODEL.md` for the tier-by-tier guarantees.
 //!
 //! See `examples/quickstart.rs` for a guided tour.
 
@@ -40,6 +42,7 @@ pub use cliquesim as sim;
 pub mod prelude {
     pub use cc_graph::{Graph, WeightedGraph};
     pub use cliquesim::{
-        BitString, Engine, FaultPlan, NodeCtx, NodeId, NodeProgram, RunStats, Session, Status,
+        BitString, ByzantinePlan, Engine, FaultPlan, NodeCtx, NodeId, NodeProgram, RunStats,
+        Session, Status,
     };
 }

@@ -1,0 +1,202 @@
+//! Workspace-level Byzantine conformance: the acceptance criteria for the
+//! Byzantine sender tier, exercised end to end through the facade crate,
+//! the testkit runners, and the resilient wrappers.
+//!
+//! * an **empty** [`ByzantinePlan`] is byte-identical to no plan at all,
+//!   on every pool shape (mirror of the fault suite's transparency test);
+//! * a **single equivocating traitor** forges `RepeatBroadcast`'s per-link
+//!   majority — two honest nodes end up with different, locally
+//!   majority-backed values for the traitor (the negative result that
+//!   motivates the quorum layer);
+//! * Bracha-style reliable broadcast reaches **honest-node agreement** for
+//!   every seeded `f < n/3` plan, bit-identically across pool shapes
+//!   {1, 4, 7}, with an honest source's value delivered intact;
+//! * Bracha composes with a **concurrent crash** [`FaultPlan`]: crashed
+//!   nodes report `None` slots while surviving honest nodes stay unanimous,
+//!   and both adversaries' counters land in the same ledger.
+
+use cc_testkit::{
+    assert_empty_byzantine_transparent, differential_byzantine, equivocation_witness,
+};
+use congested_clique::prelude::*;
+use congested_clique::resilient::{bracha_broadcast, BrachaBroadcast, RepeatBroadcast};
+
+fn exchange_programs(n: usize) -> Vec<RepeatBroadcast> {
+    (0..n as u64)
+        .map(|v| RepeatBroadcast::new(v * 5 + 1, 8, 3))
+        .collect()
+}
+
+fn bracha_programs(n: usize, source: NodeId, value: u64, f: usize) -> Vec<BrachaBroadcast> {
+    (0..n)
+        .map(|_| BrachaBroadcast::new(source, value, 8, f))
+        .collect()
+}
+
+#[test]
+fn empty_byzantine_plan_is_transparent_for_a_real_protocol() {
+    let n = 9;
+    assert_empty_byzantine_transparent(
+        "repeat-broadcast",
+        &Engine::new(n).with_bandwidth(8),
+        || exchange_programs(n),
+    );
+}
+
+#[test]
+fn one_equivocating_traitor_forges_repeat_broadcast() {
+    // RepeatBroadcast's defence is a per-link majority over k copies — it
+    // assumes every copy on a link is an attempt at the same truth. A
+    // traitor garbling per recipient sends each peer a *consistent* lie
+    // (well, three independent ones here, but each link still votes), so
+    // honest nodes end up with majority-backed values for the traitor that
+    // disagree with each other. That is the forgery this test pins down,
+    // and it survives every pool shape bit-identically.
+    let n = 9;
+    let plan = ByzantinePlan::new(1009).traitor(NodeId(4)).garble(1.0);
+    let (outputs, stats, _, _, byz) = differential_byzantine(
+        "repeat-broadcast",
+        &Engine::new(n).with_bandwidth(8),
+        &plan,
+        || exchange_programs(n),
+    );
+    assert!(stats.forged_messages > 0, "{plan}: the traitor never lied");
+    assert_eq!(stats.traitor_nodes, 1);
+    assert_eq!(byz.liars(), vec![NodeId(4)]);
+    let (a, b, t) = equivocation_witness(&outputs, &plan)
+        .unwrap_or_else(|| panic!("{plan}: no equivocation witness — per-link majority held?!"));
+    assert_eq!(t, NodeId(4));
+    let va = outputs[a.index()].as_ref().unwrap()[t.index()];
+    let vb = outputs[b.index()].as_ref().unwrap()[t.index()];
+    assert_ne!(
+        va, vb,
+        "{plan}: witness nodes {a:?} and {b:?} actually agree"
+    );
+    // Honest nodes still learn each *honest* node's value correctly: the
+    // forgery is confined to the traitor's slots.
+    for (v, out) in outputs.iter().enumerate() {
+        if plan.is_traitor(NodeId::from(v)) {
+            continue;
+        }
+        let view = out.as_ref().unwrap();
+        for (u, slot) in view.iter().enumerate() {
+            if plan.is_traitor(NodeId::from(u)) {
+                continue;
+            }
+            assert_eq!(*slot, Some(u as u64 * 5 + 1), "honest slot damaged");
+        }
+    }
+}
+
+#[test]
+fn bracha_agrees_for_every_traitor_count_below_a_third() {
+    // n = 15 ≥ 2·7 keeps the 7-worker pooled path genuinely engaged, and
+    // n/3 = 5 gives the sweep f ∈ {0, 1, 4} = {0, 1, n/3 - 1}.
+    let n = 15;
+    let source = NodeId(0);
+    let value = 0xC3u64;
+    for f in [0usize, 1, 4] {
+        let plan = ByzantinePlan::new(7000 + f as u64)
+            .with_random_traitors(n, f, &[source])
+            .garble(1.0)
+            .replay(0.4)
+            .silence(0.2);
+        let (outputs, stats, _, _, byz) = differential_byzantine(
+            "bracha-broadcast",
+            &Engine::new(n).with_bandwidth(10),
+            &plan,
+            || bracha_programs(n, source, value, 4),
+        );
+        if f > 0 {
+            assert!(!byz.is_empty(), "{plan}: traitors never lied");
+            assert!(stats.forged_messages + stats.silenced_messages > 0);
+        }
+        // Honest-node agreement on the honest source's exact value.
+        let honest: Vec<&Option<Option<u64>>> = (0..n)
+            .filter(|v| !plan.is_traitor(NodeId::from(*v)))
+            .map(|v| &outputs[v])
+            .collect();
+        for o in &honest {
+            assert_eq!(
+                **o,
+                Some(Some(value)),
+                "{plan}: an honest node missed the honest source's value"
+            );
+        }
+        assert_eq!(stats.rounds, 4 + 4, "fixed f + 4 round schedule");
+    }
+}
+
+#[test]
+fn bracha_agrees_even_when_the_source_is_the_traitor() {
+    // The hardest single-traitor case: the source itself equivocates its
+    // INIT. Honest nodes must not split — whatever each pool shape
+    // computes, all honest nodes compute the same Option.
+    let n = 15;
+    let source = NodeId(3);
+    let plan = ByzantinePlan::new(5151).traitor(source).garble(1.0);
+    let (outputs, _, _, _, byz) = differential_byzantine(
+        "bracha-traitor-source",
+        &Engine::new(n).with_bandwidth(10),
+        &plan,
+        || bracha_programs(n, source, 0x2A, 4),
+    );
+    assert!(!byz.is_empty());
+    let honest: Vec<&Option<Option<u64>>> = (0..n)
+        .filter(|v| !plan.is_traitor(NodeId::from(*v)))
+        .map(|v| &outputs[v])
+        .collect();
+    assert!(
+        honest.windows(2).all(|w| w[0] == w[1]),
+        "{plan}: honest nodes split on a traitor source"
+    );
+}
+
+#[test]
+fn bracha_composes_with_a_concurrent_crash_plan() {
+    // Byzantine lies and crash-stop faults at once: two nodes crash
+    // mid-protocol (sparing the source and the traitor so both adversary
+    // tiers stay in play), one traitor garbles everything. Surviving honest
+    // nodes still deliver the source's value unanimously, and every
+    // adversary counter is visible in one ledger.
+    let n = 13;
+    let source = NodeId(0);
+    let traitor = NodeId(5);
+    let value = 0x77u64;
+    let f = 2; // Bracha sized for two traitors; one real traitor + slack
+    let byz = ByzantinePlan::new(88).traitor(traitor).garble(1.0);
+    let crashes = FaultPlan::new(99).with_random_crashes(n, 2, 3, &[source, traitor]);
+    let mut session = Session::new(
+        Engine::new(n)
+            .with_bandwidth(10)
+            .with_byzantine_plan(byz.clone())
+            .with_fault_plan(crashes.clone()),
+    );
+    let out = bracha_broadcast(&mut session, source, value, 8, f).unwrap();
+
+    assert_eq!(out.stats.dead_nodes, 2, "{crashes}: both crashes fired");
+    assert!(
+        out.stats.forged_messages > 0,
+        "{byz}: the traitor never lied"
+    );
+    assert_eq!(out.outputs.iter().filter(|o| o.is_none()).count(), 2);
+    let honest_survivors: Vec<&Option<u64>> = out
+        .survivors()
+        .filter(|(v, _)| !byz.is_traitor(*v))
+        .map(|(_, o)| o)
+        .collect();
+    assert!(honest_survivors.len() >= n - 3);
+    for o in &honest_survivors {
+        assert_eq!(
+            **o,
+            Some(value),
+            "{byz} + {crashes}: an honest survivor lost the value"
+        );
+    }
+    // Session ledger carries both adversaries' counters plus the phase cost.
+    let stats = session.stats();
+    assert_eq!(stats.rounds, f + 4);
+    assert_eq!(stats.dead_nodes, 2);
+    assert!(stats.forged_messages > 0);
+    assert_eq!(stats.traitor_nodes, 1);
+}

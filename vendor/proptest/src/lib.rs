@@ -239,14 +239,14 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::test_runner::TestRng;
 
-    /// Length bounds for [`vec`], inclusive of `lo`, exclusive of `hi`.
+    /// Length bounds for [`vec()`](vec()), inclusive of `lo`, exclusive of `hi`.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,
         hi: usize,
     }
 
-    /// Anything accepted as the length argument of [`vec`] — mirrors
+    /// Anything accepted as the length argument of [`vec()`](vec()) — mirrors
     /// upstream's `Into<SizeRange>`, which lets untyped literals like
     /// `0..300` (inferred `i32`) work.
     pub trait IntoSizeRange {
