@@ -1,0 +1,40 @@
+//! Scratch: adversarial forced-lie plan against BrachaBroadcast's fixed
+//! f+4 schedule. n=7, f=1, traitor source. Delete after review.
+
+use congested_clique::prelude::*;
+use congested_clique::resilient::bracha_broadcast;
+use congested_clique::sim::Lie;
+
+#[test]
+fn forced_lie_plan_splits_honest_nodes() {
+    let n = 7;
+    let f = 1;
+    let source = NodeId(0);
+    let mut plan = ByzantinePlan::new(0).traitor(source);
+    // Round 0: INIT silenced toward nodes 5 and 6 (only 1..=4 decode it).
+    plan = plan.force(0, source, NodeId(5), Lie::Silence);
+    plan = plan.force(0, source, NodeId(6), Lie::Silence);
+    // Round 1: the source's ECHO silenced toward everyone.
+    for u in 1..n {
+        plan = plan.force(1, source, NodeId(u as u32), Lie::Silence);
+    }
+    // Round 2: the source's READY — replayed (as a late ECHO) toward node 1,
+    // delivered intact to node 2 only, silenced toward the rest.
+    plan = plan.force(2, source, NodeId(1), Lie::Replay);
+    for u in 3..n {
+        plan = plan.force(2, source, NodeId(u as u32), Lie::Silence);
+    }
+    let mut session = Session::new(
+        Engine::new(n)
+            .with_bandwidth(10)
+            .with_byzantine_plan(plan.clone()),
+    );
+    let out = bracha_broadcast(&mut session, source, 0x5A, 8, f).unwrap();
+    println!("outputs: {:?}", out.outputs);
+    println!("events: {:#?}", out.byzantine.events);
+    assert!(
+        out.honest_unanimous(&plan).is_some(),
+        "honest nodes split: {:?}",
+        out.outputs
+    );
+}
