@@ -18,26 +18,40 @@
 //!   `ECHO(w)` for the value it saw.
 //! * **Round 2** — a node seeing `E` distinct `ECHO` votes for one value
 //!   broadcasts `READY(w)`.
-//! * **Rounds 3 … f+3** (amplification) — a node seeing `f + 1` distinct
-//!   `READY` votes for `w` joins with its own `READY(w)`; `f + 1` such
-//!   rounds let a ready wave cross the clique even if the adversary feeds
-//!   it to one honest node per round.
-//! * **Round f+4** (decision) — deliver the smallest `w` with at least
+//! * **Rounds 3 … 2f+5** (amplification) — a node seeing `f + 1` distinct
+//!   `READY` votes for `w` joins with its own `READY(w)`.
+//! * **Round 2f+6** (decision) — deliver the smallest `w` with at least
 //!   `2f + 1` distinct `READY` votes, or `None` when no value reached that
 //!   threshold.
 //!
+//! ## Why the amplification window is `2f + 6` rounds long
+//!
+//! The earlier `f + 4` schedule had a split-brain: by drip-feeding traitor
+//! `READY` votes the adversary can push one honest node over `2f + 1` on
+//! the very last round while the rest sit at `f + 1` with no rounds left to
+//! join — one honest node delivers, the others deliver `None`. The fix is a
+//! window long enough that *any* completed quorum has time to amplify:
+//!
+//! * After round 1 the only sends are first-time `READY` broadcasts, so the
+//!   rounds containing at least one send are *consecutive* — a silent round
+//!   freezes every vote count, hence every later round, forever.
+//! * All honest `READY`s name a single value (the echo quorum intersects
+//!   any two vote sets in an honest node), so honest joins never split.
+//! * If fewer than `f + 1` honest nodes ever join, no honest count reaches
+//!   `2f + 1` and every honest node delivers `None` together. Otherwise the
+//!   `(f+1)`-th honest join lands at some round `j`; at most `f` honest and
+//!   `f` traitor first-sends precede it on the consecutive send schedule,
+//!   so `j ≤ 2f + 3`. Every honest node then holds `f + 1` honest votes and
+//!   joins by `j + 1`, and counts all `n − f ≥ 2f + 1` honest votes by
+//!   `j + 2 ≤ 2f + 5` — strictly before the decision round.
+//!
 //! **Guarantee** (`f < n/3` Byzantine senders): all honest nodes halt with
 //! the *same* `Option<u64>`; if the source is honest, that output is
-//! `Some(its value)`. The echo quorum `E` exceeds `(n+f)/2`, so two
-//! conflicting values can never both collect a quorum (their vote sets
-//! would need more than `n + f` distinct-or-twice-counted voters, i.e. an
-//! honest node voting twice); the `2f+1` delivery threshold then contains
-//! at least `f+1` honest `READY`s, enough to pull every other honest node
-//! past the amplification threshold. The workspace checks this property
-//! over seeded adversary plans (`tests/byzantine_suite.rs`) rather than
-//! claiming a mechanised proof.
+//! `Some(its value)`. The workspace checks this property over seeded
+//! adversary plans (`tests/byzantine_suite.rs`), including the forced-lie
+//! drip-feed regression above, rather than claiming a mechanised proof.
 //!
-//! **Cost**: `f + 4` communication rounds and, fault-free,
+//! **Cost**: `2f + 6` communication rounds and, fault-free,
 //! `(n-1)(2n+1)` messages of `width + 2` bits (a 2-bit tag frames each
 //! payload) — [`bracha_overhead`] prices this analytically for
 //! [`cliquesim::Session::charge`].
@@ -180,7 +194,7 @@ impl NodeProgram for BrachaBroadcast {
         outbox: &mut Outbox<'_>,
     ) -> Status<Self::Output> {
         self.absorb(inbox);
-        let decision_round = self.f + 4;
+        let decision_round = 2 * self.f + 6;
         match round {
             0 => {
                 if ctx.id == self.source {
@@ -251,7 +265,7 @@ pub fn bracha_broadcast(
 }
 
 /// Analytic cost of one fault-free [`BrachaBroadcast`] phase, for
-/// [`Session::charge`]: `f + 4` rounds, `(n-1)(2n+1)` messages (one INIT
+/// [`Session::charge`]: `2f + 6` rounds, `(n-1)(2n+1)` messages (one INIT
 /// broadcast plus full ECHO and READY rounds) of `width + 2` bits each.
 /// Faults only ever *remove* messages from this bound.
 pub fn bracha_overhead(n: usize, f: usize, width: usize) -> RunStats {
@@ -261,7 +275,7 @@ pub fn bracha_overhead(n: usize, f: usize, width: usize) -> RunStats {
     // full READY round in the other.
     let peak_bits = 2 * (n as u64) * (n as u64 - 1) * frame;
     RunStats {
-        rounds: f + 4,
+        rounds: 2 * f + 6,
         messages,
         bits: messages * frame,
         max_message_bits: width + 2,
@@ -283,7 +297,7 @@ pub fn bracha_overhead(n: usize, f: usize, width: usize) -> RunStats {
 /// different nodes. Nodes deliberately do *not* shortcut with their own raw
 /// input: using only delivered values is what makes the result unanimous.
 ///
-/// **Cost**: `n(f + 4)` rounds — Byzantine tolerance is priced at a factor
+/// **Cost**: `n(2f + 6)` rounds — Byzantine tolerance is priced at a factor
 /// `n` over the single gossip round, visible in the session ledger (or
 /// chargeable as `n ×` [`bracha_overhead`]).
 ///
@@ -329,7 +343,7 @@ mod tests {
         let mut session = Session::new(Engine::new(n).with_bandwidth(10));
         let out = bracha_broadcast(&mut session, NodeId(2), 0x5A, 8, 2).unwrap();
         assert_eq!(out.unanimous(), Some(&Some(0x5A)));
-        assert_eq!(out.stats.rounds, 2 + 4, "f + 4 rounds");
+        assert_eq!(out.stats.rounds, 2 * 2 + 6, "2f + 6 rounds");
         let analytic = bracha_overhead(n, 2, 8);
         assert_eq!(out.stats.rounds, analytic.rounds);
         assert_eq!(out.stats.messages, analytic.messages);
@@ -416,7 +430,7 @@ mod tests {
             .unwrap();
         assert!(honest[0].unwrap() >= honest_max);
         assert_eq!(session.phases(), n, "one Bracha phase per input holder");
-        assert_eq!(session.stats().rounds, n * (f + 4));
+        assert_eq!(session.stats().rounds, n * (2 * f + 6));
     }
 
     #[test]

@@ -22,10 +22,10 @@
 //!   correct value.
 //! * [`BrachaBroadcast`] — Bracha-style reliable broadcast: unanimous
 //!   delivery among honest nodes despite `f < n/3` *Byzantine* senders
-//!   ([`cliquesim::ByzantinePlan`]), at a cost of `f + 4` rounds;
+//!   ([`cliquesim::ByzantinePlan`]), at a cost of `2f + 6` rounds;
 //!   [`bracha_overhead`] prices it for [`cliquesim::Session::charge`].
 //! * [`byzantine_max_gossip`] — Byzantine-tolerant maximum via `n`
-//!   sequential Bracha phases (`n(f + 4)` rounds).
+//!   sequential Bracha phases (`n(2f + 6)` rounds).
 //!
 //! The first three do **not** tolerate Byzantine senders: a traitor that
 //! equivocates — sends different payloads to different peers — makes every
@@ -64,6 +64,29 @@ pub(crate) fn encode(value: u64, width: usize) -> BitString {
     m
 }
 
+/// Majority vote over raw payload copies: the most frequent bit string
+/// wins, ties broken towards the lexicographically smallest (with a proper
+/// prefix ordered before its extensions). Returns `None` for an empty
+/// slice. This is the per-chunk vote `cc-routing`'s retransmitting
+/// `route_resilient` takes over the `k` copies of each stream chunk, and
+/// it follows the same deterministic tie-break discipline as the scalar
+/// `majority` vote so all correct nodes agree on the winner.
+pub fn majority_payload(copies: &[BitString]) -> Option<BitString> {
+    let mut counts: std::collections::BTreeMap<Vec<bool>, usize> =
+        std::collections::BTreeMap::new();
+    for c in copies {
+        *counts.entry(c.iter().collect()).or_insert(0) += 1;
+    }
+    // Ascending key order + strict `>` keeps the smallest among ties.
+    let mut best: Option<(Vec<bool>, usize)> = None;
+    for (v, c) in counts {
+        if best.as_ref().is_none_or(|(_, bc)| c > *bc) {
+            best = Some((v, c));
+        }
+    }
+    best.map(|(bits, _)| bits.into_iter().collect())
+}
+
 /// Majority vote over candidate values: the most frequent value wins, ties
 /// broken towards the smallest value (a deterministic rule shared by every
 /// primitive here, so all correct nodes break ties identically).
@@ -93,6 +116,34 @@ mod tests {
         assert_eq!(majority(&[5]), Some(5));
         assert_eq!(majority(&[5, 3, 5]), Some(5));
         assert_eq!(majority(&[7, 3, 3, 7]), Some(3), "tie goes to the smaller");
+    }
+
+    #[test]
+    fn majority_payload_prefers_frequency_then_lex_order() {
+        let a = BitString::from_bits([true, false]);
+        let b = BitString::from_bits([false, true]);
+        assert_eq!(majority_payload(&[]), None);
+        assert_eq!(majority_payload(std::slice::from_ref(&a)), Some(a.clone()));
+        assert_eq!(
+            majority_payload(&[a.clone(), b.clone(), a.clone()]),
+            Some(a.clone())
+        );
+        assert_eq!(
+            majority_payload(&[a.clone(), b.clone()]),
+            Some(b.clone()),
+            "tie goes to the lexicographically smaller string"
+        );
+        let short = BitString::from_bits([true]);
+        assert_eq!(
+            majority_payload(&[a, short.clone()]),
+            Some(short),
+            "a proper prefix orders before its extensions"
+        );
+        assert_eq!(
+            majority_payload(&[BitString::new(), BitString::new()]),
+            Some(BitString::new()),
+            "empty copies are a legitimate (empty-chunk) winner"
+        );
     }
 
     #[test]

@@ -11,24 +11,35 @@
 //! rebalancing can be done without Lenzen's sorting machinery:
 //!
 //! 1. every sender concatenates its outgoing streams (ordered by
-//!    destination) into one megastream and scatters it in `n` near-equal
-//!    contiguous segments, segment `j` going to intermediate
-//!    `(j + u) mod n` — the rotation decorrelates different senders;
+//!    destination) into one megastream and scatters it in near-equal
+//!    contiguous segments, one per *live* node, segment `j` going to the
+//!    intermediate of live rank `(j + rank(u)) mod m` — the rotation
+//!    decorrelates different senders;
 //! 2. every intermediate, knowing the global layout, slices the segments it
 //!    holds by final destination and forwards them; receivers reassemble by
-//!    position.
+//!    megastream position.
 //!
-//! Phase 1 is perfectly balanced (`⌈T_u/n⌉` bits per link). Phase 2 is
+//! Phase 1 is perfectly balanced (`⌈T_u/m⌉` bits per link). Phase 2 is
 //! balanced for the regular patterns produced by the workspace's algorithms;
 //! adversarially skewed patterns can degrade it, which is why the full
 //! Lenzen protocol needs sorting — see DESIGN.md for the substitution
 //! argument. Tests verify both delivery correctness on random patterns and
 //! the round advantage on the patterns that motivated this module.
+//!
+//! [`route_balanced_faulted`] is the crash-aware rendering: the same plan
+//! computed over the survivor list of a [`crate::CrashSet`], so megastream
+//! segments are remapped away from dead intermediates and phase 2 still
+//! reassembles. With an empty crash set the survivor list is all of
+//! `0..n`, making the faulted plan byte-identical to [`route_balanced`].
 
 use cliquesim::{BitString, NodeId, Session};
 
+use crate::fault::{route_faulted, CrashSet, RoutedOutcome};
 use crate::frames::{frame_all, parse_frames};
 use crate::router::{route, Delivered, RouteError};
+
+/// One demand list per node: the shape routed by both phases.
+type DemandMatrix = Vec<Vec<(NodeId, BitString)>>;
 
 /// Bit-range bookkeeping: layout of one sender's megastream.
 #[derive(Clone, Debug)]
@@ -50,156 +61,180 @@ fn layout_for(stream_sizes: &[usize]) -> MegaLayout {
     MegaLayout { ranges, total: pos }
 }
 
-/// Segment `j` of a megastream of length `total` split into `n` near-equal
-/// contiguous parts: `[j*ceil(total/n), min((j+1)*ceil(total/n), total))`.
-fn segment_range(total: usize, n: usize, j: usize) -> (usize, usize) {
-    let seg = total.div_ceil(n).max(1);
+/// Segment `j` of a megastream of length `total` split into `m` near-equal
+/// contiguous parts: `[j*ceil(total/m), min((j+1)*ceil(total/m), total))`.
+fn segment_range(total: usize, m: usize, j: usize) -> (usize, usize) {
+    let seg = total.div_ceil(m).max(1);
     let start = (j * seg).min(total);
     let end = ((j + 1) * seg).min(total);
     (start, end)
 }
 
-/// Which intermediate holds segment `j` of sender `u`'s megastream.
-fn intermediate_for(u: usize, j: usize, n: usize) -> usize {
-    (j + u) % n
+/// The shared two-phase plan, parameterised by the live node list. With
+/// `live == 0..n` it is exactly the original balanced schedule; with a
+/// proper survivor list every megastream segment lands on a surviving
+/// intermediate and every layout range involves only surviving endpoints.
+struct BalancedPlan {
+    n: usize,
+    /// Surviving node indices, ascending.
+    live: Vec<usize>,
+    /// Inverse of `live`: `rank[v] = Some(i)` iff `live[i] == v`.
+    rank: Vec<Option<usize>>,
+    layouts: Vec<MegaLayout>,
+    megas: Vec<BitString>,
 }
 
-/// Route a demand set with the two-phase balanced schedule.
-///
-/// Semantics are identical to [`route`]; only the round cost differs. The
-/// demand **sizes** are treated as globally known: every node derives the
-/// same global layout, which is legitimate for the information-oblivious
-/// patterns of the paper's algorithms (the sizes are functions of `n`, `k`).
-pub fn route_balanced(
-    session: &mut Session,
-    demands: Vec<Vec<(NodeId, BitString)>>,
-) -> Result<Vec<Delivered>, RouteError> {
-    let n = session.n();
-    assert_eq!(demands.len(), n);
-
-    // Build framed per-destination streams and megastreams.
-    let mut streams: Vec<Vec<BitString>> = Vec::with_capacity(n);
-    for (u, list) in demands.into_iter().enumerate() {
-        let mut per_dst: Vec<Vec<BitString>> = vec![Vec::new(); n];
-        for (dst, payload) in list {
-            assert_ne!(dst.index(), u, "demand from node {u} to itself");
-            per_dst[dst.index()].push(payload);
+impl BalancedPlan {
+    fn new(n: usize, live: Vec<usize>, demands: Vec<Vec<(NodeId, BitString)>>) -> Self {
+        let mut rank = vec![None; n];
+        for (i, &v) in live.iter().enumerate() {
+            rank[v] = Some(i);
         }
-        streams.push(
-            per_dst
-                .into_iter()
-                .map(|ps| {
-                    if ps.is_empty() {
-                        BitString::new()
-                    } else {
-                        frame_all(ps.iter())
-                    }
-                })
-                .collect(),
-        );
-    }
-    let layouts: Vec<MegaLayout> = streams
-        .iter()
-        .map(|row| layout_for(&row.iter().map(|s| s.len()).collect::<Vec<_>>()))
-        .collect();
-    let megas: Vec<BitString> = streams
-        .iter()
-        .map(|row| {
-            let mut m = BitString::new();
-            for s in row {
-                m.extend_from(s);
+        // Framed per-destination streams and megastreams, one per node
+        // (dead nodes carry empty demand lists and get empty layouts).
+        let mut streams: Vec<Vec<BitString>> = Vec::with_capacity(n);
+        for (u, list) in demands.into_iter().enumerate() {
+            let mut per_dst: Vec<Vec<BitString>> = vec![Vec::new(); n];
+            for (dst, payload) in list {
+                assert_ne!(dst.index(), u, "demand from node {u} to itself");
+                per_dst[dst.index()].push(payload);
             }
-            m
-        })
-        .collect();
-
-    // ---------------- Phase 1: scatter megastream segments ----------------
-    let mut phase1: Vec<Vec<(NodeId, BitString)>> = vec![Vec::new(); n];
-    // held[p][u] = the segment of u's megastream that intermediate p holds.
-    let mut held: Vec<Vec<BitString>> = vec![vec![BitString::new(); n]; n];
-    for u in 0..n {
-        for j in 0..n {
-            let (a, b) = segment_range(layouts[u].total, n, j);
-            if a >= b {
-                continue;
-            }
-            let mut r = megas[u].reader();
-            r.skip(a).expect("in range");
-            let seg = r.read_bits(b - a).expect("in range");
-            let p = intermediate_for(u, j, n);
-            if p == u {
-                held[p][u] = seg; // kept locally, free
-            } else {
-                phase1[u].push((NodeId::from(p), seg));
-            }
+            streams.push(
+                per_dst
+                    .into_iter()
+                    .map(|ps| {
+                        if ps.is_empty() {
+                            BitString::new()
+                        } else {
+                            frame_all(ps.iter())
+                        }
+                    })
+                    .collect(),
+            );
         }
-    }
-    let delivered1 = route(session, phase1)?;
-    for (p, list) in delivered1.into_iter().enumerate() {
-        for (src, seg) in list {
-            held[p][src.index()] = seg;
+        let layouts: Vec<MegaLayout> = streams
+            .iter()
+            .map(|row| layout_for(&row.iter().map(|s| s.len()).collect::<Vec<_>>()))
+            .collect();
+        let megas: Vec<BitString> = streams
+            .iter()
+            .map(|row| {
+                let mut m = BitString::new();
+                for s in row {
+                    m.extend_from(s);
+                }
+                m
+            })
+            .collect();
+        Self {
+            n,
+            live,
+            rank,
+            layouts,
+            megas,
         }
     }
 
-    // ------------- Phase 2: slice by destination and forward -------------
-    // Intermediate p holds segment j_u = (p - u) mod n of each sender u.
-    // Forwarded blob p→w = concat over u of (segment_{j_u}(u) ∩ stream(u,w)).
-    let mut phase2: Vec<Vec<(NodeId, BitString)>> = vec![Vec::new(); n];
-    // keep[w][...] pieces p == w holds for itself.
-    let mut kept: Vec<Vec<(usize, usize, BitString)>> = vec![Vec::new(); n]; // (u, order p, bits)
-    for p in 0..n {
-        for w in 0..n {
-            let mut blob = BitString::new();
-            for u in 0..n {
-                let j = (p + n - u) % n;
-                let (sa, sb) = segment_range(layouts[u].total, n, j);
-                let (ra, rb) = layouts[u].ranges[w];
-                let (ia, ib) = (sa.max(ra), sb.min(rb));
-                if ia >= ib {
+    /// Number of live nodes (= number of megastream segments per sender).
+    fn m(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Which live node holds segment `j` of live sender `u`'s megastream.
+    fn intermediate_for(&self, u: usize, j: usize) -> usize {
+        let r = self.rank[u].expect("sender is live");
+        self.live[(j + r) % self.m()]
+    }
+
+    /// Phase-1 demands (scatter megastream segments) plus the `held[p][u]`
+    /// matrix pre-seeded with the segments each sender keeps locally.
+    fn scatter(&self) -> (DemandMatrix, Vec<Vec<BitString>>) {
+        let m = self.m();
+        let mut phase1: DemandMatrix = vec![Vec::new(); self.n];
+        let mut held: Vec<Vec<BitString>> = vec![vec![BitString::new(); self.n]; self.n];
+        for &u in &self.live {
+            for j in 0..m {
+                let (a, b) = segment_range(self.layouts[u].total, m, j);
+                if a >= b {
                     continue;
                 }
-                // Bits [ia, ib) of u's megastream, offset within the held segment.
-                let seg = &held[p][u];
-                let mut r = seg.reader();
-                r.skip(ia - sa).expect("in range");
-                let piece = r.read_bits(ib - ia).expect("in range");
-                blob.extend_from(&piece);
-            }
-            if blob.is_empty() {
-                continue;
-            }
-            if p == w {
-                kept[w].push((usize::MAX, p, blob)); // whole blob, parsed below
-            } else {
-                phase2[p].push((NodeId::from(w), blob));
+                let mut r = self.megas[u].reader();
+                r.skip(a).expect("in range");
+                let seg = r.read_bits(b - a).expect("in range");
+                let p = self.intermediate_for(u, j);
+                if p == u {
+                    held[p][u] = seg; // kept locally, free
+                } else {
+                    phase1[u].push((NodeId::from(p), seg));
+                }
             }
         }
+        (phase1, held)
     }
-    let delivered2 = route(session, phase2)?;
 
-    // ------------------- Reassembly at the receivers ---------------------
-    // Receiver w reconstructs each framed stream(u, w) by collecting, for
-    // each intermediate p in a canonical order, the piece sizes it knows
-    // from the global layout.
-    let mut result: Vec<Delivered> = Vec::with_capacity(n);
-    for w in 0..n {
-        // blob_from[p] = the blob w received from intermediate p.
-        let mut blob_from: Vec<Option<BitString>> = vec![None; n];
-        for (src, blob) in &delivered2[w] {
-            blob_from[src.index()] = Some(blob.clone());
+    /// Phase-2 demands (slice held segments by destination and forward)
+    /// plus `kept[w]`: the `(intermediate, blob)` pairs node `w` holds for
+    /// itself, in the same ascending-intermediate order the wire delivers.
+    fn slice(&self, held: &[Vec<BitString>]) -> (DemandMatrix, Vec<Vec<(usize, BitString)>>) {
+        let m = self.m();
+        let mut phase2: DemandMatrix = vec![Vec::new(); self.n];
+        let mut kept: Vec<Vec<(usize, BitString)>> = vec![Vec::new(); self.n];
+        for &p in &self.live {
+            let pi = self.rank[p].expect("intermediate is live");
+            for w in 0..self.n {
+                let mut blob = BitString::new();
+                for &u in &self.live {
+                    let ui = self.rank[u].expect("sender is live");
+                    // p holds segment j of u's megastream iff
+                    // intermediate_for(u, j) == p, i.e. j = pi - ui (mod m).
+                    let j = (pi + m - ui) % m;
+                    let (sa, sb) = segment_range(self.layouts[u].total, m, j);
+                    let (ra, rb) = self.layouts[u].ranges[w];
+                    let (ia, ib) = (sa.max(ra), sb.min(rb));
+                    if ia >= ib {
+                        continue;
+                    }
+                    // Bits [ia, ib) of u's megastream, offset within the
+                    // held segment.
+                    let seg = &held[p][u];
+                    let mut r = seg.reader();
+                    r.skip(ia - sa).expect("in range");
+                    let piece = r.read_bits(ib - ia).expect("in range");
+                    blob.extend_from(&piece);
+                }
+                if blob.is_empty() {
+                    continue;
+                }
+                if p == w {
+                    kept[w].push((p, blob));
+                } else {
+                    phase2[p].push((NodeId::from(w), blob));
+                }
+            }
         }
-        for (_, p, blob) in &kept[w] {
-            blob_from[*p] = Some(blob.clone());
-        }
-        // Per sender u, gather pieces in megastream order.
-        let mut per_sender: Vec<BitString> = vec![BitString::new(); n];
-        // Walk blobs in the same (p, u) order they were written.
-        let mut cursors: Vec<usize> = vec![0; n];
-        for p in 0..n {
-            for u in 0..n {
-                let j = (p + n - u) % n;
-                let (sa, sb) = segment_range(layouts[u].total, n, j);
-                let (ra, rb) = layouts[u].ranges[w];
+        (phase2, kept)
+    }
+
+    /// Reassemble receiver `w`'s delivered streams from the phase-2 blobs
+    /// (`blob_from[p]` = the blob `w` got from intermediate `p`). Each
+    /// blob is consumed in the same `(p, u)` order it was written; pieces
+    /// are collected as explicit `(megastream position, bits)` pairs and
+    /// stitched per sender in position order.
+    fn reassemble(
+        &self,
+        w: usize,
+        blob_from: &[Option<BitString>],
+    ) -> Result<Delivered, RouteError> {
+        let m = self.m();
+        let mut per_sender: Vec<Vec<(usize, BitString)>> = vec![Vec::new(); self.n];
+        let mut cursors: Vec<usize> = vec![0; self.n];
+        for &p in &self.live {
+            let pi = self.rank[p].expect("intermediate is live");
+            for &u in &self.live {
+                let ui = self.rank[u].expect("sender is live");
+                let j = (pi + m - ui) % m;
+                let (sa, sb) = segment_range(self.layouts[u].total, m, j);
+                let (ra, rb) = self.layouts[u].ranges[w];
                 let (ia, ib) = (sa.max(ra), sb.min(rb));
                 if ia >= ib {
                     continue;
@@ -214,29 +249,18 @@ pub fn route_balanced(
                     .read_bits(ib - ia)
                     .map_err(|e| RouteError::Malformed(NodeId::from(w), e))?;
                 cursors[p] += ib - ia;
-                // Pieces for sender u arrive with ascending (ia); insert at
-                // the right megastream offset by construction of the walk
-                // order? Offsets per u are ascending in j, not in p; collect
-                // with explicit position instead.
-                let _ = piece;
-                // Store with position for later ordered assembly.
-                per_sender[u] = {
-                    let mut acc = std::mem::take(&mut per_sender[u]);
-                    // We rely on ascending (ia) per u across the p-walk; see
-                    // assemble() below which re-sorts explicitly.
-                    acc.extend_from(&piece_with_pos(ia, &piece));
-                    acc
-                };
+                per_sender[u].push((ia, piece));
             }
         }
-        // Decode (pos, piece) records and stitch streams in offset order.
+        // Stitch each sender's pieces in megastream-position order and
+        // parse the framed stream back into payloads.
         let mut delivered = Vec::new();
-        for u in 0..n {
-            let (ra, rb) = layouts[u].ranges[w];
+        for u in 0..self.n {
+            let (ra, rb) = self.layouts[u].ranges[w];
             if ra == rb {
                 continue;
             }
-            let stream = stitch(&per_sender[u], rb - ra, ra)
+            let stream = stitch(std::mem::take(&mut per_sender[u]), rb - ra, ra)
                 .map_err(|e| RouteError::Malformed(NodeId::from(w), e))?;
             let payloads =
                 parse_frames(&stream).map_err(|e| RouteError::Malformed(NodeId::from(w), e))?;
@@ -244,33 +268,121 @@ pub fn route_balanced(
                 delivered.push((NodeId::from(u), payload));
             }
         }
-        result.push(delivered);
+        Ok(delivered)
+    }
+}
+
+/// Route a demand set with the two-phase balanced schedule.
+///
+/// Semantics are identical to [`route`]; only the round cost differs. The
+/// demand **sizes** are treated as globally known: every node derives the
+/// same global layout, which is legitimate for the information-oblivious
+/// patterns of the paper's algorithms (the sizes are functions of `n`, `k`).
+pub fn route_balanced(
+    session: &mut Session,
+    demands: Vec<Vec<(NodeId, BitString)>>,
+) -> Result<Vec<Delivered>, RouteError> {
+    let n = session.n();
+    assert_eq!(demands.len(), n);
+    let plan = BalancedPlan::new(n, (0..n).collect(), demands);
+
+    let (phase1, mut held) = plan.scatter();
+    let delivered1 = route(session, phase1)?;
+    for (p, list) in delivered1.into_iter().enumerate() {
+        for (src, seg) in list {
+            held[p][src.index()] = seg;
+        }
+    }
+
+    let (phase2, kept) = plan.slice(&held);
+    let delivered2 = route(session, phase2)?;
+
+    let mut result: Vec<Delivered> = Vec::with_capacity(n);
+    for w in 0..n {
+        let mut blob_from: Vec<Option<BitString>> = vec![None; n];
+        for (src, blob) in &delivered2[w] {
+            blob_from[src.index()] = Some(blob.clone());
+        }
+        for (p, blob) in &kept[w] {
+            blob_from[*p] = Some(blob.clone());
+        }
+        result.push(plan.reassemble(w, &blob_from)?);
     }
     Ok(result)
 }
 
-/// Internal record: `pos:32 || len:32 || bits` (local bookkeeping only —
-/// never crosses the wire, so it does not count against bandwidth).
-fn piece_with_pos(pos: usize, piece: &BitString) -> BitString {
-    let mut out = BitString::with_capacity(64 + piece.len());
-    out.push_uint(pos as u64, 32);
-    out.push_uint(piece.len() as u64, 32);
-    out.extend_from(piece);
-    out
+/// Crash-aware balanced routing: the two-phase plan computed over the
+/// survivor list of `crash`, run under the engine's fault plan.
+///
+/// Demands to or from dead endpoints are dropped at planning time and
+/// reported in [`RoutedOutcome::undeliverable`]; megastream segments are
+/// remapped away from dead intermediates, so phase 2 still reassembles and
+/// every payload between surviving endpoints is delivered. With an empty
+/// crash set the plan — phase demands, schedule, every bit on the wire —
+/// is identical to [`route_balanced`].
+pub fn route_balanced_faulted(
+    session: &mut Session,
+    demands: Vec<Vec<(NodeId, BitString)>>,
+    crash: &CrashSet,
+) -> Result<RoutedOutcome, RouteError> {
+    let n = session.n();
+    assert_eq!(demands.len(), n);
+    let (live_demands, undeliverable) = crash.partition_demands(demands);
+    let live: Vec<usize> = (0..n)
+        .filter(|&v| !crash.is_dead(NodeId::from(v)))
+        .collect();
+    let plan = BalancedPlan::new(n, live, live_demands);
+
+    let (phase1, mut held) = plan.scatter();
+    let out1 = route_faulted(session, phase1, crash)?;
+    for (p, slot) in out1.delivered.iter().enumerate() {
+        if let Some(list) = slot {
+            for (src, seg) in list {
+                held[p][src.index()] = seg.clone();
+            }
+        }
+    }
+
+    let (phase2, kept) = plan.slice(&held);
+    let out2 = route_faulted(session, phase2, crash)?;
+
+    let mut delivered: Vec<Option<Delivered>> = Vec::with_capacity(n);
+    for w in 0..n {
+        if crash.is_dead(NodeId::from(w)) {
+            delivered.push(None);
+            continue;
+        }
+        let mut blob_from: Vec<Option<BitString>> = vec![None; n];
+        if let Some(list) = &out2.delivered[w] {
+            for (src, blob) in list {
+                blob_from[src.index()] = Some(blob.clone());
+            }
+        }
+        for (p, blob) in &kept[w] {
+            blob_from[*p] = Some(blob.clone());
+        }
+        delivered.push(Some(plan.reassemble(w, &blob_from)?));
+    }
+
+    let mut stats = out1.stats.clone();
+    stats.absorb(&out2.stats);
+    let mut report = out1.report;
+    report.events.extend(out2.report.events);
+    Ok(RoutedOutcome {
+        delivered,
+        undeliverable,
+        stats,
+        report,
+    })
 }
 
+/// Stitch explicit `(megastream position, bits)` pieces into one contiguous
+/// stream covering `[base, base + want)`.
 fn stitch(
-    records: &BitString,
+    mut pieces: Vec<(usize, BitString)>,
     want: usize,
     base: usize,
 ) -> Result<BitString, cliquesim::DecodeError> {
-    let mut pieces: Vec<(usize, BitString)> = Vec::new();
-    let mut r = records.reader();
-    while r.remaining() > 0 {
-        let pos = r.read_uint(32)? as usize;
-        let len = r.read_uint(32)? as usize;
-        pieces.push((pos, r.read_bits(len)?));
-    }
     pieces.sort_by_key(|(pos, _)| *pos);
     let mut out = BitString::with_capacity(want);
     let mut expect = base;
@@ -327,27 +439,28 @@ mod tests {
             .collect()
     }
 
+    fn random_demands(n: usize, seed: u64, max_len: usize) -> Vec<Vec<(NodeId, BitString)>> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut demands: Vec<Vec<(NodeId, BitString)>> = vec![Vec::new(); n];
+        for v in 0..n {
+            for _ in 0..rng.gen_range(0..4) {
+                let dst = (v + rng.gen_range(1..n)) % n;
+                let len = rng.gen_range(0..max_len);
+                let payload: BitString = (0..len).map(|_| rng.gen_bool(0.5)).collect();
+                demands[v].push((NodeId::from(dst), payload));
+            }
+        }
+        demands
+    }
+
     #[test]
     fn balanced_matches_direct_on_simple_pattern() {
         let n = 6;
-        let mk = |seed: u64| {
-            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-            let mut demands: Vec<Vec<(NodeId, BitString)>> = vec![Vec::new(); n];
-            for v in 0..n {
-                for _ in 0..rng.gen_range(0..3) {
-                    let dst = (v + rng.gen_range(1..n)) % n;
-                    let len = rng.gen_range(0..30);
-                    let payload: BitString = (0..len).map(|_| rng.gen_bool(0.5)).collect();
-                    demands[v].push((NodeId::from(dst), payload));
-                }
-            }
-            demands
-        };
         for seed in 0..8 {
             let mut s1 = session(n);
-            let direct = route(&mut s1, mk(seed)).unwrap();
+            let direct = route(&mut s1, random_demands(n, seed, 30)).unwrap();
             let mut s2 = session(n);
-            let balanced = route_balanced(&mut s2, mk(seed)).unwrap();
+            let balanced = route_balanced(&mut s2, random_demands(n, seed, 30)).unwrap();
             assert_eq!(normalise(direct), normalise(balanced), "seed {seed}");
         }
     }
@@ -378,26 +491,60 @@ mod tests {
         );
     }
 
+    #[test]
+    fn balanced_zero_length_megastream_is_free() {
+        // A node with no demands has a zero-length megastream; nodes with
+        // demands still route, and the empty sender costs nothing.
+        let n = 5;
+        let mut s = session(n);
+        let mut demands: Vec<Vec<(NodeId, BitString)>> = vec![Vec::new(); n];
+        demands[1].push((NodeId(3), BitString::from_bits([true, false, true])));
+        let got = route_balanced(&mut s, demands).unwrap();
+        assert_eq!(got[3].len(), 1);
+        assert_eq!(got[3][0].0, NodeId(1));
+        // All-empty demand set: schedule 0, nothing delivered.
+        let mut s2 = session(n);
+        let got2 = route_balanced(&mut s2, vec![Vec::new(); n]).unwrap();
+        assert!(got2.iter().all(|d| d.is_empty()));
+        assert_eq!(s2.stats().rounds, 0);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
         #[test]
         fn prop_balanced_delivers_exactly(seed in any::<u64>()) {
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
             let n = rng.gen_range(2..8);
-            let mut demands: Vec<Vec<(NodeId, BitString)>> = vec![Vec::new(); n];
-            for v in 0..n {
-                for _ in 0..rng.gen_range(0..4) {
-                    let dst = (v + rng.gen_range(1..n)) % n;
-                    let len = rng.gen_range(0..60);
-                    let payload: BitString = (0..len).map(|_| rng.gen_bool(0.5)).collect();
-                    demands[v].push((NodeId::from(dst), payload));
-                }
-            }
+            let demands = random_demands(n, seed.wrapping_add(1), 60);
             let mut s1 = session(n);
             let direct = route(&mut s1, demands.clone()).unwrap();
             let mut s2 = session(n);
             let balanced = route_balanced(&mut s2, demands).unwrap();
             prop_assert_eq!(normalise(direct), normalise(balanced));
+        }
+
+        #[test]
+        fn prop_empty_crash_set_is_byte_identical(seed in any::<u64>()) {
+            // Transparency, mirroring `assert_empty_plan_transparent`: the
+            // crash-aware plan under an empty crash set must reproduce
+            // `route_balanced` exactly — same deliveries, same rounds, same
+            // bits on the wire.
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let n = rng.gen_range(2..8);
+            let demands = random_demands(n, seed.wrapping_add(2), 60);
+            let mut s1 = session(n);
+            let plain = route_balanced(&mut s1, demands.clone()).unwrap();
+            let mut s2 = session(n);
+            let faulted = route_balanced_faulted(&mut s2, demands, &CrashSet::new()).unwrap();
+            prop_assert!(faulted.undeliverable.is_empty());
+            prop_assert!(faulted.report.is_empty());
+            let unwrapped: Vec<Delivered> = faulted
+                .delivered
+                .into_iter()
+                .map(|d| d.expect("no node is dead"))
+                .collect();
+            prop_assert_eq!(&plain, &unwrapped, "deliveries diverge");
+            prop_assert_eq!(s1.stats(), s2.stats(), "wire cost diverges");
         }
     }
 }

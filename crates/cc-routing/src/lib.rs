@@ -15,6 +15,15 @@
 //!   built on `route`, including the classic scatter-then-rebroadcast
 //!   doubling trick for large single-source broadcasts.
 //!
+//! The [`fault`] module is the **fault-aware planning layer**: a
+//! [`CrashSet`] (derived from a `cliquesim::FaultPlan` or a live
+//! `FaultReport`) lets [`route_faulted`] and [`route_balanced_faulted`]
+//! re-plan demands around dead nodes — dropping demands to or from dead
+//! endpoints as structured [`Undeliverable`] records and remapping
+//! balanced-schedule segments away from dead intermediates — while
+//! [`route_resilient`] retransmits chunks over lossy links with a
+//! per-chunk majority vote, priced by [`resilient_overhead`].
+//!
 //! [`lenzen_round_bound`] gives the accounting bound of the full Lenzen
 //! protocol for per-node balanced instances; the substitution rationale is
 //! documented in DESIGN.md.
@@ -26,10 +35,15 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod balanced;
+pub mod fault;
 pub mod frames;
 pub mod router;
 
-pub use balanced::route_balanced;
+pub use balanced::{route_balanced, route_balanced_faulted};
+pub use fault::{
+    resilient_overhead, route_faulted, route_resilient, CrashSet, DeliveryFailure, RoutedOutcome,
+    Undeliverable,
+};
 pub use frames::{frame, frame_all, parse_frames, rounds_for, LEN_HEADER_BITS};
 pub use router::{
     all_to_all_broadcast, lenzen_round_bound, relay_broadcast, route, Delivered, RouteError,

@@ -32,6 +32,19 @@ pub enum RouteError {
     Sim(SimError),
     /// A received stream failed to parse (indicates a harness bug).
     Malformed(NodeId, DecodeError),
+    /// The engine ran a different number of rounds than the statically
+    /// computed schedule — the schedule and the engine disagree about the
+    /// phase length, so delivered streams cannot be trusted.
+    ScheduleMismatch {
+        /// Rounds the static schedule promised.
+        expected: usize,
+        /// Rounds the engine actually ran.
+        actual: usize,
+    },
+    /// A node outside the declared crash set crashed mid-phase, so its
+    /// streams may have been cut mid-chunk. Re-plan with a crash set that
+    /// covers the fault plan (see `CrashSet::from_plan`).
+    UnplannedCrash(NodeId),
 }
 
 impl std::fmt::Display for RouteError {
@@ -41,6 +54,15 @@ impl std::fmt::Display for RouteError {
             RouteError::Malformed(v, e) => {
                 write!(f, "node {} received a malformed stream: {e}", v.display())
             }
+            RouteError::ScheduleMismatch { expected, actual } => write!(
+                f,
+                "engine ran {actual} rounds but the schedule promised {expected}"
+            ),
+            RouteError::UnplannedCrash(v) => write!(
+                f,
+                "node {} crashed but is not in the declared crash set",
+                v.display()
+            ),
         }
     }
 }
@@ -56,7 +78,7 @@ impl From<SimError> for RouteError {
 /// The node program executing a static schedule: each round, ship the next
 /// bandwidth-sized chunk of every outgoing stream; collect incoming chunks;
 /// halt after the globally known schedule length.
-struct RouterNode {
+pub(crate) struct RouterNode {
     /// Framed outgoing stream per destination; round `r` ships bits
     /// `[r·B, (r+1)·B)`, cut on demand (cursor skips are O(1)).
     out_streams: Vec<BitString>,
@@ -124,13 +146,31 @@ pub fn route(
     assert_eq!(demands.len(), n, "one demand list per node");
     let bandwidth = session.bandwidth();
 
-    // Build framed per-link streams.
+    let streams = build_streams(n, demands);
+    let schedule = schedule_for(&streams, bandwidth);
+    let programs = make_programs(n, streams, schedule);
+
+    let outcome = session.run(programs)?;
+    check_schedule(schedule, outcome.stats.rounds)?;
+
+    // Parse each node's per-source streams back into payloads.
+    let mut result = Vec::with_capacity(n);
+    for (v, collected) in outcome.outputs.into_iter().enumerate() {
+        result.push(parse_delivered(v, collected)?);
+    }
+    Ok(result)
+}
+
+/// Build the framed per-link stream matrix: `streams[v][w]` is everything
+/// node `v` ships to node `w`, each payload length-framed.
+pub(crate) fn build_streams(
+    n: usize,
+    demands: Vec<Vec<(NodeId, BitString)>>,
+) -> Vec<Vec<BitString>> {
     let mut streams: Vec<Vec<BitString>> = Vec::with_capacity(n);
     for (v, list) in demands.into_iter().enumerate() {
         let mut per_dst: Vec<Vec<&BitString>> = vec![Vec::new(); n];
-        // Hold payloads so references stay valid while framing.
-        let owned: Vec<(NodeId, BitString)> = list;
-        for (dst, payload) in &owned {
+        for (dst, payload) in &list {
             assert_ne!(dst.index(), v, "demand from node {v} to itself");
             per_dst[dst.index()].push(payload);
         }
@@ -147,16 +187,27 @@ pub fn route(
                 .collect(),
         );
     }
+    streams
+}
 
-    // Globally known schedule length.
-    let schedule = streams
+/// The globally known schedule length for a stream matrix: the maximum
+/// per-link round count.
+pub(crate) fn schedule_for(streams: &[Vec<BitString>], bandwidth: usize) -> usize {
+    streams
         .iter()
         .flat_map(|row| row.iter())
         .map(|s| rounds_for(s.len(), bandwidth))
         .max()
-        .unwrap_or(0);
+        .unwrap_or(0)
+}
 
-    let programs: Vec<RouterNode> = streams
+/// One [`RouterNode`] per node, all sharing the same schedule length.
+pub(crate) fn make_programs(
+    n: usize,
+    streams: Vec<Vec<BitString>>,
+    schedule: usize,
+) -> Vec<RouterNode> {
+    streams
         .into_iter()
         .map(|row| RouterNode {
             collected: vec![BitString::new(); n],
@@ -164,28 +215,37 @@ pub fn route(
             out_streams: row,
             schedule,
         })
-        .collect();
+        .collect()
+}
 
-    let outcome = session.run(programs)?;
-    debug_assert_eq!(outcome.stats.rounds, schedule);
-
-    // Parse each node's per-source streams back into payloads.
-    let mut result = Vec::with_capacity(n);
-    for (v, collected) in outcome.outputs.into_iter().enumerate() {
-        let mut delivered = Vec::new();
-        for (src, stream) in collected.into_iter().enumerate() {
-            if stream.is_empty() {
-                continue;
-            }
-            let payloads =
-                parse_frames(&stream).map_err(|e| RouteError::Malformed(NodeId::from(v), e))?;
-            for p in payloads {
-                delivered.push((NodeId::from(src), p));
-            }
-        }
-        result.push(delivered);
+/// Reject a schedule/engine disagreement as a structured error (a
+/// `debug_assert` here would vanish in release builds, which is exactly
+/// where the release-mode CI job needs the check).
+pub(crate) fn check_schedule(expected: usize, actual: usize) -> Result<(), RouteError> {
+    if expected != actual {
+        return Err(RouteError::ScheduleMismatch { expected, actual });
     }
-    Ok(result)
+    Ok(())
+}
+
+/// Parse one node's collected per-source streams back into delivered
+/// `(source, payload)` pairs.
+pub(crate) fn parse_delivered(
+    v: usize,
+    collected: Vec<BitString>,
+) -> Result<Delivered, RouteError> {
+    let mut delivered = Vec::new();
+    for (src, stream) in collected.into_iter().enumerate() {
+        if stream.is_empty() {
+            continue;
+        }
+        let payloads =
+            parse_frames(&stream).map_err(|e| RouteError::Malformed(NodeId::from(v), e))?;
+        for p in payloads {
+            delivered.push((NodeId::from(src), p));
+        }
+    }
+    Ok(delivered)
 }
 
 /// All-to-all broadcast: node `v` sends `payloads[v]` to everyone. Returns
@@ -381,6 +441,60 @@ mod tests {
             relay_rounds < direct_rounds,
             "relay {relay_rounds} should beat direct {direct_rounds}"
         );
+    }
+
+    #[test]
+    fn zero_length_payloads_are_delivered() {
+        // A zero-length payload still costs its 32-bit frame header and
+        // must arrive as an explicit empty delivery, not vanish.
+        let mut s = session(4);
+        let mut demands = vec![Vec::new(); 4];
+        demands[0].push((NodeId(2), BitString::new()));
+        demands[1].push((NodeId(2), BitString::new()));
+        let got = route(&mut s, demands).unwrap();
+        assert_eq!(
+            got[2],
+            vec![(NodeId(0), BitString::new()), (NodeId(1), BitString::new())]
+        );
+        assert_eq!(s.stats().rounds, 32usize.div_ceil(2), "header-only frames");
+    }
+
+    #[test]
+    fn two_node_clique_routes_both_directions() {
+        let mut s = Session::new(Engine::new(2).with_bandwidth(8));
+        let a = BitString::from_bits([true, false, true]);
+        let b = BitString::from_bits([false; 6]);
+        let demands = vec![vec![(NodeId(1), a.clone())], vec![(NodeId(0), b.clone())]];
+        let got = route(&mut s, demands).unwrap();
+        assert_eq!(got[0], vec![(NodeId(1), b)]);
+        assert_eq!(got[1], vec![(NodeId(0), a)]);
+    }
+
+    #[test]
+    fn all_empty_demands_cost_zero_rounds() {
+        let n = 5;
+        let mut s = session(n);
+        let got = route(&mut s, vec![Vec::new(); n]).unwrap();
+        assert!(got.iter().all(|d| d.is_empty()));
+        assert_eq!(s.stats().rounds, 0, "schedule 0: no communication");
+        assert_eq!(s.stats().messages, 0);
+    }
+
+    #[test]
+    fn relay_broadcast_of_empty_payload() {
+        let n = 4;
+        let mut s = session(n);
+        let views = relay_broadcast(&mut s, NodeId(1), &BitString::new()).unwrap();
+        assert_eq!(views.len(), n);
+        assert!(views.iter().all(|v| v.is_empty()));
+    }
+
+    #[test]
+    fn relay_broadcast_on_two_nodes() {
+        let mut s = Session::new(Engine::new(2).with_bandwidth(8));
+        let payload = BitString::from_bits((0..20).map(|i| i % 2 == 0));
+        let views = relay_broadcast(&mut s, NodeId(0), &payload).unwrap();
+        assert_eq!(views, vec![payload.clone(), payload]);
     }
 
     #[test]

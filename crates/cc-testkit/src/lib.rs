@@ -32,6 +32,10 @@
 //!   [`byzantine::equivocation_witness`] checker that exhibits a single
 //!   traitor forging per-link majorities, and `proptest` strategies for
 //!   `f < n/3` traitor sets.
+//! * [`routing`] — routed-payload oracles for `cc-routing`'s fault-aware
+//!   planning layer: seed-addressed [`routing::RouteFaultCase`]s with
+//!   replayable `route-fault[…]` labels, a survivor-delivery judge, and
+//!   pool-shape differentials plus empty-crash-set transparency checks.
 //! * [`certificates`] — a certificate-corruption harness that bit-flips
 //!   honest NCLIQUE certificates and asserts every verifier rejects the
 //!   mutants (modulo confirmed alternate witnesses), printing replayable
@@ -54,6 +58,7 @@ pub mod differential;
 pub mod faults;
 pub mod instances;
 pub mod oracle;
+pub mod routing;
 
 pub use audit::{
     assert_transcripts_conform, audit_transcripts, AuditReport, AuditSpec, AuditViolation,
@@ -68,3 +73,7 @@ pub use differential::{
 };
 pub use faults::{assert_empty_plan_transparent, differential_faulted, FaultedRun};
 pub use instances::{corpus, weighted_corpus, Family, Instance, WeightedFamily, WeightedInstance};
+pub use routing::{
+    assert_empty_crash_transparent, differential_route_balanced_faulted,
+    differential_route_faulted, judge_routed_delivery, RouteFaultCase, RoutedRun,
+};

@@ -205,6 +205,24 @@ impl FaultPlan {
             .min()
     }
 
+    /// The crash set this plan implies at `round`: every node whose
+    /// scheduled crash round is `≤ round` (a node crashing at round `r`
+    /// never steps in `r` or later). Ascending node order, duplicates
+    /// collapsed; `dead_at(usize::MAX)` is the plan's full crash set.
+    /// Fault-aware planners (`cc-routing`'s crash-set layer) consume this
+    /// to re-plan demands around nodes the plan will kill.
+    pub fn dead_at(&self, round: usize) -> Vec<NodeId> {
+        let mut dead: Vec<NodeId> = self
+            .crashes
+            .iter()
+            .filter(|(_, r)| *r <= round)
+            .map(|(v, _)| *v)
+            .collect();
+        dead.sort_by_key(|v| v.index());
+        dead.dedup();
+        dead
+    }
+
     /// The replayable adversary label, `plan[seed=…, …]`.
     pub fn label(&self) -> String {
         self.to_string()
@@ -536,6 +554,20 @@ mod tests {
     fn duplicate_crashes_take_the_earliest_round() {
         let p = FaultPlan::new(0).crash(NodeId(1), 5).crash(NodeId(1), 2);
         assert_eq!(p.crash_round(NodeId(1)), Some(2));
+    }
+
+    #[test]
+    fn dead_at_exposes_the_per_round_crash_set() {
+        let p = FaultPlan::new(0)
+            .crash(NodeId(4), 3)
+            .crash(NodeId(1), 1)
+            .crash(NodeId(4), 7); // duplicate, later round: collapsed
+        assert_eq!(p.dead_at(0), vec![]);
+        assert_eq!(p.dead_at(1), vec![NodeId(1)]);
+        assert_eq!(p.dead_at(2), vec![NodeId(1)]);
+        assert_eq!(p.dead_at(3), vec![NodeId(1), NodeId(4)]);
+        assert_eq!(p.dead_at(usize::MAX), vec![NodeId(1), NodeId(4)]);
+        assert_eq!(FaultPlan::new(9).dead_at(usize::MAX), vec![]);
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Sweeps the fault-aware routing layer against seeded crash plans:
+//! survivor-delivery rate vs the crash fraction `f/n`, for both the direct
+//! and the balanced scheduler, at n ∈ {16, 32}. Regenerates the numbers in
+//! EXPERIMENTS.md §"Routing under faults" and README §"Routing survives
+//! crashes". Every row is replayable from its `route-fault[…]` label.
+
+use cc_testkit::RouteFaultCase;
+use congested_clique::prelude::*;
+use congested_clique::routing::{route_balanced_faulted, route_faulted, DeliveryFailure};
+
+fn main() {
+    const SEEDS: [u64; 4] = [1, 2, 3, 4];
+
+    println!("Fault-aware routing vs seeded crash plans (crashes in rounds 0-2)");
+    println!("delivery = survivor-pair payloads delivered / all demanded payloads;");
+    println!("every payload between two survivors must arrive (survivor rate 100%)\n");
+    println!(
+        "{:>4} {:>4} {:>7} {:>9} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "n", "f", "f/n", "sched", "delivery", "survivor", "src-dead", "dst-dead", "rounds"
+    );
+    for n in [16usize, 32] {
+        let mut budgets = vec![0usize, 1, 2, 4, n / 3 - 1];
+        budgets.dedup();
+        for f in budgets {
+            for scheduler in ["direct", "balanced"] {
+                let mut demanded = 0usize;
+                let mut delivered = 0usize;
+                let mut src_dead = 0usize;
+                let mut dst_dead = 0usize;
+                let mut rounds = 0usize;
+                for seed in SEEDS {
+                    let case = RouteFaultCase::new(n, f, seed * 100 + f as u64);
+                    let plan = case.plan();
+                    let crash = case.crash_set();
+                    let demands = case.demands();
+                    demanded += demands.iter().map(Vec::len).sum::<usize>();
+                    let mut session = Session::new(Engine::new(n).with_fault_plan(plan.clone()));
+                    let out = match scheduler {
+                        "direct" => route_faulted(&mut session, demands, &crash),
+                        _ => route_balanced_faulted(&mut session, demands, &crash),
+                    }
+                    .unwrap_or_else(|e| panic!("{case}: {scheduler} routing failed: {e}"));
+                    delivered += out.delivered.iter().flatten().map(Vec::len).sum::<usize>();
+                    for u in &out.undeliverable {
+                        match u.reason {
+                            DeliveryFailure::SourceCrashed => src_dead += 1,
+                            DeliveryFailure::DestinationCrashed => dst_dead += 1,
+                        }
+                    }
+                    rounds = rounds.max(out.stats.rounds);
+                }
+                // Every demand is accounted for: delivered to a survivor or
+                // reported undeliverable with a dead endpoint.
+                assert_eq!(delivered + src_dead + dst_dead, demanded);
+                println!(
+                    "{:>4} {:>4} {:>6.1}% {:>9} {:>9.1}% {:>9} {:>8} {:>8} {:>8}",
+                    n,
+                    f,
+                    100.0 * f as f64 / n as f64,
+                    scheduler,
+                    100.0 * delivered as f64 / demanded as f64,
+                    "100.0%",
+                    src_dead,
+                    dst_dead,
+                    rounds
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -20,6 +20,7 @@ use cc_testkit::{
 };
 use congested_clique::prelude::*;
 use congested_clique::resilient::{bracha_broadcast, BrachaBroadcast, RepeatBroadcast};
+use congested_clique::sim::Lie;
 
 fn exchange_programs(n: usize) -> Vec<RepeatBroadcast> {
     (0..n as u64)
@@ -123,7 +124,7 @@ fn bracha_agrees_for_every_traitor_count_below_a_third() {
                 "{plan}: an honest node missed the honest source's value"
             );
         }
-        assert_eq!(stats.rounds, 4 + 4, "fixed f + 4 round schedule");
+        assert_eq!(stats.rounds, 2 * 4 + 6, "fixed 2f + 6 round schedule");
     }
 }
 
@@ -149,6 +150,42 @@ fn bracha_agrees_even_when_the_source_is_the_traitor() {
     assert!(
         honest.windows(2).all(|w| w[0] == w[1]),
         "{plan}: honest nodes split on a traitor source"
+    );
+}
+
+#[test]
+fn forced_lie_ready_drip_cannot_split_honest_nodes() {
+    // Regression: this exact forced-lie plan beat the old `f + 4` schedule
+    // (n = 7, f = 1, traitor source). The traitor silences its INIT toward
+    // nodes 5 and 6, silences its ECHO entirely, then drip-feeds its READY:
+    // replayed (as a late ECHO) to node 1, intact to node 2 only, silent to
+    // the rest. Under `f + 4` one honest node crossed `2f + 1` READY votes
+    // on the final round and delivered while the rest sat at `f + 1` with
+    // no rounds left to join. The `2f + 6` window gives the late READY
+    // quorum time to amplify to every honest node, on every pool shape.
+    let n = 7;
+    let source = NodeId(0);
+    let mut plan = ByzantinePlan::new(0).traitor(source);
+    plan = plan.force(0, source, NodeId(5), Lie::Silence);
+    plan = plan.force(0, source, NodeId(6), Lie::Silence);
+    for u in 1..n {
+        plan = plan.force(1, source, NodeId(u as u32), Lie::Silence);
+    }
+    plan = plan.force(2, source, NodeId(1), Lie::Replay);
+    for u in 3..n {
+        plan = plan.force(2, source, NodeId(u as u32), Lie::Silence);
+    }
+    let (outputs, _, _, _, byz) = differential_byzantine(
+        "bracha-forced-lie-drip",
+        &Engine::new(n).with_bandwidth(10),
+        &plan,
+        || bracha_programs(n, source, 0x5A, 1),
+    );
+    assert!(!byz.is_empty(), "{plan}: the traitor never lied");
+    let honest: Vec<&Option<Option<u64>>> = (1..n).map(|v| &outputs[v]).collect();
+    assert!(
+        honest.windows(2).all(|w| w[0] == w[1]),
+        "{plan}: honest nodes split: {outputs:?}"
     );
 }
 
@@ -195,7 +232,7 @@ fn bracha_composes_with_a_concurrent_crash_plan() {
     }
     // Session ledger carries both adversaries' counters plus the phase cost.
     let stats = session.stats();
-    assert_eq!(stats.rounds, f + 4);
+    assert_eq!(stats.rounds, 2 * f + 6);
     assert_eq!(stats.dead_nodes, 2);
     assert!(stats.forged_messages > 0);
     assert_eq!(stats.traitor_nodes, 1);
