@@ -2,8 +2,9 @@
 //! a pure function of `(seed, round, from, to)`, so a run with traitors is
 //! just as schedule-independent as an honest one. This module mirrors
 //! [`crate::faults`] for the stronger tier: the same plan, replayed under
-//! every pool shape in [`POOL_SHAPES`], must yield byte-identical outputs,
-//! [`RunStats`], transcripts, the same [`FaultReport`], *and* the same
+//! every pool shape in [`POOL_SHAPES`] and every delivery backend in
+//! [`BACKENDS`], must yield byte-identical outputs, [`RunStats`],
+//! transcripts, the same [`FaultReport`], *and* the same
 //! [`ByzantineReport`] event for event — and an empty plan must change
 //! nothing at all.
 //!
@@ -22,7 +23,7 @@ use cliquesim::{
 };
 use std::fmt::Debug;
 
-use crate::differential::POOL_SHAPES;
+use crate::differential::{BACKENDS, POOL_SHAPES};
 
 /// Everything a Byzantine differential compares: per-node outputs (`None`
 /// for crashed nodes), accumulated stats, full transcripts, the link-fault
@@ -54,56 +55,59 @@ where
     P::Output: PartialEq + Debug,
     M: FnMut() -> Vec<P>,
 {
-    let tag = format!("{label} under {plan}");
     let mut reference: Option<ByzantineRun<P::Output>> = None;
-    for &threads in POOL_SHAPES.iter() {
-        let engine = base
-            .clone()
-            .with_transcripts(true)
-            .with_threads_exact(threads)
-            .with_byzantine_plan(plan.clone());
-        let out = engine
-            .run_byzantine(make_programs())
-            .unwrap_or_else(|e| panic!("{tag}: engine error at threads={threads}: {e}"));
-        let transcripts = out.transcripts.expect("transcripts were requested");
-        match &reference {
-            None => {
-                reference = Some((
-                    out.outputs,
-                    out.stats,
-                    transcripts,
-                    out.faults,
-                    out.byzantine,
-                ))
-            }
-            Some((out0, stats0, tr0, faults0, byz0)) => {
-                assert!(
-                    *out0 == out.outputs,
-                    "{tag}: outputs diverge at threads={threads}"
-                );
-                assert!(
-                    *stats0 == out.stats,
-                    "{tag}: RunStats diverge at threads={threads}: {:?} vs {stats0:?}",
-                    out.stats
-                );
-                assert!(
-                    *byz0 == out.byzantine,
-                    "{tag}: Byzantine reports diverge at threads={threads}: {:?} vs {byz0:?}",
-                    out.byzantine
-                );
-                assert!(
-                    *faults0 == out.faults,
-                    "{tag}: fault reports diverge at threads={threads}: {:?} vs {faults0:?}",
-                    out.faults
-                );
-                assert!(
-                    *tr0 == transcripts,
-                    "{tag}: transcripts diverge at threads={threads}"
-                );
+    for &mode in BACKENDS.iter() {
+        for &threads in POOL_SHAPES.iter() {
+            let tag = format!("{label}@{} under {plan}", mode.tag());
+            let engine = base
+                .clone()
+                .with_transcripts(true)
+                .with_threads_exact(threads)
+                .with_delivery(mode)
+                .with_byzantine_plan(plan.clone());
+            let out = engine
+                .run_byzantine(make_programs())
+                .unwrap_or_else(|e| panic!("{tag}: engine error at threads={threads}: {e}"));
+            let transcripts = out.transcripts.expect("transcripts were requested");
+            match &reference {
+                None => {
+                    reference = Some((
+                        out.outputs,
+                        out.stats,
+                        transcripts,
+                        out.faults,
+                        out.byzantine,
+                    ))
+                }
+                Some((out0, stats0, tr0, faults0, byz0)) => {
+                    assert!(
+                        *out0 == out.outputs,
+                        "{tag}: outputs diverge at threads={threads}"
+                    );
+                    assert!(
+                        *stats0 == out.stats,
+                        "{tag}: RunStats diverge at threads={threads}: {:?} vs {stats0:?}",
+                        out.stats
+                    );
+                    assert!(
+                        *byz0 == out.byzantine,
+                        "{tag}: Byzantine reports diverge at threads={threads}: {:?} vs {byz0:?}",
+                        out.byzantine
+                    );
+                    assert!(
+                        *faults0 == out.faults,
+                        "{tag}: fault reports diverge at threads={threads}: {:?} vs {faults0:?}",
+                        out.faults
+                    );
+                    assert!(
+                        *tr0 == transcripts,
+                        "{tag}: transcripts diverge at threads={threads}"
+                    );
+                }
             }
         }
     }
-    reference.expect("POOL_SHAPES is non-empty")
+    reference.expect("BACKENDS and POOL_SHAPES are non-empty")
 }
 
 /// Assert the engine's transparency guarantee for the Byzantine tier:

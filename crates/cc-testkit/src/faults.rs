@@ -2,8 +2,9 @@
 //! pure function of `(seed, round, from, to)`, so a faulted run is just as
 //! schedule-independent as a fault-free one. This module turns that into a
 //! standing obligation: the same plan, replayed under every pool shape in
-//! [`POOL_SHAPES`], must yield byte-identical outputs, [`RunStats`],
-//! transcripts, *and* the same [`FaultReport`] event for event.
+//! [`POOL_SHAPES`] and every delivery backend in [`BACKENDS`], must yield
+//! byte-identical outputs, [`RunStats`], transcripts, *and* the same
+//! [`FaultReport`] event for event.
 //!
 //! Every panic message carries the plan's [`FaultPlan::label`] (e.g.
 //! `plan[seed=7, crashes=1, drop=0.25]`) next to the protocol label, so a
@@ -12,7 +13,7 @@
 use cliquesim::{Engine, FaultPlan, FaultReport, NodeProgram, RunStats, Transcript};
 use std::fmt::Debug;
 
-use crate::differential::POOL_SHAPES;
+use crate::differential::{BACKENDS, POOL_SHAPES};
 
 /// Everything a faulted differential compares: per-node outputs (`None`
 /// for crashed nodes), accumulated stats, full transcripts, and the
@@ -37,43 +38,46 @@ where
     P::Output: PartialEq + Debug,
     M: FnMut() -> Vec<P>,
 {
-    let tag = format!("{label} under {plan}");
     let mut reference: Option<FaultedRun<P::Output>> = None;
-    for &threads in POOL_SHAPES.iter() {
-        let engine = base
-            .clone()
-            .with_transcripts(true)
-            .with_threads_exact(threads)
-            .with_fault_plan(plan.clone());
-        let out = engine
-            .run_faulted(make_programs())
-            .unwrap_or_else(|e| panic!("{tag}: engine error at threads={threads}: {e}"));
-        let transcripts = out.transcripts.expect("transcripts were requested");
-        match &reference {
-            None => reference = Some((out.outputs, out.stats, transcripts, out.faults)),
-            Some((out0, stats0, tr0, faults0)) => {
-                assert!(
-                    *out0 == out.outputs,
-                    "{tag}: outputs diverge at threads={threads}"
-                );
-                assert!(
-                    *stats0 == out.stats,
-                    "{tag}: RunStats diverge at threads={threads}: {:?} vs {stats0:?}",
-                    out.stats
-                );
-                assert!(
-                    *faults0 == out.faults,
-                    "{tag}: fault reports diverge at threads={threads}: {:?} vs {faults0:?}",
-                    out.faults
-                );
-                assert!(
-                    *tr0 == transcripts,
-                    "{tag}: transcripts diverge at threads={threads}"
-                );
+    for &mode in BACKENDS.iter() {
+        for &threads in POOL_SHAPES.iter() {
+            let tag = format!("{label}@{} under {plan}", mode.tag());
+            let engine = base
+                .clone()
+                .with_transcripts(true)
+                .with_threads_exact(threads)
+                .with_delivery(mode)
+                .with_fault_plan(plan.clone());
+            let out = engine
+                .run_faulted(make_programs())
+                .unwrap_or_else(|e| panic!("{tag}: engine error at threads={threads}: {e}"));
+            let transcripts = out.transcripts.expect("transcripts were requested");
+            match &reference {
+                None => reference = Some((out.outputs, out.stats, transcripts, out.faults)),
+                Some((out0, stats0, tr0, faults0)) => {
+                    assert!(
+                        *out0 == out.outputs,
+                        "{tag}: outputs diverge at threads={threads}"
+                    );
+                    assert!(
+                        *stats0 == out.stats,
+                        "{tag}: RunStats diverge at threads={threads}: {:?} vs {stats0:?}",
+                        out.stats
+                    );
+                    assert!(
+                        *faults0 == out.faults,
+                        "{tag}: fault reports diverge at threads={threads}: {:?} vs {faults0:?}",
+                        out.faults
+                    );
+                    assert!(
+                        *tr0 == transcripts,
+                        "{tag}: transcripts diverge at threads={threads}"
+                    );
+                }
             }
         }
     }
-    reference.expect("POOL_SHAPES is non-empty")
+    reference.expect("BACKENDS and POOL_SHAPES are non-empty")
 }
 
 /// Assert the engine's transparency guarantee: attaching an *empty*

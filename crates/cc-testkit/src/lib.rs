@@ -69,7 +69,7 @@ pub use byzantine::{
 pub use certificates::{assert_corrupted_certificates_rejected, corrupt_labelling};
 pub use differential::{
     differential_broadcast_only, differential_engines, differential_programs, differential_session,
-    ring_topology, POOL_SHAPES,
+    ring_topology, BACKENDS, POOL_SHAPES,
 };
 pub use faults::{assert_empty_plan_transparent, differential_faulted, FaultedRun};
 pub use instances::{corpus, weighted_corpus, Family, Instance, WeightedFamily, WeightedInstance};

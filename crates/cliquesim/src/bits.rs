@@ -20,6 +20,14 @@ pub struct BitString {
     words: Vec<u64>,
 }
 
+/// The empty bit string with a `'static` lifetime, so engine internals can
+/// hand out `&BitString` for "no message" slots that have no physical
+/// storage (the sparse delivery backend's misses and self-slots).
+pub(crate) static EMPTY: BitString = BitString {
+    len: 0,
+    words: Vec::new(),
+};
+
 impl BitString {
     /// The empty bit string. In the model, sending an empty message is the
     /// same as sending no message at all.
@@ -170,6 +178,48 @@ impl BitString {
                 }
             }
             self.words.truncate(needed);
+        }
+    }
+
+    /// Overwrite `self` with the contents of `other`, retaining `self`'s
+    /// allocated word capacity (word-level copy).
+    ///
+    /// This is the delivery backends' broadcast fan-out primitive: cloning a
+    /// payload into a retained slot must not allocate in steady state, so
+    /// `slot.copy_from(msg)` replaces `slot = msg.clone()` on the hot path.
+    pub fn copy_from(&mut self, other: &BitString) {
+        self.len = other.len;
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+    }
+
+    /// XOR another string of the same length into `self`, one word at a time.
+    ///
+    /// Both operands keep the zero-tail invariant, so the result does too.
+    /// Panics if the lengths differ — in a bandwidth-bounded model a silent
+    /// length mismatch is data loss, not a convenience.
+    pub fn xor_words(&mut self, other: &BitString) {
+        assert_eq!(
+            self.len, other.len,
+            "xor_words requires equal lengths ({} vs {})",
+            self.len, other.len
+        );
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w ^= *o;
+        }
+    }
+
+    /// Flip every bit in place (word-level), masking the tail word to keep
+    /// the zero-tail invariant.
+    pub fn invert(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
         }
     }
 
@@ -725,6 +775,67 @@ mod tests {
             let left = sa.clone().concat(&sb).concat(&sc);
             let right = sa.concat(&sb.concat(&sc));
             prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn prop_truncate_extend_push_matches_bit_model(
+            bits in proptest::collection::vec(any::<bool>(), 0..200),
+            cut in 0usize..=200,
+            ext in proptest::collection::vec(any::<bool>(), 0..130),
+            v in any::<u64>(),
+            w in 0usize..=64,
+        ) {
+            // The sparse delivery path's hot loop: truncate a reused slot to
+            // an arbitrary length, re-extend it, then append a possibly
+            // word-straddling uint. Checked against a plain Vec<bool> model
+            // and, for the zero-tail invariant, against a string rebuilt bit
+            // by bit (equality is word-vector equality).
+            let mut s = BitString::from_bits(bits.iter().copied());
+            let mut model = bits.clone();
+            let cut = cut.min(model.len());
+            s.truncate(cut);
+            model.truncate(cut);
+            s.extend_from(&BitString::from_bits(ext.iter().copied()));
+            model.extend(ext.iter().copied());
+            let v = match w {
+                0 => 0,
+                64 => v,
+                w => v & ((1u64 << w) - 1),
+            };
+            s.push_uint(v, w);
+            for i in 0..w {
+                model.push((v >> i) & 1 == 1);
+            }
+            prop_assert_eq!(s.len(), model.len());
+            prop_assert_eq!(s.iter().collect::<Vec<_>>(), model.clone());
+            prop_assert_eq!(&s, &BitString::from_bits(model.iter().copied()));
+            prop_assert_eq!(s.words.len(), s.len().div_ceil(64));
+        }
+
+        #[test]
+        fn prop_word_level_ops_match_bit_model(
+            a in proptest::collection::vec(any::<bool>(), 0..200),
+            b in proptest::collection::vec(any::<bool>(), 0..200),
+        ) {
+            let sa = BitString::from_bits(a.iter().copied());
+            let sb = BitString::from_bits(b.iter().copied());
+            // copy_from overwrites content, keeping only destination capacity.
+            let mut c = sb.clone();
+            c.copy_from(&sa);
+            prop_assert_eq!(&c, &sa);
+            // xor over the common prefix, checked bitwise, then invert.
+            let n = a.len().min(b.len());
+            let mut x = sa.clone();
+            x.truncate(n);
+            let mut y = sb.clone();
+            y.truncate(n);
+            x.xor_words(&y);
+            let expect: Vec<bool> = (0..n).map(|i| a[i] ^ b[i]).collect();
+            prop_assert_eq!(x.iter().collect::<Vec<_>>(), expect.clone());
+            x.invert();
+            let flipped: Vec<bool> = expect.iter().map(|e| !e).collect();
+            prop_assert_eq!(x.iter().collect::<Vec<_>>(), flipped.clone());
+            prop_assert_eq!(&x, &BitString::from_bits(flipped));
         }
 
         #[test]

@@ -51,6 +51,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use crate::bits::BitString;
+use crate::delivery::{BufView, BufViewMut};
 use crate::fault::mix;
 use crate::node::NodeId;
 use crate::stats::RunStats;
@@ -226,52 +227,42 @@ impl ByzantinePlan {
             .map(|l| l.lie)
     }
 
-    /// Rewrite the traitor rows of the matrix written in `round` (read
-    /// next round). `cur` is the sender-major send matrix; `prev` is the
-    /// matrix the nodes read this round, i.e. each traitor's received
+    /// Rewrite the traitor rows of the buffer written in `round` (read
+    /// next round). `cur` is the sender-major send buffer; `prev` is the
+    /// buffer the nodes read this round, i.e. each traitor's received
     /// history for adaptive replays. Sweep order is sender-major and every
     /// decision is keyed per `(seed, round, from, to)`, so the result is
-    /// independent of pool shape.
+    /// independent of pool shape and of delivery backend.
     pub(crate) fn apply_rewrites(
         &self,
         round: usize,
-        cur: &mut [BitString],
-        prev: &[BitString],
-        n: usize,
+        cur: &mut BufViewMut<'_>,
+        prev: &BufView<'_>,
         report: &mut ByzantineReport,
     ) {
         if self.is_empty() {
             return;
         }
-        for v in 0..n {
+        for v in 0..cur.n() {
             if !self.is_traitor(NodeId::from(v)) {
                 continue;
             }
-            for u in 0..n {
-                if u == v {
-                    continue;
-                }
-                if cur[v * n + u].is_empty() {
-                    continue;
-                }
-                self.lie_one(round, v, u, cur, prev, n, report);
-            }
+            cur.for_each_msg_mut(v, |u, m| self.lie_one(round, v, u, m, prev, report));
         }
     }
 
     /// Decide and apply the lie (if any) for one non-empty traitor
     /// message `from → to` in `round`.
-    #[allow(clippy::too_many_arguments)]
     fn lie_one(
         &self,
         round: usize,
         from: usize,
         to: usize,
-        cur: &mut [BitString],
-        prev: &[BitString],
-        n: usize,
+        m: &mut BitString,
+        prev: &BufView<'_>,
         report: &mut ByzantineReport,
     ) {
+        let n = prev.n();
         let forced = self.forced_for(round, from, to);
         // The coin stream is keyed per message: same (seed, round, link) →
         // same draws, regardless of how many other messages exist.
@@ -295,14 +286,13 @@ impl ByzantinePlan {
         let mut replay_source = None;
         if lie == Lie::Replay {
             let inbound: Vec<usize> = (0..n)
-                .filter(|w| *w != from && !prev[w * n + from].is_empty())
+                .filter(|w| *w != from && !prev.get(*w, from).is_empty())
                 .collect();
             match inbound.is_empty() {
                 true => lie = Lie::Garble,
                 false => replay_source = Some(inbound[rng.gen_range(0..inbound.len())]),
             }
         }
-        let m = &mut cur[from * n + to];
         match lie {
             Lie::Silence => {
                 report.events.push(ByzantineEvent::Silenced {
@@ -314,9 +304,7 @@ impl ByzantinePlan {
                 m.clear();
             }
             Lie::Invert => {
-                for i in 0..m.len() {
-                    m.set(i, !m.get(i));
-                }
+                m.invert();
                 report.events.push(ByzantineEvent::Inverted {
                     from: from_id,
                     to: to_id,
@@ -338,7 +326,7 @@ impl ByzantinePlan {
                 // `replay_source` is always set on this path (see above);
                 // guard instead of unwrap to honour the no-panic lint.
                 let Some(src) = replay_source else { return };
-                let substitute = prev[src * n + from].clone();
+                let substitute = prev.get(src, from).clone();
                 let from_bits = m.len();
                 let to_bits = substitute.len();
                 *m = substitute;
@@ -561,7 +549,12 @@ mod tests {
         let prev = vec![BitString::new(); n * n];
         let before = cur.clone();
         let mut report = ByzantineReport::default();
-        plan.apply_rewrites(0, &mut cur, &prev, n, &mut report);
+        plan.apply_rewrites(
+            0,
+            &mut BufViewMut::dense(&mut cur, n),
+            &BufView::dense(&prev, n),
+            &mut report,
+        );
         for v in 0..n {
             for u in 0..n {
                 if u == v {
@@ -588,7 +581,12 @@ mod tests {
         let mut cur = full_matrix(n, 32);
         let prev = vec![BitString::new(); n * n];
         let mut report = ByzantineReport::default();
-        plan.apply_rewrites(0, &mut cur, &prev, n, &mut report);
+        plan.apply_rewrites(
+            0,
+            &mut BufViewMut::dense(&mut cur, n),
+            &BufView::dense(&prev, n),
+            &mut report,
+        );
         let copies: Vec<&BitString> = (1..n).map(|u| &cur[u]).collect();
         let distinct = copies
             .iter()
@@ -609,8 +607,18 @@ mod tests {
         let prev = full_matrix(n, 8);
         let mut ra = ByzantineReport::default();
         let mut rb = ByzantineReport::default();
-        plan.apply_rewrites(3, &mut a, &prev, n, &mut ra);
-        plan.apply_rewrites(3, &mut b, &prev, n, &mut rb);
+        plan.apply_rewrites(
+            3,
+            &mut BufViewMut::dense(&mut a, n),
+            &BufView::dense(&prev, n),
+            &mut ra,
+        );
+        plan.apply_rewrites(
+            3,
+            &mut BufViewMut::dense(&mut b, n),
+            &BufView::dense(&prev, n),
+            &mut rb,
+        );
         assert_eq!(a, b);
         assert_eq!(ra, rb);
         assert!(!ra.is_empty());
@@ -631,7 +639,12 @@ mod tests {
         cur[n] = BitString::from_bits([true, true, true]); // 1 → 0
         let prev = vec![BitString::new(); n * n];
         let mut report = ByzantineReport::default();
-        plan.apply_rewrites(1, &mut cur, &prev, n, &mut report);
+        plan.apply_rewrites(
+            1,
+            &mut BufViewMut::dense(&mut cur, n),
+            &BufView::dense(&prev, n),
+            &mut report,
+        );
         assert_eq!(
             cur[1],
             BitString::from_bits([false, false, true]),
@@ -643,7 +656,12 @@ mod tests {
         let mut c2 = vec![BitString::new(); n * n];
         c2[1] = BitString::from_bits([true]);
         let mut r2 = ByzantineReport::default();
-        plan.apply_rewrites(0, &mut c2, &prev, n, &mut r2);
+        plan.apply_rewrites(
+            0,
+            &mut BufViewMut::dense(&mut c2, n),
+            &BufView::dense(&prev, n),
+            &mut r2,
+        );
         assert!(r2.is_empty());
         assert_eq!(c2[1].len(), 1);
     }
@@ -661,7 +679,12 @@ mod tests {
         // The traitor received exactly one payload this round, from node 2.
         prev[2 * n] = BitString::from_bits([false, true, false, true]); // 2 → 0
         let mut report = ByzantineReport::default();
-        plan.apply_rewrites(2, &mut cur, &prev, n, &mut report);
+        plan.apply_rewrites(
+            2,
+            &mut BufViewMut::dense(&mut cur, n),
+            &BufView::dense(&prev, n),
+            &mut report,
+        );
         assert_eq!(
             cur[1],
             prev[2 * n],
@@ -684,7 +707,12 @@ mod tests {
         c2[1] = BitString::from_bits([true, true]);
         let empty = vec![BitString::new(); n * n];
         let mut r2 = ByzantineReport::default();
-        plan.apply_rewrites(2, &mut c2, &empty, n, &mut r2);
+        plan.apply_rewrites(
+            2,
+            &mut BufViewMut::dense(&mut c2, n),
+            &BufView::dense(&empty, n),
+            &mut r2,
+        );
         assert_eq!(c2[1].len(), 2, "garble fallback preserves length");
         assert!(matches!(r2.events[..], [ByzantineEvent::Garbled { .. }]));
     }

@@ -11,11 +11,14 @@
 //! on multiple OS threads. With `threads > 1` a **persistent worker pool** is
 //! created once per run: workers park on a round barrier, step a fixed chunk
 //! of nodes, publish a per-chunk accumulator, and park again — no per-round
-//! thread creation. Message delivery is **double-buffered**: nodes write
-//! sends into one sender-major `n × n` matrix while reading the previous
-//! round's matrix through a transposed [`Inbox`] view, so delivery is a
-//! buffer swap (no O(n²) transpose, and steady-state rounds allocate
-//! nothing — message slots are cleared in place, retaining capacity).
+//! thread creation. Message delivery is **double-buffered** behind a
+//! pluggable backend (see [`DeliveryMode`]): the dense backend keeps a
+//! sender-major `n × n` matrix, the sparse backend a per-sender edge list
+//! with a shared broadcast payload. Either way nodes write sends into one
+//! buffer while reading the previous round's through a receiver-oriented
+//! inbox view, so delivery is a buffer swap (no O(n²) transpose, and
+//! steady-state rounds allocate nothing — slots are cleared in place,
+//! retaining capacity, and persist across runs via [`DeliveryArena`]).
 //!
 //! Parallel and sequential execution produce bit-identical outputs,
 //! transcripts, and [`RunStats`] (wall-clock timing excluded).
@@ -28,8 +31,9 @@ use std::time::{Duration, Instant};
 
 use crate::bits::BitString;
 use crate::byzantine::{ByzantinePlan, ByzantineReport};
+use crate::delivery::{BufView, DeliveryArena, DeliveryBuf, DeliveryMode, DenseBuf, SparseBuf};
 use crate::fault::{FaultPlan, FaultReport};
-use crate::node::{Inbox, NodeCtx, NodeId, NodeProgram, Outbox, Status};
+use crate::node::{NodeCtx, NodeId, NodeProgram, Status};
 use crate::stats::RunStats;
 use crate::transcript::{RoundTranscript, Transcript};
 
@@ -287,6 +291,11 @@ pub struct Engine {
     broadcast_only: bool,
     /// CONGEST mode: `topology[v*n + u]` = v may send to u. Empty = clique.
     topology: Arc<[bool]>,
+    /// Number of `true` entries in `topology` (0 for the clique); cached so
+    /// [`Engine::resolved_delivery`] can judge link density without a scan.
+    topology_edges: usize,
+    /// Which delivery backend to use; `Auto` decides per run.
+    delivery: DeliveryMode,
     /// Adversary schedule; `None` (and the empty plan) leave runs
     /// byte-identical to the fault-free engine.
     fault_plan: Option<Arc<FaultPlan>>,
@@ -315,6 +324,8 @@ impl Engine {
             cap_threads_to_host: true,
             broadcast_only: false,
             topology: Arc::from(Vec::new().into_boxed_slice()),
+            topology_edges: 0,
+            delivery: DeliveryMode::Auto,
             fault_plan: None,
             byzantine_plan: None,
             deadline: None,
@@ -343,8 +354,52 @@ impl Engine {
             }
             assert!(!adjacent[v * self.n + v], "no self-loops");
         }
+        self.topology_edges = adjacent.iter().filter(|a| **a).count();
         self.topology = Arc::from(adjacent.into_boxed_slice());
         self
+    }
+
+    /// Select the per-round message-delivery backend (see [`DeliveryMode`]).
+    /// The default, [`DeliveryMode::Auto`], picks the sparse backend for
+    /// broadcast-only engines, sparse CONGEST topologies, and crash-heavy
+    /// fault plans, and the dense `n × n` matrices otherwise. Whatever the
+    /// choice, outputs, transcripts, reports, and [`RunStats`] are
+    /// bit-identical — only memory footprint and wall-clock differ.
+    pub fn with_delivery(mut self, mode: DeliveryMode) -> Self {
+        self.delivery = mode;
+        self
+    }
+
+    /// The configured delivery mode (possibly [`DeliveryMode::Auto`]).
+    pub fn delivery(&self) -> DeliveryMode {
+        self.delivery
+    }
+
+    /// The backend a run would use right now: resolves
+    /// [`DeliveryMode::Auto`] against the engine's configuration (never
+    /// returns `Auto`). The heuristic prefers sparse whenever per-sender
+    /// traffic is structurally far below `n - 1` distinct payloads:
+    /// broadcast-only mode (one payload per sender), a CONGEST topology
+    /// with at most 25% of ordered pairs adjacent, or a fault plan that
+    /// eventually crashes at least half the nodes.
+    pub fn resolved_delivery(&self) -> DeliveryMode {
+        match self.delivery {
+            DeliveryMode::Dense => DeliveryMode::Dense,
+            DeliveryMode::Sparse => DeliveryMode::Sparse,
+            DeliveryMode::Auto => {
+                let sparse_topology =
+                    !self.topology.is_empty() && self.topology_edges * 4 <= self.n * self.n;
+                let crash_heavy = self
+                    .fault_plan
+                    .as_deref()
+                    .is_some_and(|p| p.dead_at(usize::MAX).len() * 2 >= self.n);
+                if self.broadcast_only || sparse_topology || crash_heavy {
+                    DeliveryMode::Sparse
+                } else {
+                    DeliveryMode::Dense
+                }
+            }
+        }
     }
 
     /// Attach a fault-injection adversary (see [`crate::fault`]). The plan
@@ -470,7 +525,20 @@ impl Engine {
     /// every node. Protocols meant to tolerate crashes use
     /// [`Engine::run_faulted`] instead.
     pub fn run<P: NodeProgram>(&self, programs: Vec<P>) -> Result<RunOutcome<P::Output>, SimError> {
-        let faulted = self.run_faulted(programs)?;
+        self.run_in(programs, &mut DeliveryArena::new())
+    }
+
+    /// Like [`Engine::run`], but checking the delivery buffers out of (and
+    /// back into) `arena`, so repeated runs reuse allocations instead of
+    /// re-allocating per run. [`crate::Session`] routes every phase through
+    /// its own arena; stats are unaffected by reuse (all accounting is in
+    /// logical messages, never retained capacity).
+    pub fn run_in<P: NodeProgram>(
+        &self,
+        programs: Vec<P>,
+        arena: &mut DeliveryArena,
+    ) -> Result<RunOutcome<P::Output>, SimError> {
+        let faulted = self.run_faulted_in(programs, arena)?;
         let mut outputs = Vec::with_capacity(faulted.outputs.len());
         for (v, o) in faulted.outputs.into_iter().enumerate() {
             match o {
@@ -507,7 +575,17 @@ impl Engine {
         &self,
         programs: Vec<P>,
     ) -> Result<FaultedOutcome<P::Output>, SimError> {
-        let out = self.run_byzantine(programs)?;
+        self.run_faulted_in(programs, &mut DeliveryArena::new())
+    }
+
+    /// Like [`Engine::run_faulted`], but reusing `arena`'s delivery buffers
+    /// (see [`Engine::run_in`]).
+    pub fn run_faulted_in<P: NodeProgram>(
+        &self,
+        programs: Vec<P>,
+        arena: &mut DeliveryArena,
+    ) -> Result<FaultedOutcome<P::Output>, SimError> {
+        let out = self.run_byzantine_in(programs, arena)?;
         Ok(FaultedOutcome {
             outputs: out.outputs,
             stats: out.stats,
@@ -524,15 +602,40 @@ impl Engine {
     /// are restrictions of it.
     pub fn run_byzantine<P: NodeProgram>(
         &self,
-        mut programs: Vec<P>,
+        programs: Vec<P>,
     ) -> Result<ByzantineOutcome<P::Output>, SimError> {
-        let n = self.n;
-        if programs.len() != n {
+        self.run_byzantine_in(programs, &mut DeliveryArena::new())
+    }
+
+    /// Like [`Engine::run_byzantine`], but reusing `arena`'s delivery
+    /// buffers (see [`Engine::run_in`]). All three entry points funnel
+    /// here, so validation and setup exist exactly once.
+    pub fn run_byzantine_in<P: NodeProgram>(
+        &self,
+        programs: Vec<P>,
+        arena: &mut DeliveryArena,
+    ) -> Result<ByzantineOutcome<P::Output>, SimError> {
+        // Validate before any buffer checkout: rejecting a wrong-sized
+        // program vector must not cost 2·n² message slots.
+        if programs.len() != self.n {
             return Err(SimError::WrongProgramCount {
-                expected: n,
+                expected: self.n,
                 got: programs.len(),
             });
         }
+        match self.resolved_delivery() {
+            DeliveryMode::Sparse => self.run_core::<P, SparseBuf>(programs, arena),
+            _ => self.run_core::<P, DenseBuf>(programs, arena),
+        }
+    }
+
+    /// The shared run loop, generic over the delivery backend.
+    fn run_core<P: NodeProgram, B: DeliveryBuf>(
+        &self,
+        mut programs: Vec<P>,
+        arena: &mut DeliveryArena,
+    ) -> Result<ByzantineOutcome<P::Output>, SimError> {
+        let n = self.n;
         let ctxs: Vec<NodeCtx> = (0..n)
             .map(|v| NodeCtx {
                 id: NodeId::from(v),
@@ -544,12 +647,13 @@ impl Engine {
             p.init(ctx);
         }
 
-        // Double-buffered sender-major message matrices: in round r the
-        // nodes write slots `v*n + u` (v's message to u) of buffer `r % 2`
-        // and read buffer `1 - r % 2` (written in round r-1) through a
-        // transposed Inbox view. Delivery is the implicit swap; rows are
-        // cleared in place at the start of the round that rewrites them.
-        let mut bufs = [vec![BitString::new(); n * n], vec![BitString::new(); n * n]];
+        // Double-buffered sender-major delivery buffers: in round r the
+        // nodes write sender rows of buffer `r % 2` and read buffer
+        // `1 - r % 2` (written in round r-1) through an Inbox view.
+        // Delivery is the implicit swap; rows are cleared in place at the
+        // start of the round that rewrites them. The pair comes out of the
+        // arena, so repeated runs reuse the allocations.
+        let mut bufs = B::take(arena, n);
         let mut halted = vec![false; n];
         let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
         let mut transcripts: Option<Vec<Transcript>> = self
@@ -569,7 +673,7 @@ impl Engine {
         } else {
             self.threads
         };
-        if threads > 1 && n >= 2 * threads {
+        let result = if threads > 1 && n >= 2 * threads {
             self.run_pooled(
                 threads,
                 &mut programs,
@@ -584,7 +688,7 @@ impl Engine {
                 byz,
                 &mut byz_report,
                 watchdog,
-            )?;
+            )
         } else {
             self.run_sequential(
                 &mut programs,
@@ -599,8 +703,12 @@ impl Engine {
                 byz,
                 &mut byz_report,
                 watchdog,
-            )?;
-        }
+            )
+        };
+        // Return the buffers even on a failed run, so the next run through
+        // the same arena still reuses the allocations.
+        B::put(arena, bufs);
+        result?;
 
         report.tally_into(&mut stats);
         byz_report.tally_into(&mut stats);
@@ -613,13 +721,13 @@ impl Engine {
         })
     }
 
-    /// Single-threaded round loop over the double-buffered matrices.
+    /// Single-threaded round loop over the double-buffered delivery buffers.
     #[allow(clippy::too_many_arguments)]
-    fn run_sequential<P: NodeProgram>(
+    fn run_sequential<P: NodeProgram, B: DeliveryBuf>(
         &self,
         programs: &mut [P],
         ctxs: &[NodeCtx],
-        bufs: &mut [Vec<BitString>; 2],
+        bufs: &mut [B; 2],
         halted: &mut [bool],
         outputs: &mut [Option<P::Output>],
         transcripts: &mut Option<Vec<Transcript>>,
@@ -640,47 +748,58 @@ impl Engine {
                 // Crashes fire before the activity snapshot: a node crashing
                 // in round r never steps in it, and the messages it was due
                 // to read this round (written last round) are lost.
-                let inbound: &[BitString] = if round.is_multiple_of(2) {
+                let inbound: &B = if round.is_multiple_of(2) {
                     buf_b
                 } else {
                     buf_a
                 };
-                plan.apply_crashes(round, halted, inbound, n, report);
+                plan.apply_crashes(round, halted, &B::view(inbound.slots(), n), report);
             }
             for v in 0..n {
                 active[v] = !halted[v];
             }
-            let (cur, prev): (&mut [BitString], &[BitString]) = if round.is_multiple_of(2) {
-                (buf_a, buf_b)
+            let (cur, prev): (&mut B, &B) = if round.is_multiple_of(2) {
+                (&mut *buf_a, &*buf_b)
             } else {
-                (buf_b, buf_a)
+                (&mut *buf_b, &*buf_a)
             };
             let step_start = Instant::now();
             let mut acc = ChunkAcc::default();
-            for v in 0..n {
-                let row = &mut cur[v * n..(v + 1) * n];
-                for m in row.iter_mut() {
-                    m.clear();
+            {
+                let cur_slots = cur.slots_mut();
+                let prev_slots = prev.slots();
+                for v in 0..n {
+                    B::clear_row(cur_slots, n, v);
+                    if halted[v] {
+                        continue;
+                    }
+                    step_one::<P, B>(
+                        &mut programs[v],
+                        &ctxs[v],
+                        round,
+                        prev_slots,
+                        cur_slots,
+                        v,
+                        self.bandwidth,
+                        self.broadcast_only,
+                        &self.topology,
+                        &mut halted[v],
+                        &mut outputs[v],
+                        &mut acc,
+                    )?;
                 }
-                if halted[v] {
-                    continue;
-                }
-                step_one(
-                    &mut programs[v],
-                    &ctxs[v],
-                    round,
-                    prev,
-                    row,
-                    self.bandwidth,
-                    self.broadcast_only,
-                    &self.topology,
-                    &mut halted[v],
-                    &mut outputs[v],
-                    &mut acc,
-                )?;
             }
             let step_end = Instant::now();
-            match book.close_round(round, acc, cur, prev, halted, &active, step_start, step_end) {
+            match book.close_round(
+                round,
+                acc,
+                &B::view(cur.slots(), n),
+                &B::view(prev.slots(), n),
+                halted,
+                &active,
+                step_start,
+                step_end,
+            ) {
                 Verdict::Continue => {
                     if let Some(byz) = byz {
                         // Byzantine rewrites strike first, after the round
@@ -688,14 +807,19 @@ impl Engine {
                         // traitor's (honest) program *sent*; next round's
                         // inboxes see the lies. `prev` is what the traitor
                         // received this round — the adaptive-lying input.
-                        byz.apply_rewrites(round, cur, prev, n, byz_report);
+                        byz.apply_rewrites(
+                            round,
+                            &mut B::view_mut(cur.slots_mut(), n),
+                            &B::view(prev.slots(), n),
+                            byz_report,
+                        );
                     }
                     if let Some(plan) = plan {
                         // Link faults strike after the round closes (and
                         // after any Byzantine rewrite): stats and
                         // transcripts record what was *sent*; next round's
                         // inboxes see what *survived* the wire.
-                        plan.apply_link_faults(round, cur, n, report);
+                        plan.apply_link_faults(round, &mut B::view_mut(cur.slots_mut(), n), report);
                     }
                     if let Some((start, limit)) = watchdog {
                         if start.elapsed() >= limit {
@@ -718,12 +842,12 @@ impl Engine {
     /// park on `ctrl.barrier` between rounds, and the main thread does the
     /// bookkeeping while they are parked.
     #[allow(clippy::too_many_arguments)]
-    fn run_pooled<P: NodeProgram>(
+    fn run_pooled<P: NodeProgram, B: DeliveryBuf>(
         &self,
         threads: usize,
         programs: &mut [P],
         ctxs: &[NodeCtx],
-        bufs: &mut [Vec<BitString>; 2],
+        bufs: &mut [B; 2],
         halted: &mut [bool],
         outputs: &mut [Option<P::Output>],
         transcripts: &mut Option<Vec<Transcript>>,
@@ -746,9 +870,9 @@ impl Engine {
         let mut active = vec![true; n];
 
         let [buf_a, buf_b] = bufs;
-        let buf_cells: [&[SyncCell<BitString>]; 2] = [
-            SyncCell::share(buf_a.as_mut_slice()),
-            SyncCell::share(buf_b.as_mut_slice()),
+        let buf_cells: [&[SyncCell<B::Slot>]; 2] = [
+            SyncCell::share(buf_a.slots_mut()),
+            SyncCell::share(buf_b.slots_mut()),
         ];
         let prog_cells = SyncCell::share(programs);
         let halted_cells = SyncCell::share(halted);
@@ -783,27 +907,26 @@ impl Engine {
                             // programs/halted/outputs and rows lo..hi of the
                             // write buffer; the read buffer is written by no
                             // one during the step phase.
-                            let write_rows =
-                                unsafe { SyncCell::exclusive(&buf_cells[write][lo * n..hi * n]) };
+                            let write_rows = unsafe {
+                                SyncCell::exclusive(&buf_cells[write][B::slot_range(n, lo, hi)])
+                            };
                             let prev = unsafe { SyncCell::shared(buf_cells[1 - write]) };
                             let my_halted = unsafe { SyncCell::exclusive(&halted_cells[lo..hi]) };
                             let my_progs = unsafe { SyncCell::exclusive(&prog_cells[lo..hi]) };
                             let my_outs = unsafe { SyncCell::exclusive(&out_cells[lo..hi]) };
                             for i in 0..hi - lo {
                                 let v = lo + i;
-                                let row = &mut write_rows[i * n..(i + 1) * n];
-                                for m in row.iter_mut() {
-                                    m.clear();
-                                }
+                                B::clear_row(write_rows, n, i);
                                 if my_halted[i] {
                                     continue;
                                 }
-                                step_one(
+                                step_one::<P, B>(
                                     &mut my_progs[i],
                                     &ctxs[v],
                                     round,
                                     prev,
-                                    row,
+                                    write_rows,
+                                    i,
                                     bandwidth,
                                     broadcast_only,
                                     topology,
@@ -839,7 +962,7 @@ impl Engine {
                     if let Some(plan) = plan {
                         let halted_mut = unsafe { SyncCell::exclusive(halted_cells) };
                         let inbound = unsafe { SyncCell::shared(buf_cells[1 - round % 2]) };
-                        plan.apply_crashes(round, halted_mut, inbound, n, report);
+                        plan.apply_crashes(round, halted_mut, &B::view(inbound, n), report);
                     }
                     let halted_now = unsafe { SyncCell::shared(halted_cells) };
                     for v in 0..n {
@@ -884,7 +1007,14 @@ impl Engine {
                 let prev = unsafe { SyncCell::shared(buf_cells[1 - write]) };
                 let halted_now = unsafe { SyncCell::shared(halted_cells) };
                 match book.close_round(
-                    round, acc, cur, prev, halted_now, &active, step_start, step_end,
+                    round,
+                    acc,
+                    &B::view(cur, n),
+                    &B::view(prev, n),
+                    halted_now,
+                    &active,
+                    step_start,
+                    step_end,
                 ) {
                     Verdict::Continue => {
                         if let Some(byz) = byz {
@@ -894,13 +1024,18 @@ impl Engine {
                             // between barriers, which (plus address-keyed
                             // coins) makes them pool-shape independent.
                             let cur_mut = unsafe { SyncCell::exclusive(buf_cells[write]) };
-                            byz.apply_rewrites(round, cur_mut, prev, n, byz_report);
+                            byz.apply_rewrites(
+                                round,
+                                &mut B::view_mut(cur_mut, n),
+                                &B::view(prev, n),
+                                byz_report,
+                            );
                         }
                         if let Some(plan) = plan {
                             // SAFETY: workers are still parked; the shared
                             // views taken for close_round are no longer used.
                             let cur_mut = unsafe { SyncCell::exclusive(buf_cells[write]) };
-                            plan.apply_link_faults(round, cur_mut, n, report);
+                            plan.apply_link_faults(round, &mut B::view_mut(cur_mut, n), report);
                         }
                         if let Some((start, limit)) = watchdog {
                             if start.elapsed() >= limit {
@@ -1063,8 +1198,8 @@ impl<'a> RoundBook<'a> {
         &mut self,
         round: usize,
         acc: ChunkAcc,
-        cur: &[BitString],
-        prev: &[BitString],
+        cur: &BufView<'_>,
+        prev: &BufView<'_>,
         halted: &[bool],
         active: &[bool],
         step_start: Instant,
@@ -1094,12 +1229,12 @@ impl<'a> RoundBook<'a> {
         // wire; charge them to the undelivered counters (they remain part of
         // `messages`/`bits` — see stats module docs for the semantics).
         if self.any_halted && acc.messages > 0 {
-            for u in 0..n {
-                if !halted[u] {
+            for (u, h) in halted.iter().enumerate() {
+                if !*h {
                     continue;
                 }
                 for v in 0..n {
-                    let m = &cur[v * n + u];
+                    let m = cur.get(v, u);
                     if !m.is_empty() {
                         self.stats.undelivered_messages += 1;
                         self.stats.undelivered_bits += m.len() as u64;
@@ -1141,15 +1276,19 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Step a single node and validate its outbox against the bandwidth bound.
-/// `prev` is the full sender-major matrix written last round; the node reads
-/// it through a transposed [`Inbox`] view.
+/// `prev` is the full slot slice written last round (the node reads it
+/// through a receiver-oriented inbox view); `cur` is the slot slice the
+/// caller owns for writing, with `row` the node's row index *relative to*
+/// that slice (the sequential driver passes the full buffer and `row == v`;
+/// pooled workers pass their carved chunk and a chunk-relative row).
 #[allow(clippy::too_many_arguments)]
-fn step_one<P: NodeProgram>(
+fn step_one<P: NodeProgram, B: DeliveryBuf>(
     prog: &mut P,
     ctx: &NodeCtx,
     round: usize,
-    prev: &[BitString],
-    sent_row: &mut [BitString],
+    prev: &[B::Slot],
+    cur: &mut [B::Slot],
+    row: usize,
     bandwidth: usize,
     broadcast_only: bool,
     topology: &[bool],
@@ -1159,18 +1298,21 @@ fn step_one<P: NodeProgram>(
 ) -> Result<(), SimError> {
     let n = ctx.n;
     let v = ctx.id.index();
-    let inbox = Inbox::transposed(prev, n, v);
-    let mut outbox = Outbox::new(sent_row, v);
-    // A panicking program becomes a structured error, not a torn-down pool:
-    // the engine (and its caller) must stay usable after a buggy algorithm.
-    let status = catch_unwind(AssertUnwindSafe(|| {
-        prog.step(ctx, round, &inbox, &mut outbox)
-    }))
-    .map_err(|payload| SimError::NodeProgramPanicked {
-        node: ctx.id,
-        round,
-        message: panic_message(payload),
-    })?;
+    let inbox = B::inbox(prev, n, v);
+    let status = {
+        let mut outbox = B::outbox(cur, n, row, v);
+        // A panicking program becomes a structured error, not a torn-down
+        // pool: the engine (and its caller) must stay usable after a buggy
+        // algorithm.
+        catch_unwind(AssertUnwindSafe(|| {
+            prog.step(ctx, round, &inbox, &mut outbox)
+        }))
+        .map_err(|payload| SimError::NodeProgramPanicked {
+            node: ctx.id,
+            round,
+            message: panic_message(payload),
+        })?
+    };
     match status {
         Status::Continue => {}
         Status::Halt(out) => {
@@ -1178,9 +1320,10 @@ fn step_one<P: NodeProgram>(
             *output = Some(out);
         }
     }
+    B::seal_row(cur, n, row);
     if !topology.is_empty() {
-        for (u, m) in sent_row.iter().enumerate() {
-            if !m.is_empty() && !topology[v * n + u] {
+        for (u, _m) in B::row_iter(cur, n, row, v) {
+            if !topology[v * n + u] {
                 return Err(SimError::TopologyViolated {
                     from: ctx.id,
                     to: NodeId::from(u),
@@ -1194,13 +1337,7 @@ fn step_one<P: NodeProgram>(
         // either addresses everyone or no one.
         let mut common: Option<&BitString> = None;
         let mut nonempty = 0;
-        for (u, m) in sent_row.iter().enumerate() {
-            if u == v {
-                continue;
-            }
-            if m.is_empty() {
-                continue;
-            }
+        for (_u, m) in B::row_iter(cur, n, row, v) {
             nonempty += 1;
             match common {
                 None => common = Some(m),
@@ -1220,10 +1357,7 @@ fn step_one<P: NodeProgram>(
             });
         }
     }
-    for (u, m) in sent_row.iter().enumerate() {
-        if m.is_empty() {
-            continue;
-        }
+    for (u, m) in B::row_iter(cur, n, row, v) {
         if m.len() > bandwidth {
             return Err(SimError::BandwidthExceeded {
                 from: ctx.id,
@@ -1241,14 +1375,14 @@ fn step_one<P: NodeProgram>(
 }
 
 /// Append this round's sends and receives to the transcripts of the nodes
-/// that were active when the round started. Both matrices are sender-major:
-/// this round node `v` received `prev[u*n + v]` from `u` and sent
-/// `cur[v*n + u]` to `u`.
+/// that were active when the round started. Both views are sender-major:
+/// this round node `v` received `prev.get(u, v)` from `u` and sent
+/// `cur.get(v, u)` to `u`.
 fn record_round(
     transcripts: &mut [Transcript],
     active: &[bool],
-    prev: &[BitString],
-    cur: &[BitString],
+    prev: &BufView<'_>,
+    cur: &BufView<'_>,
     n: usize,
 ) {
     for v in 0..n {
@@ -1257,11 +1391,11 @@ fn record_round(
         }
         let mut rt = RoundTranscript::default();
         for u in 0..n {
-            let got = &prev[u * n + v];
+            let got = prev.get(u, v);
             if !got.is_empty() {
                 rt.received.push((NodeId::from(u), got.clone()));
             }
-            let put = &cur[v * n + u];
+            let put = cur.get(v, u);
             if !put.is_empty() {
                 rt.sent.push((NodeId::from(u), put.clone()));
             }
@@ -1273,6 +1407,7 @@ fn record_round(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::node::{Inbox, Outbox};
 
     /// Every node broadcasts its id, collects everyone else's, outputs the sum.
     struct SumIds {
@@ -2156,5 +2291,192 @@ mod tests {
         assert!(out.stats.dropped_messages > 0, "both adversaries fired");
         assert!(!out.faults.is_empty());
         assert!(!out.byzantine.is_empty());
+    }
+
+    #[test]
+    fn sparse_and_dense_backends_are_bit_identical() {
+        use crate::byzantine::ByzantinePlan;
+        let n = 15;
+        let mk = || {
+            (0..n)
+                .map(|_| Staggered { received: 0 })
+                .collect::<Vec<_>>()
+        };
+        // Staggered halting + link faults + Byzantine rewrites on the same
+        // run is the adversarial worst case for the sparse override logic.
+        let faults = FaultPlan::new(2024)
+            .crash(NodeId(9), 3)
+            .drop_messages(0.2)
+            .corrupt_messages(0.1)
+            .truncate_messages(0.1);
+        let byz = ByzantinePlan::new(31)
+            .with_random_traitors(n, 3, &[])
+            .garble(0.5)
+            .replay(0.3)
+            .silence(0.2);
+        let run = |mode: DeliveryMode, threads: usize| {
+            Engine::new(n)
+                .with_bandwidth(8)
+                .with_threads_exact(threads)
+                .with_transcripts(true)
+                .with_fault_plan(faults.clone())
+                .with_byzantine_plan(byz.clone())
+                .with_delivery(mode)
+                .run_byzantine(mk())
+                .unwrap()
+        };
+        let base = run(DeliveryMode::Dense, 1);
+        assert!(base.stats.dropped_messages > 0, "faults fired");
+        assert!(!base.byzantine.is_empty(), "rewrites fired");
+        for mode in [
+            DeliveryMode::Dense,
+            DeliveryMode::Sparse,
+            DeliveryMode::Auto,
+        ] {
+            for threads in [1usize, 4, 7] {
+                let other = run(mode, threads);
+                let tag = mode.tag();
+                assert_eq!(base.outputs, other.outputs, "{tag}/{threads}");
+                assert_eq!(base.stats, other.stats, "{tag}/{threads}");
+                assert_eq!(base.transcripts, other.transcripts, "{tag}/{threads}");
+                assert_eq!(base.faults, other.faults, "{tag}/{threads}");
+                assert_eq!(base.byzantine, other.byzantine, "{tag}/{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_delivery_resolution_follows_the_density_heuristic() {
+        let n = 16;
+        // Unrestricted clique: every pair may exchange messages — dense.
+        assert_eq!(Engine::new(n).resolved_delivery(), DeliveryMode::Dense);
+        // Broadcast-only runs carry one payload per sender — sparse.
+        assert_eq!(
+            Engine::new(n).broadcast_only(true).resolved_delivery(),
+            DeliveryMode::Sparse
+        );
+        // A ring keeps 2 of n-1 potential edges per node — sparse.
+        let mut ring = vec![false; n * n];
+        for v in 0..n {
+            ring[v * n + (v + 1) % n] = true;
+            ring[v * n + (v + n - 1) % n] = true;
+        }
+        assert_eq!(
+            Engine::new(n).with_topology(ring).resolved_delivery(),
+            DeliveryMode::Sparse
+        );
+        // A crash-heavy fault plan empties half the rows — sparse.
+        let mut plan = FaultPlan::new(0);
+        for v in 0..n / 2 {
+            plan = plan.crash(NodeId::from(v), 1);
+        }
+        assert_eq!(
+            Engine::new(n).with_fault_plan(plan).resolved_delivery(),
+            DeliveryMode::Sparse
+        );
+        // Explicit modes always win over the heuristic.
+        assert_eq!(
+            Engine::new(n)
+                .broadcast_only(true)
+                .with_delivery(DeliveryMode::Dense)
+                .resolved_delivery(),
+            DeliveryMode::Dense
+        );
+    }
+
+    #[test]
+    fn arena_reuse_leaves_run_stats_untouched() {
+        // RunStats counts logical messages, so a warm arena (whatever
+        // capacity the previous run left behind) must report exactly what a
+        // cold one does — on both backends.
+        let n = 9;
+        let mk = || {
+            (0..n)
+                .map(|_| Staggered { received: 0 })
+                .collect::<Vec<_>>()
+        };
+        for mode in [DeliveryMode::Dense, DeliveryMode::Sparse] {
+            let engine = Engine::new(n)
+                .with_bandwidth(8)
+                .with_transcripts(true)
+                .with_delivery(mode);
+            let cold = engine.run(mk()).unwrap();
+            let mut arena = DeliveryArena::new();
+            let first = engine.run_in(mk(), &mut arena).unwrap();
+            assert!(arena.slot_footprint() > 0, "arena retained the buffers");
+            let warm = engine.run_in(mk(), &mut arena).unwrap();
+            let tag = mode.tag();
+            assert_eq!(cold.outputs, warm.outputs, "{tag}");
+            assert_eq!(cold.stats, first.stats, "{tag}");
+            assert_eq!(cold.stats, warm.stats, "{tag}");
+            assert_eq!(cold.transcripts, warm.transcripts, "{tag}");
+        }
+    }
+
+    #[test]
+    fn wrong_program_count_is_rejected_before_buffers_are_allocated() {
+        // n = 2²¹ would need 2·n² ≈ 8.8e12 message slots; this only passes
+        // (quickly, without OOM) because validation precedes the checkout.
+        let n = 1 << 21;
+        let err = Engine::new(n).run(vec![Silent, Silent]).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::WrongProgramCount {
+                expected: n,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn sparse_backend_still_enforces_the_model() {
+        // Broadcast violations...
+        let err = Engine::new(5)
+            .broadcast_only(true)
+            .with_delivery(DeliveryMode::Sparse)
+            .run((0..5).map(|_| Unicaster).collect::<Vec<_>>())
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::BroadcastViolated { .. }),
+            "got {err:?}"
+        );
+        // ...bandwidth violations...
+        let err = Engine::new(4)
+            .with_bandwidth(2)
+            .with_delivery(DeliveryMode::Sparse)
+            .run(vec![TooWide, TooWide, TooWide, TooWide])
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::BandwidthExceeded { .. }),
+            "got {err:?}"
+        );
+        // ...and round limits are all detected behind the sparse buffer.
+        let err = Engine::new(4)
+            .with_max_rounds(3)
+            .with_delivery(DeliveryMode::Sparse)
+            .run(vec![Forever, Forever, Forever, Forever])
+            .unwrap_err();
+        assert_eq!(err, SimError::RoundLimit { limit: 3 });
+    }
+
+    #[test]
+    fn sparse_broadcast_footprint_is_linear_in_n() {
+        let n = 256;
+        let run = |mode: DeliveryMode| {
+            let mut arena = DeliveryArena::new();
+            Engine::new(n)
+                .with_delivery(mode)
+                .run_in(sum_ids(n), &mut arena)
+                .unwrap();
+            arena.slot_footprint()
+        };
+        let dense = run(DeliveryMode::Dense);
+        let sparse = run(DeliveryMode::Sparse);
+        assert_eq!(dense, 2 * n * n);
+        // One broadcast payload per sender per buffer; no overrides.
+        assert!(
+            sparse <= 4 * n,
+            "sparse footprint {sparse} should be O(n), not O(n²)"
+        );
     }
 }

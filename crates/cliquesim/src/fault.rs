@@ -56,6 +56,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use crate::bits::BitString;
+use crate::delivery::{BufView, BufViewMut};
 use crate::node::NodeId;
 use crate::stats::RunStats;
 
@@ -253,25 +254,25 @@ impl FaultPlan {
         &self,
         round: usize,
         halted: &mut [bool],
-        inbound: &[BitString],
-        n: usize,
+        inbound: &BufView<'_>,
         report: &mut FaultReport,
     ) {
         if self.crashes.is_empty() {
             return;
         }
-        for v in 0..n {
-            if halted[v] || self.crash_round(NodeId::from(v)) != Some(round) {
+        let n = inbound.n();
+        for (v, h) in halted.iter_mut().enumerate() {
+            if *h || self.crash_round(NodeId::from(v)) != Some(round) {
                 continue;
             }
-            halted[v] = true;
+            *h = true;
             let mut lost_messages = 0u64;
             let mut lost_bits = 0u64;
             for u in 0..n {
                 if u == v {
                     continue;
                 }
-                let m = &inbound[u * n + v];
+                let m = inbound.get(u, v);
                 if !m.is_empty() {
                     lost_messages += 1;
                     lost_bits += m.len() as u64;
@@ -286,31 +287,21 @@ impl FaultPlan {
         }
     }
 
-    /// Apply link faults to the matrix written in `round` (it will be read
+    /// Apply link faults to the buffer written in `round` (it will be read
     /// next round). Sweep order is sender-major and decisions are keyed per
     /// `(seed, round, from, to)`, so the result is independent of pool
-    /// shape.
+    /// shape *and* of delivery backend.
     pub(crate) fn apply_link_faults(
         &self,
         round: usize,
-        matrix: &mut [BitString],
-        n: usize,
+        cur: &mut BufViewMut<'_>,
         report: &mut FaultReport,
     ) {
         if !self.has_link_faults() {
             return;
         }
-        for v in 0..n {
-            for u in 0..n {
-                if u == v {
-                    continue;
-                }
-                let m = &mut matrix[v * n + u];
-                if m.is_empty() {
-                    continue;
-                }
-                self.fault_one(round, v, u, m, report);
-            }
+        for v in 0..cur.n() {
+            cur.for_each_msg_mut(v, |u, m| self.fault_one(round, v, u, m, report));
         }
     }
 
@@ -609,8 +600,8 @@ mod tests {
         let mut b = mk_matrix();
         let mut ra = FaultReport::default();
         let mut rb = FaultReport::default();
-        plan.apply_link_faults(3, &mut a, n, &mut ra);
-        plan.apply_link_faults(3, &mut b, n, &mut rb);
+        plan.apply_link_faults(3, &mut BufViewMut::dense(&mut a, n), &mut ra);
+        plan.apply_link_faults(3, &mut BufViewMut::dense(&mut b, n), &mut rb);
         assert_eq!(a, b);
         assert_eq!(ra, rb);
         // With p = 0.5 over 30 messages, both outcomes occur.
@@ -630,7 +621,7 @@ mod tests {
         m[2] = BitString::from_bits([true, true, true]); // 0 → 2
         m[n] = BitString::from_bits([true, true, true]); // 1 → 0
         let mut report = FaultReport::default();
-        plan.apply_link_faults(1, &mut m, n, &mut report);
+        plan.apply_link_faults(1, &mut BufViewMut::dense(&mut m, n), &mut report);
         assert_eq!(
             m[1],
             BitString::from_bits([false, true, true]),
@@ -642,7 +633,7 @@ mod tests {
         let mut m2 = vec![BitString::new(); n * n];
         m2[1] = BitString::from_bits([true]);
         let mut r2 = FaultReport::default();
-        plan.apply_link_faults(0, &mut m2, n, &mut r2);
+        plan.apply_link_faults(0, &mut BufViewMut::dense(&mut m2, n), &mut r2);
         assert!(r2.is_empty());
         assert_eq!(m2[1].len(), 1);
     }
@@ -655,7 +646,7 @@ mod tests {
         let mut inbound = vec![BitString::new(); n * n];
         inbound[1] = BitString::from_bits([true, true]); // 0 → 1, never read
         let mut report = FaultReport::default();
-        plan.apply_crashes(4, &mut halted, &inbound, n, &mut report);
+        plan.apply_crashes(4, &mut halted, &BufView::dense(&inbound, n), &mut report);
         assert!(halted[1]);
         assert_eq!(
             report.events,
@@ -668,7 +659,7 @@ mod tests {
         );
         // Already-halted nodes are not crashed again.
         let mut r2 = FaultReport::default();
-        plan.apply_crashes(4, &mut halted, &inbound, n, &mut r2);
+        plan.apply_crashes(4, &mut halted, &BufView::dense(&inbound, n), &mut r2);
         assert!(r2.is_empty());
     }
 
@@ -724,7 +715,7 @@ mod tests {
         m[1] = BitString::from_bits([true, false, true, false]);
         let before = m[1].clone();
         let mut report = FaultReport::default();
-        plan.apply_link_faults(0, &mut m, n, &mut report);
+        plan.apply_link_faults(0, &mut BufViewMut::dense(&mut m, n), &mut report);
         assert_eq!(m[1].len(), before.len());
         assert_ne!(m[1], before, "exactly one bit differs");
         let differing = before
@@ -738,7 +729,7 @@ mod tests {
         let mut m = vec![BitString::new(); n * n];
         m[1] = BitString::from_bits([true, false, true, false]);
         let mut report = FaultReport::default();
-        plan.apply_link_faults(0, &mut m, n, &mut report);
+        plan.apply_link_faults(0, &mut BufViewMut::dense(&mut m, n), &mut report);
         assert!(m[1].len() < 4, "strict prefix");
     }
 }

@@ -59,6 +59,7 @@
 
 pub mod bits;
 pub mod byzantine;
+pub mod delivery;
 pub mod engine;
 pub mod fault;
 pub mod node;
@@ -68,6 +69,7 @@ pub mod transcript;
 
 pub use bits::{BitReader, BitString, DecodeError};
 pub use byzantine::{ByzantineEvent, ByzantinePlan, ByzantineReport, ForcedLie, Lie};
+pub use delivery::{DeliveryArena, DeliveryMode};
 pub use engine::{ByzantineOutcome, Engine, FaultedOutcome, RunOutcome, SimError};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultReport, ForcedFault};
 pub use node::{Inbox, NodeCtx, NodeId, NodeProgram, Outbox, Status};

@@ -6,7 +6,8 @@
 //! unlimited local computation, and fills its [`Outbox`] (at most one
 //! bandwidth-bounded message per other node).
 
-use crate::bits::BitString;
+use crate::bits::{BitString, EMPTY};
+use crate::delivery::SparseRow;
 
 /// Identity of a node. The paper numbers nodes `1..=n`; internally we use
 /// `0..n` and expose [`NodeId::display`] for one-based reporting.
@@ -111,18 +112,29 @@ impl<T: NodeProgram + ?Sized> NodeProgram for Box<T> {
 /// Messages received by one node in one round.
 ///
 /// Logically, slot `u` holds the message from node `u`; an empty
-/// [`BitString`] means node `u` sent nothing. Physically the slots are a
-/// *strided view*: the message from `u` lives at `slots[u * stride +
-/// offset]`. The engine hands out views directly into its sender-major
-/// delivery buffer (`stride = n`, `offset = me`), so delivery is a buffer
-/// swap instead of an O(n²) transpose; standalone harnesses use the dense
-/// layout (`stride = 1`, `offset = 0`) via [`Inbox::from_slots`].
+/// [`BitString`] means node `u` sent nothing. Physically the inbox is a view
+/// into whichever delivery backend the engine is running: a *strided view*
+/// into the dense sender-major matrix (the message from `u` lives at
+/// `slots[u * stride + offset]`), or a lookup into the sparse backend's
+/// compacted per-sender rows. Either way delivery is a buffer swap, never an
+/// O(n²) transpose. Standalone harnesses use the flat layout (`stride = 1`,
+/// `offset = 0`) via [`Inbox::from_slots`].
 pub struct Inbox<'a> {
-    pub(crate) slots: &'a [BitString],
-    pub(crate) stride: usize,
-    pub(crate) offset: usize,
-    pub(crate) n: usize,
-    pub(crate) me: usize,
+    inner: InboxInner<'a>,
+    n: usize,
+    me: usize,
+}
+
+/// Backend-specific storage behind an [`Inbox`].
+enum InboxInner<'a> {
+    /// Strided view into a flat slice of message slots.
+    Slots {
+        slots: &'a [BitString],
+        stride: usize,
+        offset: usize,
+    },
+    /// Sealed per-sender rows of the sparse backend.
+    Sparse { rows: &'a [SparseRow] },
 }
 
 impl<'a> Inbox<'a> {
@@ -133,9 +145,11 @@ impl<'a> Inbox<'a> {
     /// transcript replay of Theorem 3's normal form.
     pub fn from_slots(slots: &'a [BitString], me: usize) -> Self {
         Self {
-            slots,
-            stride: 1,
-            offset: 0,
+            inner: InboxInner::Slots {
+                slots,
+                stride: 1,
+                offset: 0,
+            },
             n: slots.len(),
             me,
         }
@@ -146,9 +160,21 @@ impl<'a> Inbox<'a> {
     pub(crate) fn transposed(matrix: &'a [BitString], n: usize, me: usize) -> Self {
         debug_assert_eq!(matrix.len(), n * n);
         Self {
-            slots: matrix,
-            stride: n,
-            offset: me,
+            inner: InboxInner::Slots {
+                slots: matrix,
+                stride: n,
+                offset: me,
+            },
+            n,
+            me,
+        }
+    }
+
+    /// Build a view into the sparse backend's sealed per-sender rows.
+    pub(crate) fn sparse(rows: &'a [SparseRow], n: usize, me: usize) -> Self {
+        debug_assert_eq!(rows.len(), n);
+        Self {
+            inner: InboxInner::Sparse { rows },
             n,
             me,
         }
@@ -157,15 +183,33 @@ impl<'a> Inbox<'a> {
     /// The message from node `from` (empty if none). A node never receives
     /// from itself; that slot is always empty.
     pub fn from(&self, from: NodeId) -> &'a BitString {
-        &self.slots[from.index() * self.stride + self.offset]
+        match &self.inner {
+            InboxInner::Slots {
+                slots,
+                stride,
+                offset,
+            } => {
+                let slots: &'a [BitString] = slots;
+                &slots[from.index() * stride + offset]
+            }
+            InboxInner::Sparse { rows } => {
+                let rows: &'a [SparseRow] = rows;
+                if from.index() == self.me {
+                    &EMPTY
+                } else {
+                    rows[from.index()].get(self.me)
+                }
+            }
+        }
     }
 
     /// Iterate over `(sender, message)` for all non-empty messages.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &'a BitString)> + '_ {
         let me = self.me;
         (0..self.n)
-            .map(move |u| (u, &self.slots[u * self.stride + self.offset]))
-            .filter(move |(u, m)| *u != me && !m.is_empty())
+            .filter(move |u| *u != me)
+            .map(move |u| (u, self.from(NodeId::from(u))))
+            .filter(|(_, m)| !m.is_empty())
             .map(|(u, m)| (NodeId::from(u), m))
     }
 
@@ -178,11 +222,21 @@ impl<'a> Inbox<'a> {
 /// Messages sent by one node in one round: at most one per other node, each
 /// at most `bandwidth` bits (the engine enforces the bound on delivery).
 ///
-/// Borrows its slot row from the engine's send buffer so that node steps can
-/// run in parallel without per-round allocation.
+/// Borrows its slot row (or compacted sparse row) from the engine's send
+/// buffer so that node steps can run in parallel without per-round
+/// allocation.
 pub struct Outbox<'a> {
-    pub(crate) slots: &'a mut [BitString],
-    pub(crate) me: usize,
+    inner: OutboxInner<'a>,
+    n: usize,
+    me: usize,
+}
+
+/// Backend-specific storage behind an [`Outbox`].
+enum OutboxInner<'a> {
+    /// One flat slot per recipient (dense backend and harnesses).
+    Slots { slots: &'a mut [BitString] },
+    /// The sender's compacted row in the sparse backend.
+    Sparse { row: &'a mut SparseRow },
 }
 
 impl<'a> Outbox<'a> {
@@ -192,12 +246,26 @@ impl<'a> Outbox<'a> {
     /// [`Inbox::from_slots`]; inside the engine the slots are rows of its
     /// send buffer.
     pub fn new(slots: &'a mut [BitString], me: usize) -> Self {
-        Self { slots, me }
+        let n = slots.len();
+        Self {
+            inner: OutboxInner::Slots { slots },
+            n,
+            me,
+        }
+    }
+
+    /// Build an outbox over a cleared sparse-backend row.
+    pub(crate) fn sparse(row: &'a mut SparseRow, n: usize, me: usize) -> Self {
+        Self {
+            inner: OutboxInner::Sparse { row },
+            n,
+            me,
+        }
     }
 
     /// Queue `msg` for delivery to `to` next round. Replaces any message
-    /// already queued for `to` this round. Sending to oneself is a
-    /// programming error.
+    /// already queued for `to` this round. Sending to oneself or to a node
+    /// outside the clique is a programming error.
     pub fn send(&mut self, to: NodeId, msg: BitString) {
         assert_ne!(
             to.index(),
@@ -205,22 +273,36 @@ impl<'a> Outbox<'a> {
             "node {} attempted to send to itself",
             self.me
         );
-        self.slots[to.index()] = msg;
+        assert!(
+            to.index() < self.n,
+            "node {} attempted to send to nonexistent node {}",
+            self.me,
+            to.index()
+        );
+        match &mut self.inner {
+            OutboxInner::Slots { slots } => slots[to.index()] = msg,
+            OutboxInner::Sparse { row } => row.send(to.0, msg),
+        }
     }
 
     /// Send the same message to every other node (the broadcast primitive;
     /// costs the same as n-1 unicasts in this model).
     pub fn broadcast(&mut self, msg: &BitString) {
-        for u in 0..self.slots.len() {
-            if u != self.me {
-                self.slots[u] = msg.clone();
+        match &mut self.inner {
+            OutboxInner::Slots { slots } => {
+                for (u, slot) in slots.iter_mut().enumerate() {
+                    if u != self.me {
+                        slot.copy_from(msg);
+                    }
+                }
             }
+            OutboxInner::Sparse { row } => row.set_broadcast(msg),
         }
     }
 
     /// The number of destination slots (= n).
     pub fn n(&self) -> usize {
-        self.slots.len()
+        self.n
     }
 }
 
@@ -238,16 +320,51 @@ mod tests {
     #[test]
     fn outbox_send_and_broadcast() {
         let mut slots = vec![BitString::new(); 4];
-        let mut ob = Outbox::new(&mut slots, 1);
         let m = BitString::from_bits([true]);
-        ob.send(NodeId(0), m.clone());
-        assert_eq!(ob.slots[0], m);
-        assert!(ob.slots[2].is_empty());
-        ob.broadcast(&m);
-        for u in [0usize, 2, 3] {
-            assert_eq!(ob.slots[u], m);
+        {
+            let mut ob = Outbox::new(&mut slots, 1);
+            ob.send(NodeId(0), m.clone());
         }
-        assert!(ob.slots[1].is_empty(), "broadcast must skip self");
+        assert_eq!(slots[0], m);
+        assert!(slots[2].is_empty());
+        {
+            let mut ob = Outbox::new(&mut slots, 1);
+            ob.broadcast(&m);
+        }
+        for u in [0usize, 2, 3] {
+            assert_eq!(slots[u], m);
+        }
+        assert!(slots[1].is_empty(), "broadcast must skip self");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent node")]
+    fn outbox_rejects_out_of_range_send() {
+        let mut slots = vec![BitString::new(); 3];
+        let mut ob = Outbox::new(&mut slots, 0);
+        ob.send(NodeId(7), BitString::new());
+    }
+
+    #[test]
+    fn sparse_outbox_and_inbox_round_trip() {
+        let n = 4;
+        let mut rows: Vec<SparseRow> = (0..n).map(|_| SparseRow::default()).collect();
+        {
+            let mut ob = Outbox::sparse(&mut rows[1], n, 1);
+            assert_eq!(ob.n(), n);
+            ob.broadcast(&BitString::from_bits([true, false]));
+            ob.send(NodeId(3), BitString::from_bits([false]));
+        }
+        for r in &mut rows {
+            r.seal();
+        }
+        let ib = Inbox::sparse(&rows, n, 3);
+        assert_eq!(ib.from(NodeId(1)), &BitString::from_bits([false]));
+        assert!(ib.from(NodeId(3)).is_empty(), "self slot is empty");
+        let ib0 = Inbox::sparse(&rows, n, 0);
+        assert_eq!(ib0.from(NodeId(1)), &BitString::from_bits([true, false]));
+        let got: Vec<_> = ib0.iter().map(|(u, m)| (u.index(), m.len())).collect();
+        assert_eq!(got, vec![(1, 2)]);
     }
 
     #[test]

@@ -12,14 +12,20 @@
 //! outputs (plus globally known parameters). Every algorithm crate in this
 //! workspace follows that rule.
 
+use crate::delivery::DeliveryArena;
 use crate::engine::{ByzantineOutcome, Engine, FaultedOutcome, RunOutcome, SimError};
 use crate::node::NodeProgram;
 use crate::stats::RunStats;
 
 /// An engine plus cumulative statistics across phase runs.
+///
+/// The session also owns a [`DeliveryArena`]: delivery buffers checked out
+/// for one phase are returned and reused by the next, so steady-state phases
+/// allocate no message slots at all.
 #[derive(Debug)]
 pub struct Session {
     engine: Engine,
+    arena: DeliveryArena,
     stats: RunStats,
     phases: usize,
 }
@@ -29,6 +35,7 @@ impl Session {
     pub fn new(engine: Engine) -> Self {
         Self {
             engine,
+            arena: DeliveryArena::new(),
             stats: RunStats::default(),
             phases: 0,
         }
@@ -54,7 +61,7 @@ impl Session {
         &mut self,
         programs: Vec<P>,
     ) -> Result<RunOutcome<P::Output>, SimError> {
-        let out = self.engine.run(programs)?;
+        let out = self.engine.run_in(programs, &mut self.arena)?;
         self.stats.absorb(&out.stats);
         self.phases += 1;
         Ok(out)
@@ -68,7 +75,7 @@ impl Session {
         &mut self,
         programs: Vec<P>,
     ) -> Result<FaultedOutcome<P::Output>, SimError> {
-        let out = self.engine.run_faulted(programs)?;
+        let out = self.engine.run_faulted_in(programs, &mut self.arena)?;
         self.stats.absorb(&out.stats);
         self.phases += 1;
         Ok(out)
@@ -83,7 +90,7 @@ impl Session {
         &mut self,
         programs: Vec<P>,
     ) -> Result<ByzantineOutcome<P::Output>, SimError> {
-        let out = self.engine.run_byzantine(programs)?;
+        let out = self.engine.run_byzantine_in(programs, &mut self.arena)?;
         self.stats.absorb(&out.stats);
         self.phases += 1;
         Ok(out)
@@ -98,6 +105,15 @@ impl Session {
     /// Number of phases executed.
     pub fn phases(&self) -> usize {
         self.phases
+    }
+
+    /// Total message slots currently parked in the session's delivery
+    /// arena (both double-buffer halves). For the dense backend this is
+    /// `2·n²` regardless of traffic; for the sparse backend it scales with
+    /// the edges actually used, so it doubles as a footprint probe in tests
+    /// and benchmarks.
+    pub fn delivery_footprint(&self) -> usize {
+        self.arena.slot_footprint()
     }
 
     /// Add rounds charged by an analytical sub-protocol (used when a phase's
@@ -157,6 +173,26 @@ mod tests {
         assert!(out.outputs[3].is_none());
         assert_eq!(s.stats().dead_nodes, 1);
         assert_eq!(s.phases(), 1);
+    }
+
+    #[test]
+    fn session_parks_delivery_buffers_between_phases() {
+        use crate::delivery::DeliveryMode;
+        // Dense arena: exactly 2·n² slots, stable across phases.
+        let mut s = Session::new(Engine::new(4).with_delivery(DeliveryMode::Dense));
+        assert_eq!(s.delivery_footprint(), 0, "nothing parked before a run");
+        s.run((0..4).map(|_| OneRound).collect()).unwrap();
+        assert_eq!(s.delivery_footprint(), 2 * 4 * 4);
+        s.run((0..4).map(|_| OneRound).collect()).unwrap();
+        assert_eq!(s.delivery_footprint(), 2 * 4 * 4);
+        // Sparse arena: one row header per sender per buffer plus the
+        // overrides that were actually sent.
+        let mut s = Session::new(Engine::new(4).with_delivery(DeliveryMode::Sparse));
+        s.run((0..4).map(|_| OneRound).collect()).unwrap();
+        let footprint = s.delivery_footprint();
+        assert!(footprint > 0 && footprint < 2 * 4 * 4, "got {footprint}");
+        s.run((0..4).map(|_| OneRound).collect()).unwrap();
+        assert_eq!(s.delivery_footprint(), footprint, "reuse is steady-state");
     }
 
     #[test]

@@ -14,6 +14,14 @@
 //! round or earlier are therefore still charged; the `undelivered_*` fields
 //! break out exactly that subset so experiments can distinguish useful from
 //! wasted bandwidth.
+//!
+//! Every counter is **logical**: it measures messages and payload bits as
+//! the model sees them, never the delivery buffers behind them. In
+//! particular `peak_live_payload_bytes` tracks payload bits live on the
+//! wire, not slot capacity, so a run on a warm, reused
+//! [`crate::DeliveryArena`] (whatever capacity earlier runs left parked)
+//! reports byte-identical stats to a run on a cold one, on either delivery
+//! backend — pinned by the engine's arena-reuse regression test.
 
 /// Totals for one run (or one session of composed runs).
 ///
