@@ -1,0 +1,71 @@
+//! `cc-service`: a multi-tenant session service for congested-clique
+//! simulation fleets.
+//!
+//! The engine (PR 1–6) made one simulation fast, deterministic, and
+//! adversary-aware. This crate makes *many* simulations a first-class
+//! workload: a [`Batch`] of seed-addressed jobs — each an
+//! [`EngineSpec`] (clique size, pool shape, delivery backend, optional
+//! fault/Byzantine plans) plus a deterministic job function — is resolved
+//! into a dependency DAG and executed across a shared work-stealing
+//! worker pool ([`Service`]), with per-tenant round-robin fairness, warm
+//! per-worker delivery arenas, cooperative cancellation, and a bounded
+//! outcome window streaming [`JobOutcome`]s back as they finish.
+//!
+//! # The serial oracle
+//!
+//! Scheduling must not be able to change results. The reference semantics
+//! of a batch is [`Batch::run_serial`] — the same jobs on one thread, in
+//! the deterministic topological order — and the test suite's central
+//! property is that a [`Service`] of *any* width produces outcomes
+//! **byte-identical** to that oracle (same output bytes, same error
+//! strings, same skip witnesses, same [`cliquesim::RunStats`]). This is
+//! the same differential discipline `cc-testkit` applies to pool shapes
+//! and delivery backends, lifted to fleet scheduling.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cc_service::{Batch, EngineSpec, JobSpec, Service, TenantId};
+//!
+//! let mut batch = Batch::new();
+//! let probe = batch.push(JobSpec::new(
+//!     TenantId(0),
+//!     "probe[n=4]@auto",
+//!     EngineSpec::new(4),
+//!     Arc::new(|session, _deps| {
+//!         // Drive any cliquesim phases here; return bytes.
+//!         Ok(session.n().to_le_bytes().to_vec())
+//!     }),
+//! ));
+//! // A dependent job sees the probe's bytes, in declaration order.
+//! batch.push(
+//!     JobSpec::new(
+//!         TenantId(1),
+//!         "echo",
+//!         EngineSpec::new(4),
+//!         Arc::new(|_session, deps| Ok(deps[0].to_vec())),
+//!     )
+//!     .after(probe),
+//! );
+//!
+//! let service = Service::new(4);
+//! let outcomes = service.submit(batch).unwrap().join();
+//! assert!(outcomes.iter().all(|o| o.status.is_success()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod job;
+mod scheduler;
+mod service;
+mod worker;
+
+pub use batch::{Batch, BatchError};
+pub use job::{
+    DepOutputs, EngineSpec, JobFailure, JobFn, JobId, JobOutcome, JobSpec, JobStatus, TenantId,
+};
+pub use service::{BatchHandle, Service};
+pub use worker::ArenaPool;

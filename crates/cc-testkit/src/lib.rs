@@ -32,6 +32,12 @@
 //!   [`byzantine::equivocation_witness`] checker that exhibits a single
 //!   traitor forging per-link majorities, and `proptest` strategies for
 //!   `f < n/3` traitor sets.
+//! * [`fleet`] — fleet differentials for `cc-service`: pure-data
+//!   [`fleet::FleetJob`] descriptors (instance × workload × engine shape ×
+//!   seed-addressed adversary × DAG edges), a serial-oracle comparison
+//!   runner ([`assert_fleet_matches_serial`]) requiring byte-identical
+//!   outcomes at every scheduler width, and `proptest` strategies over
+//!   whole fleets.
 //! * [`routing`] — routed-payload oracles for `cc-routing`'s fault-aware
 //!   planning layer: seed-addressed [`routing::RouteFaultCase`]s with
 //!   replayable `route-fault[…]` labels, a survivor-delivery judge, and
@@ -56,6 +62,7 @@ pub mod byzantine;
 pub mod certificates;
 pub mod differential;
 pub mod faults;
+pub mod fleet;
 pub mod instances;
 pub mod oracle;
 pub mod routing;
@@ -72,6 +79,7 @@ pub use differential::{
     ring_topology, BACKENDS, POOL_SHAPES,
 };
 pub use faults::{assert_empty_plan_transparent, differential_faulted, FaultedRun};
+pub use fleet::{assert_fleet_matches_serial, fleet_batch, Adversary, FleetJob, Workload};
 pub use instances::{corpus, weighted_corpus, Family, Instance, WeightedFamily, WeightedInstance};
 pub use routing::{
     assert_empty_crash_transparent, differential_route_balanced_faulted,

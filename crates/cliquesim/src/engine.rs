@@ -110,6 +110,14 @@ pub enum SimError {
         /// Round at whose start it stopped participating.
         round: usize,
     },
+    /// The run was aborted through the cooperative cancellation flag set
+    /// with [`Engine::with_cancel`] (e.g. a batch service tearing down its
+    /// in-flight jobs). Checked at round boundaries, like
+    /// [`SimError::DeadlineExceeded`].
+    Cancelled {
+        /// Round after which the cancellation was observed.
+        round: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -156,6 +164,9 @@ impl fmt::Display for SimError {
                  use run_faulted to observe partial outputs",
                 node.display()
             ),
+            SimError::Cancelled { round } => {
+                write!(f, "run cancelled cooperatively after round {round}")
+            }
         }
     }
 }
@@ -304,6 +315,9 @@ pub struct Engine {
     byzantine_plan: Option<Arc<ByzantinePlan>>,
     /// Wall-clock budget for a whole run, checked at round boundaries.
     deadline: Option<Duration>,
+    /// Cooperative cancellation flag, checked at round boundaries; shared
+    /// with whoever may want to abort the run (see [`Engine::with_cancel`]).
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 /// Default cap on rounds; generous enough for every algorithm in this
@@ -329,6 +343,7 @@ impl Engine {
             fault_plan: None,
             byzantine_plan: None,
             deadline: None,
+            cancel: None,
         }
     }
 
@@ -431,6 +446,18 @@ impl Engine {
     /// bounds rounds rather than time.
     pub fn with_deadline(mut self, limit: Duration) -> Self {
         self.deadline = Some(limit);
+        self
+    }
+
+    /// Share a cooperative cancellation flag with the run: once any holder
+    /// stores `true`, the run aborts with [`SimError::Cancelled`] at the
+    /// next round boundary. This is the hook a multi-run host (e.g. the
+    /// `cc-service` batch scheduler) uses to tear down in-flight
+    /// simulations without killing the worker thread they run on. The
+    /// check sits next to the [`Engine::with_deadline`] watchdog, so
+    /// granularity is one round's step phase.
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
         self
     }
 
@@ -826,6 +853,11 @@ impl Engine {
                             return Err(SimError::DeadlineExceeded { limit });
                         }
                     }
+                    if let Some(flag) = &self.cancel {
+                        if flag.load(Ordering::Relaxed) {
+                            return Err(SimError::Cancelled { round });
+                        }
+                    }
                     round += 1;
                 }
                 Verdict::Done => return Ok(()),
@@ -1041,6 +1073,12 @@ impl Engine {
                             if start.elapsed() >= limit {
                                 shutdown(ctrl);
                                 return Err(SimError::DeadlineExceeded { limit });
+                            }
+                        }
+                        if let Some(flag) = &self.cancel {
+                            if flag.load(Ordering::Relaxed) {
+                                shutdown(ctrl);
+                                return Err(SimError::Cancelled { round });
                             }
                         }
                         round += 1;
@@ -1870,6 +1908,40 @@ mod tests {
             .with_deadline(Duration::from_secs(60))
             .run(sum_ids(8))
             .unwrap();
+    }
+
+    #[test]
+    fn cancel_flag_aborts_at_the_next_round_boundary() {
+        for threads in [1usize, 4] {
+            // Pre-set flag: the run aborts after its very first round.
+            let flag = Arc::new(AtomicBool::new(true));
+            let err = Engine::new(8)
+                .with_threads_exact(threads)
+                .with_cancel(Arc::clone(&flag))
+                .run((0..8).map(|_| Sleeper).collect::<Vec<_>>())
+                .unwrap_err();
+            assert_eq!(err, SimError::Cancelled { round: 0 }, "threads={threads}");
+        }
+        // An unset flag is transparent: the run completes normally.
+        let flag = Arc::new(AtomicBool::new(false));
+        let out = Engine::new(8).with_cancel(flag).run(sum_ids(8)).unwrap();
+        assert_eq!(out.stats.rounds, 1);
+    }
+
+    #[test]
+    fn cancel_flag_set_from_another_thread_stops_a_running_sim() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let trigger = Arc::clone(&flag);
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            trigger.store(true, Ordering::Relaxed);
+        });
+        let err = Engine::new(8)
+            .with_cancel(flag)
+            .run((0..8).map(|_| Sleeper).collect::<Vec<_>>())
+            .unwrap_err();
+        killer.join().unwrap();
+        assert!(matches!(err, SimError::Cancelled { .. }), "got {err:?}");
     }
 
     #[test]

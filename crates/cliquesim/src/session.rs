@@ -33,12 +33,31 @@ pub struct Session {
 impl Session {
     /// Start a session on the given engine.
     pub fn new(engine: Engine) -> Self {
+        Self::with_arena(engine, DeliveryArena::new())
+    }
+
+    /// Start a session on the given engine, checking delivery buffers out
+    /// of a caller-supplied arena instead of a fresh one. This is the
+    /// service-friendly entry point: a host that runs many short sessions
+    /// back to back (e.g. a `cc-service` worker) keeps one warm arena per
+    /// worker and threads it through successive sessions, so only the
+    /// first session of a given shape allocates message slots. Reclaim the
+    /// arena afterwards with [`Session::into_arena`].
+    pub fn with_arena(engine: Engine, arena: DeliveryArena) -> Self {
         Self {
             engine,
-            arena: DeliveryArena::new(),
+            arena,
             stats: RunStats::default(),
             phases: 0,
         }
+    }
+
+    /// Consume the session and hand back its arena (with whatever buffers
+    /// the session's runs parked in it), so the next session can reuse the
+    /// allocations. Statistics are unaffected by reuse — see
+    /// [`crate::RunStats`]'s logical-counter contract.
+    pub fn into_arena(self) -> DeliveryArena {
+        self.arena
     }
 
     /// Number of nodes in the clique.
@@ -193,6 +212,23 @@ mod tests {
         assert!(footprint > 0 && footprint < 2 * 4 * 4, "got {footprint}");
         s.run((0..4).map(|_| OneRound).collect()).unwrap();
         assert_eq!(s.delivery_footprint(), footprint, "reuse is steady-state");
+    }
+
+    #[test]
+    fn arena_threads_through_successive_sessions() {
+        use crate::delivery::DeliveryMode;
+        // First session allocates the dense pair; the second reuses it,
+        // so the footprint is identical before and after its run.
+        let mut s = Session::new(Engine::new(4).with_delivery(DeliveryMode::Dense));
+        s.run((0..4).map(|_| OneRound).collect()).unwrap();
+        let arena = s.into_arena();
+        assert_eq!(arena.slot_footprint(), 2 * 4 * 4);
+        let mut s = Session::with_arena(Engine::new(4).with_delivery(DeliveryMode::Dense), arena);
+        assert_eq!(s.delivery_footprint(), 2 * 4 * 4, "warm before first run");
+        let out = s.run((0..4).map(|_| OneRound).collect()).unwrap();
+        assert_eq!(out.stats.rounds, 1);
+        assert_eq!(s.delivery_footprint(), 2 * 4 * 4);
+        assert_eq!(s.phases(), 1, "stats are per-session, not per-arena");
     }
 
     #[test]

@@ -22,7 +22,11 @@
 //!   k-retransmission, crash-tolerant aggregation, Bracha-style reliable
 //!   broadcast) for runs under the simulator's deterministic
 //!   [`sim::FaultPlan`] and [`sim::ByzantinePlan`] adversaries; see
-//!   `docs/THREAT-MODEL.md` for the tier-by-tier guarantees.
+//!   `docs/THREAT-MODEL.md` for the tier-by-tier guarantees;
+//! * [`service`] — the multi-tenant session service: DAG-scheduled
+//!   simulation fleets over a shared work-stealing worker pool, with a
+//!   serial oracle (`Batch::run_serial`) the fleet is differentially
+//!   tested against.
 //!
 //! See `examples/quickstart.rs` for a guided tour.
 
@@ -35,6 +39,7 @@ pub use cc_paths as paths;
 pub use cc_reductions as reductions;
 pub use cc_resilient as resilient;
 pub use cc_routing as routing;
+pub use cc_service as service;
 pub use cc_subgraph as subgraph;
 pub use cliquesim as sim;
 
