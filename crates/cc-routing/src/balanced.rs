@@ -509,6 +509,49 @@ mod tests {
         assert_eq!(s2.stats().rounds, 0);
     }
 
+    #[test]
+    fn rejoined_intermediate_is_readmitted_in_the_next_wave() {
+        use cliquesim::FaultPlan;
+        // Waves on a fixed 40-round cadence: node 2 is down for all of
+        // wave 1 (plan rounds 0..40) and back from round 40 on. The
+        // windowed crash sets avoid it in wave 1 and re-admit it in wave
+        // 2, where it carries megastream segments and receives again.
+        let n = 6;
+        let plan = FaultPlan::new(0)
+            .crash(NodeId(2), 0)
+            .rejoin(NodeId(2), 40)
+            .expect("crash precedes rejoin");
+        let mut s = Session::new(Engine::new(n).with_fault_plan(plan.clone()));
+        let wave1 = CrashSet::from_plan_window(&plan, 0..40);
+        assert!(wave1.is_dead(NodeId(2)));
+        let out1 = route_balanced_faulted(&mut s, random_demands(n, 3, 30), &wave1).unwrap();
+        assert!(out1.delivered[2].is_none(), "down for the whole wave");
+        let touching_dead = random_demands(n, 3, 30)
+            .iter()
+            .enumerate()
+            .flat_map(|(s, list)| list.iter().map(move |(d, _)| (s, d.index())))
+            .filter(|(s, d)| *s == 2 || *d == 2)
+            .count();
+        assert_eq!(out1.undeliverable.len(), touching_dead);
+        // Advance the fault clock to the wave boundary and re-plan: the
+        // completed crash/rejoin pair drops out of the window.
+        s.set_fault_offset(40);
+        let wave2 = CrashSet::from_plan_window(&plan, 40..usize::MAX);
+        assert!(wave2.is_empty(), "node 2 recovered: {wave2}");
+        let out2 = route_balanced_faulted(&mut s, random_demands(n, 4, 30), &wave2).unwrap();
+        assert!(out2.delivered[2].is_some(), "re-admitted after its rejoin");
+        assert!(out2.undeliverable.is_empty());
+        // Wave 2 deliveries match the unfaulted balanced route exactly.
+        let mut clean = session(n);
+        let want = route_balanced(&mut clean, random_demands(n, 4, 30)).unwrap();
+        let got: Vec<Delivered> = out2
+            .delivered
+            .into_iter()
+            .map(|d| d.expect("all alive"))
+            .collect();
+        assert_eq!(normalise(want), normalise(got));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
         #[test]

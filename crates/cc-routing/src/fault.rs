@@ -7,9 +7,14 @@
 //! routing *degrade* instead of *error*:
 //!
 //! * a [`CrashSet`] names the nodes to treat as dead — built statically
-//!   from a [`cliquesim::FaultPlan`]'s dead-by-round schedule
-//!   ([`CrashSet::from_plan`], via [`cliquesim::FaultPlan::dead_at`]) or
-//!   from a live [`cliquesim::FaultReport`] ([`CrashSet::from_report`]);
+//!   from a [`cliquesim::FaultPlan`]'s full churn schedule
+//!   ([`CrashSet::from_plan`], via [`cliquesim::FaultPlan::ever_dead_in`]),
+//!   from one *wave* of it ([`CrashSet::from_plan_window`], which
+//!   re-admits nodes whose crash/rejoin pair completed before the window —
+//!   the self-healing rung: a recovered node carries megastream segments
+//!   again in the very next wave), or from a live
+//!   [`cliquesim::FaultReport`] ([`CrashSet::from_report`]); members carry
+//!   their downtime timelines, queryable via [`CrashSet::alive_at`];
 //! * [`route_faulted`] re-plans an explicit demand set around the crash
 //!   set: demands to or from dead endpoints are dropped at planning time
 //!   and reported as structured [`Undeliverable`] records, while every
@@ -46,12 +51,29 @@ use crate::router::{
 
 /// The set of nodes a routing plan treats as crashed.
 ///
-/// Pure data, independent of *when* each node dies: fault-aware planning is
-/// conservative and avoids a node for the whole phase if it dies at any
-/// point during it (see the module docs).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// Planning data, conservative by construction: a node in the set is
+/// avoided for the whole phase the set was built for, whenever it actually
+/// dies within it (see the module docs). Sets built from a
+/// [`FaultPlan`] additionally carry each member's *downtime timeline*, so
+/// [`CrashSet::alive_at`] can answer round-addressed liveness and
+/// [`CrashSet::from_plan_window`] can re-admit a rejoined node for a later
+/// wave — the self-healing half of the churn tier. Equality compares the
+/// dead set only (the planning-relevant payload), never the timelines.
+#[derive(Clone, Debug, Default, Eq)]
 pub struct CrashSet {
     dead: BTreeSet<u32>,
+    /// Downtime intervals `(node, start, end)`, end-exclusive with
+    /// `usize::MAX` meaning "never rejoins". Members inserted without a
+    /// schedule (builder form, reports) get `(0, usize::MAX)`.
+    downtime: Vec<(u32, usize, usize)>,
+}
+
+impl PartialEq for CrashSet {
+    fn eq(&self, other: &Self) -> bool {
+        // Timelines are advisory; two plans that avoid the same nodes are
+        // the same plan (pinned by `crash_set_builders_agree`).
+        self.dead == other.dead
+    }
 }
 
 impl CrashSet {
@@ -62,32 +84,76 @@ impl CrashSet {
     }
 
     /// The full crash set a [`FaultPlan`] implies: every node the plan
-    /// crash-stops at any round ([`FaultPlan::dead_at`] with an unbounded
-    /// horizon).
+    /// crash-stops at any round ([`FaultPlan::ever_dead_in`] with an
+    /// unbounded horizon — conservative even for nodes that rejoin), each
+    /// carrying its downtime timeline for [`CrashSet::alive_at`].
     pub fn from_plan(plan: &FaultPlan) -> Self {
-        plan.dead_at(usize::MAX).into_iter().collect()
+        let mut set = Self::new();
+        for v in plan.ever_dead_in(0..usize::MAX) {
+            set.dead.insert(v.0);
+            for (s, e) in plan.downtime(v) {
+                set.downtime.push((v.0, s, e));
+            }
+        }
+        set
+    }
+
+    /// The crash set for one *wave* of a churned run: every node whose
+    /// scheduled downtime intersects the half-open round range `rounds`.
+    /// A node that crashed and rejoined *before* the window is absent —
+    /// re-admitted as a routing endpoint and intermediate — while a node
+    /// due to be down at any point inside it is avoided throughout, so a
+    /// mid-wave crash can only lose traffic the plan already reported
+    /// undeliverable. Timelines are carried for [`CrashSet::alive_at`].
+    pub fn from_plan_window(plan: &FaultPlan, rounds: std::ops::Range<usize>) -> Self {
+        let mut set = Self::new();
+        for v in plan.ever_dead_in(rounds) {
+            set.dead.insert(v.0);
+            for (s, e) in plan.downtime(v) {
+                set.downtime.push((v.0, s, e));
+            }
+        }
+        set
     }
 
     /// The crash set a live [`FaultReport`] witnessed: every node the
-    /// report says crash-stopped.
+    /// report says crash-stopped, treated as permanently down (a report is
+    /// a past-tense record; use [`CrashSet::from_plan_window`] when a
+    /// schedule is available to plan re-admission ahead of time).
     pub fn from_report(report: &FaultReport) -> Self {
         report.crashed_nodes().into_iter().collect()
     }
 
-    /// Mark `node` dead (builder form).
+    /// Mark `node` dead (builder form; permanent downtime).
     pub fn with(mut self, node: NodeId) -> Self {
         self.insert(node);
         self
     }
 
-    /// Mark `node` dead.
+    /// Mark `node` dead, with permanent downtime.
     pub fn insert(&mut self, node: NodeId) {
-        self.dead.insert(node.0);
+        if self.dead.insert(node.0) {
+            self.downtime.push((node.0, 0, usize::MAX));
+        }
     }
 
     /// True if `node` is in the crash set.
     pub fn is_dead(&self, node: NodeId) -> bool {
         self.dead.contains(&node.0)
+    }
+
+    /// Round-addressed liveness: false exactly while one of `node`'s
+    /// downtime intervals covers `round`. Nodes outside the crash set are
+    /// always alive; members without a schedule never are. This is the
+    /// planning-side mirror of [`FaultPlan::alive_at`].
+    pub fn alive_at(&self, node: NodeId, round: usize) -> bool {
+        if !self.is_dead(node) {
+            return true;
+        }
+        !self
+            .downtime
+            .iter()
+            .any(|&(v, s, e)| v == node.0 && s <= round && (round < e || e == usize::MAX))
     }
 
     /// True if no node is marked dead.
@@ -151,9 +217,11 @@ impl CrashSet {
 
 impl FromIterator<NodeId> for CrashSet {
     fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
-        Self {
-            dead: iter.into_iter().map(|v| v.0).collect(),
+        let mut set = Self::new();
+        for v in iter {
+            set.insert(v);
         }
+        set
     }
 }
 
@@ -436,7 +504,47 @@ mod tests {
         assert_eq!(
             CrashSet::new().with(NodeId(2)).with(NodeId(5)),
             set,
-            "builder and plan-derived sets agree"
+            "builder and plan-derived sets agree (equality is the dead set \
+             only, never the timelines)"
+        );
+    }
+
+    #[test]
+    fn crash_set_is_round_aware_under_churn() {
+        let plan = FaultPlan::new(0)
+            .crash(NodeId(2), 3)
+            .rejoin(NodeId(2), 6)
+            .expect("crash precedes rejoin")
+            .crash(NodeId(5), 8);
+        // from_plan is conservative: the rejoiner is still a member (it is
+        // unsafe for work spanning its downtime) but its timeline answers
+        // round-addressed liveness.
+        let set = CrashSet::from_plan(&plan);
+        assert!(set.is_dead(NodeId(2)) && set.is_dead(NodeId(5)));
+        assert!(set.alive_at(NodeId(2), 2));
+        assert!(!set.alive_at(NodeId(2), 3));
+        assert!(!set.alive_at(NodeId(2), 5));
+        assert!(set.alive_at(NodeId(2), 6), "back at the rejoin round");
+        assert!(!set.alive_at(NodeId(5), usize::MAX), "permanent crash");
+        assert!(set.alive_at(NodeId(0), 0), "non-members are always alive");
+        // Builder members have no schedule: never alive.
+        let built = CrashSet::new().with(NodeId(1));
+        assert!(!built.alive_at(NodeId(1), 0));
+        // Windowed sets re-admit completed crash/rejoin pairs: node 2 is
+        // avoided while its downtime intersects the wave and re-admitted
+        // afterwards; node 5 only joins once its crash is in sight.
+        let w0 = CrashSet::from_plan_window(&plan, 0..3);
+        assert!(w0.is_empty(), "nothing is down in rounds 0..3: {w0}");
+        let w1 = CrashSet::from_plan_window(&plan, 3..6);
+        assert!(w1.is_dead(NodeId(2)) && !w1.is_dead(NodeId(5)));
+        let w2 = CrashSet::from_plan_window(&plan, 6..9);
+        assert!(!w2.is_dead(NodeId(2)), "rejoined before the window");
+        assert!(w2.is_dead(NodeId(5)));
+        // A crash-only plan windows to exactly the classic full set.
+        let plain = FaultPlan::new(1).crash(NodeId(4), 2);
+        assert_eq!(
+            CrashSet::from_plan_window(&plain, 2..usize::MAX),
+            CrashSet::from_plan(&plain)
         );
     }
 

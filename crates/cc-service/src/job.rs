@@ -70,8 +70,13 @@ pub struct EngineSpec {
     pub max_rounds: Option<usize>,
     /// Wall-clock watchdog for the job's runs.
     pub deadline: Option<Duration>,
-    /// Link-fault / crash adversary for the job.
+    /// Link-fault / crash / churn adversary for the job.
     pub fault: Option<FaultPlan>,
+    /// Fault-clock offset: the plan (crash, rejoin, and link-fault
+    /// schedules alike) is addressed at `offset + local round`, so one
+    /// absolute churn timeline can be split across wave-structured jobs
+    /// (see `Engine::with_fault_offset`).
+    pub fault_offset: usize,
     /// Byzantine sender adversary for the job.
     pub byzantine: Option<ByzantinePlan>,
 }
@@ -89,6 +94,7 @@ impl EngineSpec {
             max_rounds: None,
             deadline: None,
             fault: None,
+            fault_offset: 0,
             byzantine: None,
         }
     }
@@ -111,9 +117,21 @@ impl EngineSpec {
         self
     }
 
+    /// Override the per-message bit budget.
+    pub fn bandwidth(mut self, bits: usize) -> Self {
+        self.bandwidth = Some(bits);
+        self
+    }
+
     /// Attach a fault plan.
     pub fn fault(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Address the fault plan at `offset + local round` (churn waves).
+    pub fn fault_offset(mut self, offset: usize) -> Self {
+        self.fault_offset = offset;
         self
     }
 
@@ -142,6 +160,9 @@ impl EngineSpec {
         }
         if let Some(plan) = &self.fault {
             engine = engine.with_fault_plan(plan.clone());
+        }
+        if self.fault_offset != 0 {
+            engine = engine.with_fault_offset(self.fault_offset);
         }
         if let Some(plan) = &self.byzantine {
             engine = engine.with_byzantine_plan(plan.clone());
@@ -329,9 +350,11 @@ mod tests {
         let spec = EngineSpec::new(9)
             .threads(4)
             .delivery(DeliveryMode::Sparse)
-            .broadcast_only(true);
+            .broadcast_only(true)
+            .fault_offset(5);
         let engine = spec.build(None);
         assert_eq!(engine.n(), 9);
         assert_eq!(engine.resolved_delivery(), DeliveryMode::Sparse);
+        assert_eq!(engine.fault_offset(), 5);
     }
 }

@@ -27,6 +27,11 @@
 //!   [`cliquesim::FaultPlan`] replayed under every pool shape must yield
 //!   identical outputs, stats, transcripts, and fault reports, and an
 //!   empty plan must change nothing at all.
+//! * [`churn`] — churn-conformance families for the rejoin/state-sync
+//!   tier: seed-addressed [`churn::ChurnCase`]s (Poisson crash/rejoin
+//!   schedules) with replayable `churn[n=…, seed=…]` labels, pool-shape ×
+//!   delivery-backend differentials, and a ledger judge that closes the
+//!   sync counters against the fault report and the plan's downtime.
 //! * [`byzantine`] — the same obligations for the
 //!   [`cliquesim::ByzantinePlan`] traitor tier, plus the
 //!   [`byzantine::equivocation_witness`] checker that exhibits a single
@@ -60,6 +65,7 @@
 pub mod audit;
 pub mod byzantine;
 pub mod certificates;
+pub mod churn;
 pub mod differential;
 pub mod faults;
 pub mod fleet;
@@ -74,6 +80,7 @@ pub use byzantine::{
     assert_empty_byzantine_transparent, differential_byzantine, equivocation_witness, ByzantineRun,
 };
 pub use certificates::{assert_corrupted_certificates_rejected, corrupt_labelling};
+pub use churn::{churn_corpus, differential_churn, judge_churn_accounting, ChurnCase};
 pub use differential::{
     differential_broadcast_only, differential_engines, differential_programs, differential_session,
     ring_topology, BACKENDS, POOL_SHAPES,

@@ -32,8 +32,8 @@ use std::time::{Duration, Instant};
 use crate::bits::BitString;
 use crate::byzantine::{ByzantinePlan, ByzantineReport};
 use crate::delivery::{BufView, DeliveryArena, DeliveryBuf, DeliveryMode, DenseBuf, SparseBuf};
-use crate::fault::{FaultPlan, FaultReport};
-use crate::node::{NodeCtx, NodeId, NodeProgram, Status};
+use crate::fault::{FaultEvent, FaultPlan, FaultReport};
+use crate::node::{Inbox, NodeCtx, NodeId, NodeProgram, Outbox, Status};
 use crate::stats::RunStats;
 use crate::transcript::{RoundTranscript, Transcript};
 
@@ -310,6 +310,11 @@ pub struct Engine {
     /// Adversary schedule; `None` (and the empty plan) leave runs
     /// byte-identical to the fault-free engine.
     fault_plan: Option<Arc<FaultPlan>>,
+    /// Shift applied to the fault plan's round addressing: local round `r`
+    /// consults plan round `fault_offset + r`. Lets multi-phase sessions
+    /// run one continuous churn timeline even though each phase restarts
+    /// its round count at 0.
+    fault_offset: usize,
     /// Byzantine sender schedule; `None` (and the empty plan) leave runs
     /// byte-identical to the honest engine.
     byzantine_plan: Option<Arc<ByzantinePlan>>,
@@ -341,6 +346,7 @@ impl Engine {
             topology_edges: 0,
             delivery: DeliveryMode::Auto,
             fault_plan: None,
+            fault_offset: 0,
             byzantine_plan: None,
             deadline: None,
             cancel: None,
@@ -396,7 +402,9 @@ impl Engine {
     /// traffic is structurally far below `n - 1` distinct payloads:
     /// broadcast-only mode (one payload per sender), a CONGEST topology
     /// with at most 25% of ordered pairs adjacent, or a fault plan that
-    /// eventually crashes at least half the nodes.
+    /// leaves at least half the nodes *permanently* dead — net of rejoins
+    /// (`dead_at(usize::MAX)` collapses crash/rejoin pairs), so a high-churn
+    /// plan whose nodes keep coming back does not over-select Sparse.
     pub fn resolved_delivery(&self) -> DeliveryMode {
         match self.delivery {
             DeliveryMode::Dense => DeliveryMode::Dense,
@@ -425,6 +433,24 @@ impl Engine {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(Arc::new(plan));
         self
+    }
+
+    /// Shift the fault plan's round addressing: local round `r` consults
+    /// plan round `offset + r` for crashes, rejoins, and link-fault coins,
+    /// and [`crate::FaultReport`] events carry plan rounds. The default
+    /// offset 0 is today's behaviour exactly. A multi-phase
+    /// [`crate::Session`] advances the offset between phases (see
+    /// `Session::align_fault_clock`) so one continuous churn timeline spans
+    /// phases that each restart their round count at 0.
+    pub fn with_fault_offset(mut self, offset: usize) -> Self {
+        self.fault_offset = offset;
+        self
+    }
+
+    /// The configured fault-clock offset (see
+    /// [`Engine::with_fault_offset`]).
+    pub fn fault_offset(&self) -> usize {
+        self.fault_offset
     }
 
     /// Attach a Byzantine sender adversary (see [`crate::byzantine`]): the
@@ -766,7 +792,14 @@ impl Engine {
         watchdog: Option<(Instant, Duration)>,
     ) -> Result<(), SimError> {
         let n = self.n;
-        let mut book = RoundBook::new(n, self.max_rounds, stats, transcripts.as_mut());
+        let mut book = RoundBook::new(
+            n,
+            self.max_rounds,
+            stats,
+            transcripts.as_mut(),
+            plan,
+            self.fault_offset,
+        );
         let mut active = vec![true; n];
         let [buf_a, buf_b] = bufs;
         let mut round = 0usize;
@@ -774,13 +807,19 @@ impl Engine {
             if let Some(plan) = plan {
                 // Crashes fire before the activity snapshot: a node crashing
                 // in round r never steps in it, and the messages it was due
-                // to read this round (written last round) are lost.
+                // to read this round (written last round) are lost. Rejoins
+                // fire right after: a node due back this round is replayed
+                // over its missed window and steps again from this round on.
                 let inbound: &B = if round.is_multiple_of(2) {
                     buf_b
                 } else {
                     buf_a
                 };
-                plan.apply_crashes(round, halted, &B::view(inbound.slots(), n), report);
+                let view = B::view(inbound.slots(), n);
+                plan.apply_crashes(self.fault_offset + round, halted, &view, report);
+                book.process_churn::<P>(
+                    round, plan, programs, ctxs, halted, outputs, &view, report,
+                )?;
             }
             for v in 0..n {
                 active[v] = !halted[v];
@@ -846,7 +885,11 @@ impl Engine {
                         // after any Byzantine rewrite): stats and
                         // transcripts record what was *sent*; next round's
                         // inboxes see what *survived* the wire.
-                        plan.apply_link_faults(round, &mut B::view_mut(cur.slots_mut(), n), report);
+                        plan.apply_link_faults(
+                            self.fault_offset + round,
+                            &mut B::view_mut(cur.slots_mut(), n),
+                            report,
+                        );
                     }
                     if let Some((start, limit)) = watchdog {
                         if start.elapsed() >= limit {
@@ -860,7 +903,10 @@ impl Engine {
                     }
                     round += 1;
                 }
-                Verdict::Done => return Ok(()),
+                Verdict::Done => {
+                    book.settle_churn();
+                    return Ok(());
+                }
                 Verdict::Limit => {
                     return Err(SimError::RoundLimit {
                         limit: self.max_rounds,
@@ -898,7 +944,14 @@ impl Engine {
         let topology: &[bool] = &self.topology;
         let max_rounds = self.max_rounds;
 
-        let mut book = RoundBook::new(n, max_rounds, stats, transcripts.as_mut());
+        let mut book = RoundBook::new(
+            n,
+            max_rounds,
+            stats,
+            transcripts.as_mut(),
+            plan,
+            self.fault_offset,
+        );
         let mut active = vec![true; n];
 
         let [buf_a, buf_b] = bufs;
@@ -993,8 +1046,20 @@ impl Engine {
                     // adversary pool-shape independent.
                     if let Some(plan) = plan {
                         let halted_mut = unsafe { SyncCell::exclusive(halted_cells) };
+                        let progs_mut = unsafe { SyncCell::exclusive(prog_cells) };
+                        let outs_mut = unsafe { SyncCell::exclusive(out_cells) };
                         let inbound = unsafe { SyncCell::shared(buf_cells[1 - round % 2]) };
-                        plan.apply_crashes(round, halted_mut, &B::view(inbound, n), report);
+                        let view = B::view(inbound, n);
+                        plan.apply_crashes(self.fault_offset + round, halted_mut, &view, report);
+                        // Rejoin replay also runs only here, between
+                        // barriers on the main thread, which keeps the
+                        // churn tier pool-shape independent.
+                        if let Err(e) = book.process_churn::<P>(
+                            round, plan, progs_mut, ctxs, halted_mut, outs_mut, &view, report,
+                        ) {
+                            shutdown(ctrl);
+                            return Err(e);
+                        }
                     }
                     let halted_now = unsafe { SyncCell::shared(halted_cells) };
                     for v in 0..n {
@@ -1067,7 +1132,11 @@ impl Engine {
                             // SAFETY: workers are still parked; the shared
                             // views taken for close_round are no longer used.
                             let cur_mut = unsafe { SyncCell::exclusive(buf_cells[write]) };
-                            plan.apply_link_faults(round, &mut B::view_mut(cur_mut, n), report);
+                            plan.apply_link_faults(
+                                self.fault_offset + round,
+                                &mut B::view_mut(cur_mut, n),
+                                report,
+                            );
                         }
                         if let Some((start, limit)) = watchdog {
                             if start.elapsed() >= limit {
@@ -1084,6 +1153,7 @@ impl Engine {
                         round += 1;
                     }
                     Verdict::Done => {
+                        book.settle_churn();
                         shutdown(ctrl);
                         return Ok(());
                     }
@@ -1195,6 +1265,31 @@ enum Verdict {
     Limit,
 }
 
+/// State-sync bookkeeping for one crash the plan will later rejoin.
+struct PendingRejoin {
+    /// Engine-local round the crash fired at the start of.
+    crash_round: usize,
+    /// Engine-local round the rejoin is due at the start of.
+    rejoin_round: usize,
+    /// Inbound columns for the missed rounds, recorded at each round start
+    /// while the node is down: entry `j` is what the node would have read
+    /// in round `crash_round + j` (entry 0 is the in-flight traffic at
+    /// crash time).
+    window: Vec<Vec<BitString>>,
+    /// Per-round traffic sent *to* the node while down, keyed by the round
+    /// it was written in — diverted from the undelivered counters until the
+    /// rejoin settles whether the replay delivered it.
+    diverted: Vec<(usize, u64, u64)>,
+}
+
+/// Churn bookkeeping: one pending slot per node, plus the fault-clock
+/// offset. Only allocated when the plan schedules rejoins, so crash-only
+/// plans take the exact pre-churn code path.
+struct ChurnState {
+    offset: usize,
+    pending: Vec<Option<PendingRejoin>>,
+}
+
 /// Per-round main-thread bookkeeping shared by the sequential and pooled
 /// drivers — one implementation keeps the two paths bit-identical by
 /// construction.
@@ -1209,6 +1304,8 @@ struct RoundBook<'a> {
     /// Whether any node has halted so far; skips the undelivered scan on
     /// the all-active prefix of a run (the common case).
     any_halted: bool,
+    /// Rejoin/state-sync bookkeeping; `None` for rejoin-free plans.
+    churn: Option<ChurnState>,
 }
 
 impl<'a> RoundBook<'a> {
@@ -1217,7 +1314,13 @@ impl<'a> RoundBook<'a> {
         max_rounds: usize,
         stats: &'a mut RunStats,
         transcripts: Option<&'a mut Vec<Transcript>>,
+        plan: Option<&FaultPlan>,
+        fault_offset: usize,
     ) -> Self {
+        let churn = plan.filter(|p| p.has_rejoins()).map(|_| ChurnState {
+            offset: fault_offset,
+            pending: (0..n).map(|_| None).collect(),
+        });
         Self {
             n,
             max_rounds,
@@ -1225,6 +1328,113 @@ impl<'a> RoundBook<'a> {
             transcripts,
             prev_round_bits: 0,
             any_halted: false,
+            churn,
+        }
+    }
+
+    /// Round-start churn pass, called right after `apply_crashes` on both
+    /// driver paths (main thread only): register fresh crash victims the
+    /// plan will rejoin, replay the missed window to nodes due back this
+    /// round, and record the inbound column for every node still down.
+    #[allow(clippy::too_many_arguments)]
+    fn process_churn<P: NodeProgram>(
+        &mut self,
+        round: usize,
+        plan: &FaultPlan,
+        programs: &mut [P],
+        ctxs: &[NodeCtx],
+        halted: &mut [bool],
+        outputs: &mut [Option<P::Output>],
+        inbound: &BufView<'_>,
+        report: &mut FaultReport,
+    ) -> Result<(), SimError> {
+        let n = self.n;
+        let Self {
+            churn,
+            transcripts,
+            stats,
+            ..
+        } = self;
+        let Some(churn) = churn.as_mut() else {
+            return Ok(());
+        };
+        let plan_round = churn.offset + round;
+        // 1. Fresh crashes: `apply_crashes` just appended this round's
+        // Crashed events at the report's tail. A victim with a scheduled
+        // future rejoin gets a pending window; one without follows the
+        // plain crash path untouched.
+        for e in report.events.iter().rev() {
+            let FaultEvent::Crashed { node, round: r, .. } = e else {
+                break;
+            };
+            if *r != plan_round {
+                break;
+            }
+            if let Some(pr) = plan.next_rejoin_after(*node, plan_round) {
+                churn.pending[node.index()] = Some(PendingRejoin {
+                    crash_round: round,
+                    rejoin_round: round + (pr - plan_round),
+                    window: Vec::new(),
+                    diverted: Vec::new(),
+                });
+            }
+        }
+        // 2. Rejoins due at this round start, in node order (deterministic
+        // across pool shapes by construction: main thread only).
+        for v in 0..n {
+            let due = churn.pending[v]
+                .as_ref()
+                .is_some_and(|p| p.rejoin_round == round);
+            if !due {
+                continue;
+            }
+            if let Some(p) = churn.pending[v].take() {
+                replay_rejoin::<P>(
+                    v,
+                    plan_round,
+                    p,
+                    &mut programs[v],
+                    &ctxs[v],
+                    &mut halted[v],
+                    &mut outputs[v],
+                    transcripts.as_deref_mut(),
+                    stats,
+                    report,
+                )?;
+            }
+        }
+        // 3. Record the inbound column (what the node would have read this
+        // round) for every node still awaiting its rejoin.
+        for v in 0..n {
+            if let Some(p) = churn.pending[v].as_mut() {
+                let mut column = Vec::with_capacity(n);
+                for u in 0..n {
+                    column.push(if u == v {
+                        BitString::new()
+                    } else {
+                        inbound.get(u, v).clone()
+                    });
+                }
+                p.window.push(column);
+            }
+        }
+        Ok(())
+    }
+
+    /// Charge the diverted traffic of nodes whose rejoin never fired (the
+    /// run completed first): their windows were never replayed, so those
+    /// payloads really were undelivered. Called once on [`Verdict::Done`].
+    fn settle_churn(&mut self) {
+        let Self { churn, stats, .. } = self;
+        if let Some(churn) = churn.as_mut() {
+            for slot in churn.pending.iter_mut() {
+                if let Some(p) = slot.take() {
+                    for (_, msgs, bits) in p.diverted {
+                        stats.undelivered_messages += msgs;
+                        stats.undelivered_bits += bits;
+                    }
+                }
+            }
         }
     }
 
@@ -1265,17 +1475,33 @@ impl<'a> RoundBook<'a> {
         }
         // Sends towards nodes that will never step again are dead on the
         // wire; charge them to the undelivered counters (they remain part of
-        // `messages`/`bits` — see stats module docs for the semantics).
+        // `messages`/`bits` — see stats module docs for the semantics). A
+        // receiver with a pending rejoin is *not* charged yet: its traffic
+        // is diverted into the pending ledger, and the rejoin (or the run's
+        // end) settles whether the replay actually delivered it.
         if self.any_halted && acc.messages > 0 {
+            let mut pending = self.churn.as_mut().map(|c| &mut c.pending);
             for (u, h) in halted.iter().enumerate() {
                 if !*h {
                     continue;
                 }
+                let mut msgs = 0u64;
+                let mut bits = 0u64;
                 for v in 0..n {
                     let m = cur.get(v, u);
                     if !m.is_empty() {
-                        self.stats.undelivered_messages += 1;
-                        self.stats.undelivered_bits += m.len() as u64;
+                        msgs += 1;
+                        bits += m.len() as u64;
+                    }
+                }
+                if msgs == 0 {
+                    continue;
+                }
+                match pending.as_mut().and_then(|p| p[u].as_mut()) {
+                    Some(p) => p.diverted.push((round, msgs, bits)),
+                    None => {
+                        self.stats.undelivered_messages += msgs;
+                        self.stats.undelivered_bits += bits;
                     }
                 }
             }
@@ -1311,6 +1537,107 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
             None => "<non-string panic payload>".to_string(),
         },
     }
+}
+
+/// Replay a rejoining node's missed window as state-sync rounds.
+///
+/// Each recorded column is re-delivered through an [`Inbox`] with the
+/// *original* round index, so the program observes exactly the rounds it
+/// missed; its sends go into discarded scratch (a dead node put nothing on
+/// the wire, and the live cluster already ran those rounds without it). The
+/// replay's bandwidth is charged to the `sync_*` counters and its receives
+/// are backfilled into the node's transcript as received-only rounds, so
+/// cc-testkit's auditor can price and cross-check the sync protocol.
+///
+/// A program may legitimately halt (or panic) mid-replay; the rounds it
+/// never re-read stay on the undelivered ledger via the diverted tuples.
+#[allow(clippy::too_many_arguments)]
+fn replay_rejoin<P: NodeProgram>(
+    v: usize,
+    rejoin_plan_round: usize,
+    p: PendingRejoin,
+    prog: &mut P,
+    ctx: &NodeCtx,
+    halted: &mut bool,
+    output: &mut Option<P::Output>,
+    mut transcripts: Option<&mut Vec<Transcript>>,
+    stats: &mut RunStats,
+    report: &mut FaultReport,
+) -> Result<(), SimError> {
+    let n = ctx.n;
+    let PendingRejoin {
+        crash_round,
+        window,
+        diverted,
+        ..
+    } = p;
+    let mut scratch = vec![BitString::new(); n];
+    let mut sync_rounds = 0u64;
+    let mut sync_messages = 0u64;
+    let mut sync_bits = 0u64;
+    let mut halted_at: Option<usize> = None;
+    for (j, column) in window.into_iter().enumerate() {
+        let t = crash_round + j;
+        sync_rounds += 1;
+        for m in column.iter() {
+            if !m.is_empty() {
+                sync_messages += 1;
+                sync_bits += m.len() as u64;
+            }
+        }
+        if let Some(ts) = transcripts.as_deref_mut() {
+            let mut rt = RoundTranscript::default();
+            for (u, m) in column.iter().enumerate() {
+                if !m.is_empty() {
+                    rt.received.push((NodeId::from(u), m.clone()));
+                }
+            }
+            ts[v].rounds.push(rt);
+        }
+        for s in scratch.iter_mut() {
+            s.clear();
+        }
+        let inbox = Inbox::from_slots(&column, v);
+        let status = {
+            let mut outbox = Outbox::new(&mut scratch, v);
+            catch_unwind(AssertUnwindSafe(|| prog.step(ctx, t, &inbox, &mut outbox))).map_err(
+                |payload| SimError::NodeProgramPanicked {
+                    node: NodeId::from(v),
+                    round: t,
+                    message: panic_message(payload),
+                },
+            )?
+        };
+        if let Status::Halt(out) = status {
+            *output = Some(out);
+            halted_at = Some(t);
+            break;
+        }
+    }
+    if halted_at.is_none() {
+        *halted = false;
+    }
+    // Settle the diverted ledger: a full replay re-delivered everything, a
+    // mid-replay halt leaves the rounds written at or after the halt unread
+    // (the halt round itself read the column written one round earlier).
+    if let Some(t) = halted_at {
+        for (written, msgs, bits) in diverted {
+            if written >= t {
+                stats.undelivered_messages += msgs;
+                stats.undelivered_bits += bits;
+            }
+        }
+    }
+    // The sync counters flow into `RunStats` when the run's report is
+    // tallied (`FaultReport::tally_into`), exactly like the crash counters.
+    report.events.push(FaultEvent::Rejoined {
+        node: NodeId::from(v),
+        round: rejoin_plan_round,
+        sync_rounds,
+        sync_messages,
+        sync_bits,
+    });
+    Ok(())
 }
 
 /// Step a single node and validate its outbox against the bandwidth bound.
@@ -2052,6 +2379,163 @@ mod tests {
         }
     }
 
+    /// Every node broadcasts an 8-bit payload each round and halts at a
+    /// fixed round with its receive count — the probe for rejoin state
+    /// sync: a full replay must leave the rejoiner's count equal to an
+    /// uncrashed node's.
+    struct Chatter {
+        received: u64,
+        halt_round: usize,
+    }
+    impl NodeProgram for Chatter {
+        type Output = u64;
+        fn step(
+            &mut self,
+            _ctx: &NodeCtx,
+            round: usize,
+            inbox: &Inbox<'_>,
+            ob: &mut Outbox<'_>,
+        ) -> Status<u64> {
+            self.received += inbox.iter().count() as u64;
+            if round >= self.halt_round {
+                return Status::Halt(self.received);
+            }
+            let mut m = BitString::new();
+            m.push_uint(round as u64 & 0xff, 8);
+            ob.broadcast(&m);
+            Status::Continue
+        }
+    }
+
+    #[test]
+    fn rejoined_node_is_state_synced_from_the_missed_window() {
+        use crate::fault::FaultPlan;
+        let n = 12;
+        let halt_round = 6usize;
+        let mk = || {
+            (0..n)
+                .map(|_| Chatter {
+                    received: 0,
+                    halt_round,
+                })
+                .collect::<Vec<_>>()
+        };
+        let plan = FaultPlan::new(7)
+            .crash(NodeId(2), 2)
+            .rejoin(NodeId(2), 4)
+            .expect("crash precedes rejoin");
+        let run = |threads: usize, mode: DeliveryMode| {
+            Engine::new(n)
+                .with_bandwidth(8)
+                .with_threads_exact(threads)
+                .with_transcripts(true)
+                .with_delivery(mode)
+                .with_fault_plan(plan.clone())
+                .run_faulted(mk())
+                .unwrap()
+        };
+        let seq = run(1, DeliveryMode::Dense);
+        let peers = (n - 1) as u64;
+        // The replay re-delivered rounds 2 and 3, so the rejoiner's count
+        // matches a node that never crashed; everyone else is short exactly
+        // the two broadcasts node 2 never put on the wire while down.
+        assert_eq!(seq.outputs[2], Some(halt_round as u64 * peers));
+        for v in (0..n).filter(|v| *v != 2) {
+            assert_eq!(
+                seq.outputs[v],
+                Some(halt_round as u64 * peers - 2),
+                "node {v}"
+            );
+        }
+        assert_eq!(seq.stats.dead_nodes, 1);
+        assert_eq!(seq.stats.rejoined_nodes, 1);
+        assert_eq!(seq.stats.sync_rounds, 2);
+        assert_eq!(seq.stats.sync_messages, 2 * peers);
+        assert_eq!(seq.stats.sync_bits, 2 * peers * 8);
+        // The in-flight column charged at crash time stays on the
+        // undelivered ledger (see fault module docs); the diverted
+        // down-window traffic was re-delivered by the replay and is not.
+        assert_eq!(seq.stats.undelivered_messages, peers);
+        assert_eq!(seq.stats.undelivered_bits, peers * 8);
+        assert!(
+            seq.faults.events.iter().any(|e| matches!(
+                e,
+                FaultEvent::Rejoined {
+                    node: NodeId(2),
+                    round: 4,
+                    sync_rounds: 2,
+                    ..
+                }
+            )),
+            "missing Rejoined event: {:?}",
+            seq.faults.events
+        );
+        // Transcript backfill: the rejoiner's missed rounds appear as
+        // received-only entries, leaving every transcript the same length
+        // and every index aligned with its round number.
+        let ts = seq.transcripts.as_ref().unwrap();
+        assert_eq!(ts[2].rounds.len(), ts[0].rounds.len());
+        for r in [2usize, 3] {
+            assert!(ts[2].rounds[r].sent.is_empty(), "round {r} was a replay");
+            assert_eq!(ts[2].rounds[r].received.len(), n - 1, "round {r}");
+        }
+        // Bit-identical across pool shapes and delivery backends.
+        for threads in [1usize, 4, 7] {
+            for mode in [DeliveryMode::Dense, DeliveryMode::Sparse] {
+                let got = run(threads, mode);
+                assert_eq!(seq.outputs, got.outputs, "threads={threads} {mode:?}");
+                assert_eq!(seq.stats, got.stats, "threads={threads} {mode:?}");
+                assert_eq!(seq.faults, got.faults, "threads={threads} {mode:?}");
+                assert_eq!(
+                    seq.transcripts, got.transcripts,
+                    "threads={threads} {mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mid_replay_halt_keeps_unread_sync_traffic_undelivered() {
+        use crate::fault::FaultPlan;
+        // Node 5 halts at round 3, its peers at round 8. Crashing it at
+        // round 1 with a rejoin at round 6 puts its halt round strictly
+        // inside the replay window: the replay steps rounds 1, 2 and halts
+        // at 3, so the columns written in rounds 3..6 are never read and
+        // must land back on the undelivered ledger.
+        let n = 8;
+        let mk = || {
+            (0..n)
+                .map(|v| Chatter {
+                    received: 0,
+                    halt_round: if v == 5 { 3 } else { 8 },
+                })
+                .collect::<Vec<_>>()
+        };
+        let plan = FaultPlan::new(1)
+            .crash(NodeId(5), 1)
+            .rejoin(NodeId(5), 6)
+            .expect("crash precedes rejoin");
+        let out = Engine::new(n)
+            .with_bandwidth(8)
+            .with_fault_plan(plan)
+            .run_faulted(mk())
+            .unwrap();
+        let peers = (n - 1) as u64;
+        // The replay stepped rounds 1, 2, 3 and halted at 3 — the node
+        // still produced an output (its three replayed inboxes) and counts
+        // as rejoined; sync priced all three replayed rounds.
+        assert_eq!(out.outputs[5], Some(3 * peers));
+        assert_eq!(out.stats.rejoined_nodes, 1);
+        assert_eq!(out.stats.sync_rounds, 3);
+        // Undelivered: the in-flight column charged at crash time (written
+        // round 0), the diverted columns written in rounds 3, 4, 5 the
+        // replay never reached, and the post-halt columns written in rounds
+        // 6 and 7 while the peers kept broadcasting — six peer-columns in
+        // all. The diverted rounds 1 and 2 were re-read by the replay.
+        assert_eq!(out.stats.undelivered_messages, 6 * peers);
+        assert_eq!(out.stats.undelivered_bits, 6 * peers * 8);
+    }
+
     #[test]
     fn faulted_unanimity_is_over_survivors() {
         use crate::fault::FaultPlan;
@@ -2443,8 +2927,20 @@ mod tests {
             plan = plan.crash(NodeId::from(v), 1);
         }
         assert_eq!(
-            Engine::new(n).with_fault_plan(plan).resolved_delivery(),
+            Engine::new(n)
+                .with_fault_plan(plan.clone())
+                .resolved_delivery(),
             DeliveryMode::Sparse
+        );
+        // Regression: the same crashes all rejoining leave zero nodes
+        // permanently dead, so the heuristic must count net-dead and stay
+        // dense — high churn is not the same as a half-empty matrix.
+        for v in 0..n / 2 {
+            plan = plan.rejoin(NodeId::from(v), 4).expect("crash precedes");
+        }
+        assert_eq!(
+            Engine::new(n).with_fault_plan(plan).resolved_delivery(),
+            DeliveryMode::Dense
         );
         // Explicit modes always win over the heuristic.
         assert_eq!(

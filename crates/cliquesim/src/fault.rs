@@ -24,10 +24,20 @@
 //! # Semantics
 //!
 //! * **Crash-stop** at round `r`: the node does not step in round `r` or any
-//!   later round. Messages it sent in round `r - 1` are still delivered
-//!   (they were on the wire before the crash); messages addressed *to* it
-//!   that it never read are charged to the undelivered counters. A node
-//!   that already halted normally is unaffected.
+//!   later round — unless the plan schedules a *rejoin*. Messages it sent in
+//!   round `r - 1` are still delivered (they were on the wire before the
+//!   crash); messages addressed *to* it that it never read are charged to
+//!   the undelivered counters. A node that already halted normally is
+//!   unaffected.
+//! * **Rejoin** at round `r`: a previously crashed node resumes stepping at
+//!   the start of round `r`. The engine first *state-syncs* it by replaying
+//!   the missed transcript window (what was on the wire to it each missed
+//!   round) as out-of-band `StateSync` rounds; the replay's bandwidth is
+//!   priced in the dedicated sync counters of [`crate::RunStats`] and in the
+//!   [`FaultEvent::Rejoined`] event, never in the live `messages`/`bits`
+//!   totals (sent-based accounting stays transcript-exact). Build with
+//!   [`FaultPlan::rejoin`] (validated, see [`ChurnError`]) or sample a whole
+//!   Poisson-style churn schedule with [`FaultPlan::with_random_churn`].
 //! * **Drop**: the message is removed from the wire after the sender is
 //!   charged for it (sent-based accounting, see [`crate::stats`]).
 //! * **Corrupt**: exactly one bit of the payload is flipped; the length is
@@ -99,11 +109,58 @@ pub struct ForcedFault {
 pub struct FaultPlan {
     seed: u64,
     crashes: Vec<(NodeId, usize)>,
+    rejoins: Vec<(NodeId, usize)>,
     drop_p: f64,
     corrupt_p: f64,
     truncate_p: f64,
     forced: Vec<ForcedFault>,
 }
+
+/// Why a rejoin entry was rejected at plan-build time. Churn schedules are
+/// validated eagerly so an impossible plan is a structured error at the
+/// builder, not a silent no-op (or a panic) mid-run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnError {
+    /// The node has no crash entry at all, so there is nothing to rejoin
+    /// from.
+    RejoinWithoutCrash {
+        /// The node the rejoin addressed.
+        node: NodeId,
+        /// The rejected rejoin round.
+        round: usize,
+    },
+    /// At the start of the rejoin round the node would still be alive under
+    /// the schedule built so far (its crash comes later, or an earlier
+    /// rejoin already revived it). Add crashes before their rejoins; a
+    /// rejoin round must be strictly greater than the crash it recovers
+    /// from, so `rejoin(v, 0)` is always rejected.
+    RejoinWhileAlive {
+        /// The node the rejoin addressed.
+        node: NodeId,
+        /// The rejected rejoin round.
+        round: usize,
+    },
+}
+
+impl fmt::Display for ChurnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChurnError::RejoinWithoutCrash { node, round } => write!(
+                f,
+                "rejoin of node {} at round {round} rejected: the plan never crashes it",
+                node.display()
+            ),
+            ChurnError::RejoinWhileAlive { node, round } => write!(
+                f,
+                "rejoin of node {} at round {round} rejected: it is still alive at that point \
+                 (crashes must precede their rejoins, strictly)",
+                node.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChurnError {}
 
 impl FaultPlan {
     /// An empty plan. Attaching it to an engine is guaranteed to leave
@@ -112,6 +169,7 @@ impl FaultPlan {
         Self {
             seed,
             crashes: Vec::new(),
+            rejoins: Vec::new(),
             drop_p: 0.0,
             corrupt_p: 0.0,
             truncate_p: 0.0,
@@ -127,15 +185,76 @@ impl FaultPlan {
     /// True if the plan schedules nothing at all.
     pub fn is_empty(&self) -> bool {
         self.crashes.is_empty()
+            && self.rejoins.is_empty()
             && self.forced.is_empty()
             && self.drop_p == 0.0
             && self.corrupt_p == 0.0
             && self.truncate_p == 0.0
     }
 
-    /// Crash-stop `node` at the start of `round` (it never steps again).
+    /// Crash-stop `node` at the start of `round`. Without a matching
+    /// [`FaultPlan::rejoin`] it never steps again.
     pub fn crash(mut self, node: NodeId, round: usize) -> Self {
         self.crashes.push((node, round));
+        self
+    }
+
+    /// Bring a crashed `node` back at the start of `round`: the engine
+    /// state-syncs it over the missed window and it resumes stepping in
+    /// `round`. Validated against the schedule built **so far** — add the
+    /// crash first. The rejoin round must be strictly after the crash it
+    /// recovers from; see [`ChurnError`] for the rejection cases.
+    pub fn rejoin(mut self, node: NodeId, round: usize) -> Result<Self, ChurnError> {
+        if !self.crashes.iter().any(|(v, _)| *v == node) {
+            return Err(ChurnError::RejoinWithoutCrash { node, round });
+        }
+        let dead_before = round > 0 && !self.alive_at(node, round - 1);
+        if !dead_before {
+            return Err(ChurnError::RejoinWhileAlive { node, round });
+        }
+        self.rejoins.push((node, round));
+        Ok(self)
+    }
+
+    /// Sample a whole crash/rejoin churn schedule: every node outside
+    /// `spare` walks a two-state Markov chain over rounds `1..=max_round`,
+    /// crashing while alive with probability `crash_per_mille / 1000` and
+    /// rejoining while down with probability `rejoin_per_mille / 1000`,
+    /// per round. Each coin is a fresh ChaCha8 stream keyed by
+    /// `(plan seed, node, round)`, so the schedule is a pure function of the
+    /// seed — bit-identical across pool shapes, delivery backends, and
+    /// hosts — and valid by construction (strictly alternating crash/rejoin
+    /// per node, never at round 0).
+    pub fn with_random_churn(
+        mut self,
+        n: usize,
+        crash_per_mille: u32,
+        rejoin_per_mille: u32,
+        max_round: usize,
+        spare: &[NodeId],
+    ) -> Self {
+        assert!(crash_per_mille <= 1000, "crash rate is per mille");
+        assert!(rejoin_per_mille <= 1000, "rejoin rate is per mille");
+        for v in 0..n {
+            if spare.iter().any(|s| s.index() == v) {
+                continue;
+            }
+            let mut alive = true;
+            for r in 1..=max_round {
+                let mut rng =
+                    ChaCha8Rng::seed_from_u64(mix(self.seed, 0x0C48_5242, v as u64, r as u64));
+                let coin = rng.gen_range(0..1000u32);
+                if alive {
+                    if coin < crash_per_mille {
+                        self.crashes.push((NodeId::from(v), r));
+                        alive = false;
+                    }
+                } else if coin < rejoin_per_mille {
+                    self.rejoins.push((NodeId::from(v), r));
+                    alive = true;
+                }
+            }
+        }
         self
     }
 
@@ -206,22 +325,119 @@ impl FaultPlan {
             .min()
     }
 
-    /// The crash set this plan implies at `round`: every node whose
-    /// scheduled crash round is `≤ round` (a node crashing at round `r`
-    /// never steps in `r` or later). Ascending node order, duplicates
-    /// collapsed; `dead_at(usize::MAX)` is the plan's full crash set.
-    /// Fault-aware planners (`cc-routing`'s crash-set layer) consume this
-    /// to re-plan demands around nodes the plan will kill.
+    /// The downtime intervals the schedule implies for `node`, as
+    /// half-open `[crash_round, rejoin_round)` pairs in ascending order; a
+    /// final crash without a rejoin yields `[crash_round, usize::MAX)`.
+    /// Duplicate crashes of an already-down node (and duplicate rejoins of
+    /// an already-revived one) are collapsed, matching what the engine
+    /// actually applies.
+    pub fn downtime(&self, node: NodeId) -> Vec<(usize, usize)> {
+        let mut events: Vec<(usize, bool)> = self
+            .crashes
+            .iter()
+            .filter(|(v, _)| *v == node)
+            .map(|(_, r)| (*r, false))
+            .chain(
+                self.rejoins
+                    .iter()
+                    .filter(|(v, _)| *v == node)
+                    .map(|(_, r)| (*r, true)),
+            )
+            .collect();
+        // `false` (crash) sorts before `true` (rejoin) at equal rounds —
+        // the engine processes crashes first within a round.
+        events.sort_unstable();
+        let mut out = Vec::new();
+        let mut open: Option<usize> = None;
+        for (r, is_rejoin) in events {
+            match (is_rejoin, open) {
+                (false, None) => open = Some(r),
+                (true, Some(s)) => {
+                    out.push((s, r));
+                    open = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = open {
+            out.push((s, usize::MAX));
+        }
+        out
+    }
+
+    /// Whether `node` is scheduled to step at the start of `round`: false
+    /// exactly while a crash is in effect and no rejoin has fired yet. The
+    /// churn tier's ground truth — [`FaultPlan::dead_at`] and `cc-routing`'s
+    /// round-aware crash sets are derived from it.
+    pub fn alive_at(&self, node: NodeId, round: usize) -> bool {
+        // `e == usize::MAX` is the "never rejoins" sentinel and must cover
+        // every round including `usize::MAX` itself.
+        !self
+            .downtime(node)
+            .iter()
+            .any(|&(s, e)| s <= round && (round < e || e == usize::MAX))
+    }
+
+    /// The crash set this plan implies at `round`: every node down at that
+    /// round **net of rejoins** (a node crashing at round `r` misses `r` and
+    /// later rounds until — if ever — its rejoin). Ascending node order,
+    /// duplicates collapsed; `dead_at(usize::MAX)` is the set of nodes that
+    /// never come back. For the conservative *ever-dead* population (e.g. a
+    /// router refusing any intermediate with scheduled downtime) use
+    /// [`FaultPlan::ever_dead_in`].
     pub fn dead_at(&self, round: usize) -> Vec<NodeId> {
         let mut dead: Vec<NodeId> = self
             .crashes
             .iter()
-            .filter(|(_, r)| *r <= round)
             .map(|(v, _)| *v)
+            .filter(|v| !self.alive_at(*v, round))
             .collect();
         dead.sort_by_key(|v| v.index());
         dead.dedup();
         dead
+    }
+
+    /// Every node with scheduled downtime intersecting the half-open round
+    /// range `rounds` — the conservative crash set a planner should avoid
+    /// for work spanning that window. `ever_dead_in(0..usize::MAX)` is the
+    /// plan's full ever-crashed population.
+    pub fn ever_dead_in(&self, rounds: std::ops::Range<usize>) -> Vec<NodeId> {
+        let mut dead: Vec<NodeId> = self
+            .crashes
+            .iter()
+            .map(|(v, _)| *v)
+            .filter(|v| {
+                self.downtime(*v)
+                    .iter()
+                    .any(|&(s, e)| s < rounds.end && e > rounds.start)
+            })
+            .collect();
+        dead.sort_by_key(|v| v.index());
+        dead.dedup();
+        dead
+    }
+
+    /// The first rejoin of `node` scheduled strictly after `round`, if any.
+    /// The engine calls this at crash time to decide whether to keep a
+    /// state-sync window for the victim.
+    pub fn next_rejoin_after(&self, node: NodeId, round: usize) -> Option<usize> {
+        self.rejoins
+            .iter()
+            .filter(|(v, r)| *v == node && *r > round)
+            .map(|(_, r)| *r)
+            .min()
+    }
+
+    /// True if the plan schedules any rejoin (gates the engine's state-sync
+    /// machinery; crash-only plans take the exact pre-churn code path).
+    pub(crate) fn has_rejoins(&self) -> bool {
+        !self.rejoins.is_empty()
+    }
+
+    /// True if the plan crashes `node` exactly at `round` (not merely at or
+    /// before it — with rejoins a node can crash more than once).
+    fn crashes_at(&self, node: NodeId, round: usize) -> bool {
+        self.crashes.iter().any(|(v, r)| *v == node && *r == round)
     }
 
     /// The replayable adversary label, `plan[seed=…, …]`.
@@ -262,7 +478,11 @@ impl FaultPlan {
         }
         let n = inbound.n();
         for (v, h) in halted.iter_mut().enumerate() {
-            if *h || self.crash_round(NodeId::from(v)) != Some(round) {
+            // Exact-round membership, not the earliest crash round: with
+            // rejoins a node can crash, come back, and crash again. A node
+            // already halted (normally or by an earlier crash) is skipped,
+            // which also collapses duplicate crash entries.
+            if *h || !self.crashes_at(NodeId::from(v), round) {
                 continue;
             }
             *h = true;
@@ -377,6 +597,9 @@ impl fmt::Display for FaultPlan {
         if !self.crashes.is_empty() {
             write!(f, ", crashes={}", self.crashes.len())?;
         }
+        if !self.rejoins.is_empty() {
+            write!(f, ", rejoins={}", self.rejoins.len())?;
+        }
         if self.drop_p > 0.0 {
             write!(f, ", drop={}", self.drop_p)?;
         }
@@ -424,6 +647,21 @@ pub enum FaultEvent {
         /// Payload bits of those messages.
         lost_bits: u64,
     },
+    /// A crashed node came back and was state-synced over its missed
+    /// window.
+    Rejoined {
+        /// The recovered node.
+        node: NodeId,
+        /// Round at whose start it resumed stepping.
+        round: usize,
+        /// Missed rounds replayed to it (`rejoin round − crash round`,
+        /// fewer if it halted mid-replay).
+        sync_rounds: u64,
+        /// In-flight messages re-delivered during the replay.
+        sync_messages: u64,
+        /// Payload bits of those messages.
+        sync_bits: u64,
+    },
     /// A message was removed from the wire.
     Dropped {
         /// Sender of the lost message.
@@ -462,8 +700,8 @@ pub enum FaultEvent {
 }
 
 /// Everything the adversary did in one run, in deterministic order
-/// (ascending rounds; within a round crashes by node id, then link faults
-/// sender-major).
+/// (ascending rounds; within a round crashes by node id, then rejoins by
+/// node id, then link faults sender-major).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultReport {
     /// Applied faults in order.
@@ -510,12 +748,71 @@ impl FaultReport {
                     stats.undelivered_messages += lost_messages;
                     stats.undelivered_bits += lost_bits;
                 }
+                FaultEvent::Rejoined {
+                    sync_rounds,
+                    sync_messages,
+                    sync_bits,
+                    ..
+                } => {
+                    stats.rejoined_nodes += 1;
+                    stats.sync_rounds += sync_rounds;
+                    stats.sync_messages += sync_messages;
+                    stats.sync_bits += sync_bits;
+                }
                 FaultEvent::Dropped { .. } => stats.dropped_messages += 1,
                 FaultEvent::Corrupted { .. } => stats.corrupted_messages += 1,
                 FaultEvent::Truncated { .. } => stats.truncated_messages += 1,
             }
         }
     }
+}
+
+/// Analytic price of state sync under an all-chatter workload, mirroring
+/// `cc-routing`'s `resilient_overhead`: predicted totals for the sync
+/// counters of [`crate::RunStats`], asserted against simulated stats in the
+/// churn conformance suite (see docs/THREAT-MODEL.md).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyncOverhead {
+    /// Rejoins that fire (finite downtime intervals in the plan).
+    pub rejoins: u64,
+    /// Total missed rounds replayed across all rejoins.
+    pub sync_rounds: u64,
+    /// Total messages re-delivered during replays.
+    pub sync_messages: u64,
+    /// Total payload bits of those messages.
+    pub sync_bits: u64,
+}
+
+/// Predict the state-sync bill of `plan` on an `n`-node clique whose nodes
+/// all send a `width`-bit payload to every peer every round until after the
+/// last rejoin (the maximum-bandwidth workload: every missed slot is a real
+/// re-delivery). For each finite downtime window `[c, r)` the rejoiner
+/// replays rounds `c..r`; replay round `t` re-delivers one `width`-bit
+/// message from every other node that was alive at `t - 1` (round 0 has no
+/// inbound traffic). Protocols that send less simply cost less — this bound
+/// is exact for all-chatter and an upper bound otherwise.
+pub fn sync_overhead(n: usize, plan: &FaultPlan, width: usize) -> SyncOverhead {
+    let mut out = SyncOverhead::default();
+    for v in plan.ever_dead_in(0..usize::MAX) {
+        for (c, r) in plan.downtime(v) {
+            if r == usize::MAX {
+                continue;
+            }
+            out.rejoins += 1;
+            out.sync_rounds += (r - c) as u64;
+            for t in c..r {
+                if t == 0 {
+                    continue;
+                }
+                let senders = (0..n)
+                    .filter(|&u| u != v.index() && plan.alive_at(NodeId::from(u), t - 1))
+                    .count() as u64;
+                out.sync_messages += senders;
+                out.sync_bits += senders * width as u64;
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -559,6 +856,189 @@ mod tests {
         assert_eq!(p.dead_at(3), vec![NodeId(1), NodeId(4)]);
         assert_eq!(p.dead_at(usize::MAX), vec![NodeId(1), NodeId(4)]);
         assert_eq!(FaultPlan::new(9).dead_at(usize::MAX), vec![]);
+    }
+
+    #[test]
+    fn rejoin_before_crash_is_rejected_structurally() {
+        // No crash at all.
+        assert_eq!(
+            FaultPlan::new(0).rejoin(NodeId(3), 5),
+            Err(ChurnError::RejoinWithoutCrash {
+                node: NodeId(3),
+                round: 5
+            })
+        );
+        // Crash exists but only later: still alive at the rejoin round.
+        assert_eq!(
+            FaultPlan::new(0).crash(NodeId(3), 7).rejoin(NodeId(3), 5),
+            Err(ChurnError::RejoinWhileAlive {
+                node: NodeId(3),
+                round: 5
+            })
+        );
+        // Same round as the crash: rejoins must be strictly later.
+        assert_eq!(
+            FaultPlan::new(0).crash(NodeId(3), 5).rejoin(NodeId(3), 5),
+            Err(ChurnError::RejoinWhileAlive {
+                node: NodeId(3),
+                round: 5
+            })
+        );
+        // Errors render a human-readable rejection.
+        let e = FaultPlan::new(0).rejoin(NodeId(3), 5).unwrap_err();
+        assert!(e.to_string().contains("never crashes"));
+    }
+
+    #[test]
+    fn rejoin_at_round_zero_is_always_rejected() {
+        // No crash can strictly precede round 0.
+        assert_eq!(
+            FaultPlan::new(0).crash(NodeId(1), 0).rejoin(NodeId(1), 0),
+            Err(ChurnError::RejoinWhileAlive {
+                node: NodeId(1),
+                round: 0
+            })
+        );
+    }
+
+    #[test]
+    fn crash_rejoin_crash_again_composes() {
+        let p = FaultPlan::new(0)
+            .crash(NodeId(2), 1)
+            .rejoin(NodeId(2), 3)
+            .expect("dead at 1..3")
+            .crash(NodeId(2), 6);
+        assert_eq!(p.downtime(NodeId(2)), vec![(1, 3), (6, usize::MAX)]);
+        // A second rejoin after the second crash is valid again.
+        let p = p.rejoin(NodeId(2), 8).expect("dead at 6..8");
+        assert_eq!(p.downtime(NodeId(2)), vec![(1, 3), (6, 8)]);
+        // But a rejoin in the alive gap is not.
+        assert_eq!(
+            p.clone().rejoin(NodeId(2), 4),
+            Err(ChurnError::RejoinWhileAlive {
+                node: NodeId(2),
+                round: 4
+            })
+        );
+        assert_eq!(p.next_rejoin_after(NodeId(2), 1), Some(3));
+        assert_eq!(p.next_rejoin_after(NodeId(2), 6), Some(8));
+        assert_eq!(p.next_rejoin_after(NodeId(2), 8), None);
+        assert_eq!(p.label(), "plan[seed=0, crashes=2, rejoins=2]");
+    }
+
+    #[test]
+    fn alive_at_and_dead_at_agree_around_a_rejoin() {
+        let p = FaultPlan::new(0)
+            .crash(NodeId(1), 2)
+            .rejoin(NodeId(1), 5)
+            .expect("valid rejoin")
+            .crash(NodeId(4), 3);
+        // Positive and negative checks round by round for node 1.
+        assert!(p.alive_at(NodeId(1), 0));
+        assert!(p.alive_at(NodeId(1), 1));
+        assert!(!p.alive_at(NodeId(1), 2), "missed its crash round");
+        assert!(!p.alive_at(NodeId(1), 4));
+        assert!(p.alive_at(NodeId(1), 5), "steps again at the rejoin round");
+        assert!(p.alive_at(NodeId(1), 100));
+        // Node 4 never rejoins; node 0 never crashes.
+        assert!(!p.alive_at(NodeId(4), 3));
+        assert!(!p.alive_at(NodeId(4), usize::MAX));
+        assert!(p.alive_at(NodeId(0), usize::MAX));
+        // dead_at is the net-dead set per round.
+        assert_eq!(p.dead_at(1), vec![]);
+        assert_eq!(p.dead_at(2), vec![NodeId(1)]);
+        assert_eq!(p.dead_at(3), vec![NodeId(1), NodeId(4)]);
+        assert_eq!(p.dead_at(5), vec![NodeId(4)]);
+        assert_eq!(p.dead_at(usize::MAX), vec![NodeId(4)]);
+        // ever_dead_in is the conservative window population.
+        assert_eq!(p.ever_dead_in(0..2), vec![]);
+        assert_eq!(p.ever_dead_in(0..3), vec![NodeId(1)]);
+        assert_eq!(p.ever_dead_in(4..6), vec![NodeId(1), NodeId(4)]);
+        assert_eq!(p.ever_dead_in(5..9), vec![NodeId(4)]);
+        assert_eq!(p.ever_dead_in(0..usize::MAX), vec![NodeId(1), NodeId(4)]);
+    }
+
+    #[test]
+    fn random_churn_is_seed_deterministic_and_valid() {
+        let mk = |seed| FaultPlan::new(seed).with_random_churn(12, 300, 400, 20, &[NodeId(0)]);
+        let a = mk(5);
+        assert_eq!(a, mk(5), "same seed, same schedule");
+        assert_ne!(a, mk(6), "different seed, different schedule");
+        assert!(!a.crashes.is_empty(), "p=0.3 over 11×20 coins fires");
+        assert!(a.has_rejoins(), "p=0.4 recovery fires");
+        assert!(a.alive_at(NodeId(0), usize::MAX), "spared node never down");
+        // Valid by construction: per node strictly alternating, never at
+        // round 0 — every interval is well-formed and re-insertable through
+        // the validated builder.
+        for v in 0..12 {
+            let mut replay = FaultPlan::new(a.seed);
+            for &(s, e) in &a.downtime(NodeId(v)) {
+                assert!(s >= 1);
+                replay = replay.crash(NodeId(v), s);
+                if e != usize::MAX {
+                    replay = replay.rejoin(NodeId(v), e).expect("interval is valid");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejoined_tally_fills_the_sync_counters() {
+        let report = FaultReport {
+            events: vec![
+                FaultEvent::Rejoined {
+                    node: NodeId(1),
+                    round: 4,
+                    sync_rounds: 3,
+                    sync_messages: 6,
+                    sync_bits: 18,
+                },
+                FaultEvent::Rejoined {
+                    node: NodeId(2),
+                    round: 9,
+                    sync_rounds: 1,
+                    sync_messages: 2,
+                    sync_bits: 4,
+                },
+            ],
+        };
+        let mut stats = RunStats::default();
+        report.tally_into(&mut stats);
+        assert_eq!(stats.rejoined_nodes, 2);
+        assert_eq!(stats.sync_rounds, 4);
+        assert_eq!(stats.sync_messages, 8);
+        assert_eq!(stats.sync_bits, 22);
+        assert_eq!(stats.dead_nodes, 0, "rejoin events are not crash events");
+    }
+
+    #[test]
+    fn sync_overhead_prices_the_missed_window() {
+        // n = 4 all-chatter, node 1 down for rounds 2..4 (two missed
+        // rounds). Replay round 2 re-delivers 3 senders' messages, round 3
+        // likewise: 6 messages of `width` bits.
+        let plan = FaultPlan::new(0)
+            .crash(NodeId(1), 2)
+            .rejoin(NodeId(1), 4)
+            .expect("valid rejoin");
+        let o = sync_overhead(4, &plan, 5);
+        assert_eq!(o.rejoins, 1);
+        assert_eq!(o.sync_rounds, 2);
+        assert_eq!(o.sync_messages, 6);
+        assert_eq!(o.sync_bits, 30);
+        // A permanent crash prices nothing.
+        let permanent = sync_overhead(4, &FaultPlan::new(0).crash(NodeId(1), 2), 5);
+        assert_eq!(permanent, SyncOverhead::default());
+        // Overlapping downtime of another node thins the sender population.
+        let plan = FaultPlan::new(0)
+            .crash(NodeId(1), 2)
+            .rejoin(NodeId(1), 4)
+            .expect("valid")
+            .crash(NodeId(3), 1);
+        let o = sync_overhead(4, &plan, 5);
+        // Node 3 is dead at rounds 1 and 3 (the `t-1` instants of both
+        // replay rounds), so each replay round has only 2 live senders.
+        assert_eq!(o.sync_messages, 4);
+        assert_eq!(o.sync_bits, 20);
     }
 
     #[test]

@@ -71,7 +71,10 @@ pub use bits::{BitReader, BitString, DecodeError};
 pub use byzantine::{ByzantineEvent, ByzantinePlan, ByzantineReport, ForcedLie, Lie};
 pub use delivery::{DeliveryArena, DeliveryMode};
 pub use engine::{ByzantineOutcome, Engine, FaultedOutcome, RunOutcome, SimError};
-pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultReport, ForcedFault};
+pub use fault::{
+    sync_overhead, ChurnError, FaultEvent, FaultKind, FaultPlan, FaultReport, ForcedFault,
+    SyncOverhead,
+};
 pub use node::{Inbox, NodeCtx, NodeId, NodeProgram, Outbox, Status};
 pub use session::Session;
 pub use stats::{EngineTiming, RunStats};

@@ -75,6 +75,24 @@ impl Session {
         &self.engine
     }
 
+    /// Address the engine's fault plan at `offset + local round` for this
+    /// and subsequent phases (see [`Engine::with_fault_offset`]). Use
+    /// [`Session::align_fault_clock`] to derive the offset from the
+    /// session's own ledger.
+    pub fn set_fault_offset(&mut self, offset: usize) {
+        self.engine = self.engine.clone().with_fault_offset(offset);
+    }
+
+    /// Point the fault clock at the session's cumulative round count, so a
+    /// single absolute-round churn timeline (crashes, rejoins, link-fault
+    /// coins) spans phases that each restart their local round count at 0.
+    /// Call between phases; analytic rounds added via [`Session::charge`]
+    /// advance the clock too, matching their free-synchronisation reading.
+    pub fn align_fault_clock(&mut self) {
+        let rounds = self.stats.rounds;
+        self.set_fault_offset(rounds);
+    }
+
     /// Run one phase; its rounds/bits are added to the session totals.
     pub fn run<P: NodeProgram>(
         &mut self,
@@ -104,7 +122,8 @@ impl Session {
     /// any), keeping the per-event rewrite log. Rounds, bits, and all
     /// adversary counters are added to the session totals. Note that each
     /// phase restarts its round count at 0, so a plan's round-addressed
-    /// schedule re-applies per phase.
+    /// schedule re-applies per phase unless the fault clock is advanced
+    /// with [`Session::align_fault_clock`].
     pub fn run_byzantine<P: NodeProgram>(
         &mut self,
         programs: Vec<P>,
@@ -192,6 +211,26 @@ mod tests {
         assert!(out.outputs[3].is_none());
         assert_eq!(s.stats().dead_nodes, 1);
         assert_eq!(s.phases(), 1);
+    }
+
+    #[test]
+    fn fault_clock_alignment_spans_phases() {
+        use crate::fault::FaultPlan;
+        let mk = || (0..4).map(|_| OneRound).collect::<Vec<_>>();
+        // The crash is scheduled at absolute round 2 — inside the *second*
+        // one-round phase once the clock is aligned, unreachable otherwise.
+        let plan = FaultPlan::new(0).crash(NodeId(3), 2);
+        let mut s = Session::new(Engine::new(4).with_fault_plan(plan));
+        let p1 = s.run_faulted(mk()).unwrap();
+        assert!(p1.outputs[3].is_some(), "plan round 2 is outside phase 1");
+        s.align_fault_clock();
+        assert_eq!(s.engine().fault_offset(), 1);
+        let p2 = s.run_faulted(mk()).unwrap();
+        assert!(
+            p2.outputs[3].is_none(),
+            "plan round 2 = phase-2 local round 1"
+        );
+        assert_eq!(s.stats().dead_nodes, 1);
     }
 
     #[test]

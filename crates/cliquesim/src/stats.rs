@@ -62,6 +62,20 @@ pub struct RunStats {
     /// output). In-flight payloads they never read are charged to
     /// `undelivered_*`.
     pub dead_nodes: u64,
+    /// Crashed nodes a fault plan brought back via a rejoin, each
+    /// state-synced over its missed window.
+    pub rejoined_nodes: u64,
+    /// Missed rounds replayed to rejoining nodes as out-of-band state-sync
+    /// rounds. Not added to `rounds`: sync rides alongside the live clock.
+    pub sync_rounds: u64,
+    /// Messages re-delivered to rejoining nodes during state sync. Not
+    /// added to `messages` — the originals were already counted at send
+    /// time (sent-based accounting, see module docs), so the live totals
+    /// stay transcript-exact; this counter is the price of the replay.
+    pub sync_messages: u64,
+    /// Payload bits of the re-delivered state-sync messages. Disjoint from
+    /// `bits`, like `sync_messages`.
+    pub sync_bits: u64,
     /// Messages whose content a Byzantine plan rewrote (garbled, inverted,
     /// or replayed). The payload still occupies the wire, so it stays in
     /// `messages`/`bits`; this counter marks it as a lie.
@@ -123,6 +137,10 @@ impl PartialEq for RunStats {
             && self.corrupted_messages == other.corrupted_messages
             && self.truncated_messages == other.truncated_messages
             && self.dead_nodes == other.dead_nodes
+            && self.rejoined_nodes == other.rejoined_nodes
+            && self.sync_rounds == other.sync_rounds
+            && self.sync_messages == other.sync_messages
+            && self.sync_bits == other.sync_bits
             && self.forged_messages == other.forged_messages
             && self.silenced_messages == other.silenced_messages
             && self.traitor_nodes == other.traitor_nodes
@@ -149,6 +167,10 @@ impl RunStats {
         self.corrupted_messages += other.corrupted_messages;
         self.truncated_messages += other.truncated_messages;
         self.dead_nodes += other.dead_nodes;
+        self.rejoined_nodes += other.rejoined_nodes;
+        self.sync_rounds += other.sync_rounds;
+        self.sync_messages += other.sync_messages;
+        self.sync_bits += other.sync_bits;
         self.forged_messages += other.forged_messages;
         self.silenced_messages += other.silenced_messages;
         self.traitor_nodes += other.traitor_nodes;
@@ -205,6 +227,10 @@ mod tests {
             corrupted_messages: 2,
             truncated_messages: 3,
             dead_nodes: 1,
+            rejoined_nodes: 1,
+            sync_rounds: 4,
+            sync_messages: 7,
+            sync_bits: 21,
             forged_messages: 4,
             silenced_messages: 5,
             traitor_nodes: 1,
@@ -216,6 +242,10 @@ mod tests {
         assert_eq!(a.corrupted_messages, 4);
         assert_eq!(a.truncated_messages, 6);
         assert_eq!(a.dead_nodes, 2);
+        assert_eq!(a.rejoined_nodes, 2);
+        assert_eq!(a.sync_rounds, 8);
+        assert_eq!(a.sync_messages, 14);
+        assert_eq!(a.sync_bits, 42);
         assert_eq!(a.forged_messages, 8);
         assert_eq!(a.silenced_messages, 10);
         assert_eq!(a.traitor_nodes, 2);

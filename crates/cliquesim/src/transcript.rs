@@ -13,6 +13,17 @@
 //! records what survived the wire (post-fault). Cross-node symmetry — every
 //! send matched by a receive — therefore holds only for fault-free runs; a
 //! crashed node's transcript simply ends at its crash round.
+//!
+//! # Rejoins and state sync
+//!
+//! When the plan schedules a rejoin, the engine backfills the rejoiner's
+//! missed window as *received-only* rounds (`sent` empty — a dead node put
+//! nothing on the wire), one per missed round and in round order, so index
+//! `r` of every transcript still describes round `r`. For pure churn plans
+//! (no link faults) this keeps the transcripts conformant with
+//! `cc-testkit`'s auditor: each backfilled receive matches the sender's
+//! recorded send from the previous round. Link faults break that payload
+//! symmetry exactly as they do for live nodes (see above).
 
 use crate::bits::{BitReader, BitString, DecodeError};
 use crate::node::NodeId;
