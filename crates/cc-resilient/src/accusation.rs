@@ -1,0 +1,244 @@
+//! Transferable equivocation proofs from signed messages.
+//!
+//! `cc-testkit`'s `equivocation_witness` demonstrates that a traitor can
+//! send different payloads to different peers — but the witness it
+//! produces is only convincing to someone who *watched the run*: two
+//! recipients each claim "node `v` told me X", and either could be lying.
+//! With cliquesim's signed-message envelope (`cliquesim::auth`) the claim
+//! stops being hearsay: every delivered frame ends in a tag only `v`'s key
+//! produces, so two conflicting frames for the same round are a
+//! self-contained conviction any third party can check against the keyring
+//! without trusting either accuser.
+//!
+//! **Guarantee:** [`equivocation_accusation`] accepts exactly the pairs of
+//! [`SignedClaim`]s that convict — same signer, same round, different
+//! payloads, both tags valid — and the resulting [`EquivocationProof`]
+//! re-verifies against the keyring from nothing but its own fields.
+//! Honest nodes are never convicted: producing two *valid* tags over
+//! different payloads for the same `(signer, round)` requires the signer's
+//! key, which honest nodes use once per payload per round.
+//!
+//! **Assumptions:** the seeded-keyring substitution contract
+//! (`cliquesim::auth`) — the adversary does not hold honest keys and
+//! cannot invert the tag function. As everywhere in the workspace this is
+//! a *deterministic stand-in* for real signatures, not cryptography.
+//!
+//! **Overhead:** none at run time. Accusations are built *after* a run
+//! from recorded inbox frames; they cost `2(|payload| + TAG_BITS)` bits if
+//! shipped to a third party, and no protocol here ships them
+//! automatically.
+
+use std::fmt;
+
+use cliquesim::{split_tagged, AuthKeyring, BitString, NodeId};
+
+/// One recipient's testimony: "node `signer` sent me `payload` with `tag`
+/// in engine round `round`". Build it from a delivered inbox frame with
+/// [`SignedClaim::from_frame`] — the frame's trailing tag is exactly the
+/// envelope signature the engine attached and verified on delivery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignedClaim {
+    /// The node the frame came from (the alleged equivocator).
+    pub signer: NodeId,
+    /// The engine round the frame was sent in.
+    pub round: usize,
+    /// The frame's payload, tag stripped.
+    pub payload: BitString,
+    /// The envelope tag that came with the payload.
+    pub tag: u64,
+}
+
+impl SignedClaim {
+    /// Split a delivered inbox frame (payload ‖ tag) into a claim. Returns
+    /// `None` for frames too short to carry a tag.
+    pub fn from_frame(signer: NodeId, round: usize, frame: &BitString) -> Option<Self> {
+        let (payload, tag) = split_tagged(frame)?;
+        Some(Self {
+            signer,
+            round,
+            payload,
+            tag,
+        })
+    }
+
+    /// Whether this claim's tag verifies under `keyring`.
+    pub fn verifies(&self, keyring: &AuthKeyring) -> bool {
+        keyring.verify(self.signer, self.round, &self.payload, self.tag)
+    }
+}
+
+/// Why a pair of claims fails to convict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccusationError {
+    /// The two claims name different signers — nobody equivocated.
+    DifferentSigner,
+    /// The claims are from different rounds; sending different payloads
+    /// in different rounds is ordinary behaviour.
+    DifferentRound,
+    /// The payloads are identical — consistent broadcast, not
+    /// equivocation.
+    SamePayload,
+    /// At least one tag does not verify, so that claim could itself be
+    /// fabricated; a proof built from it would convict an honest node.
+    BadTag,
+}
+
+impl fmt::Display for AccusationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self {
+            Self::DifferentSigner => "claims name different signers",
+            Self::DifferentRound => "claims are from different rounds",
+            Self::SamePayload => "payloads agree; nothing to accuse",
+            Self::BadTag => "a claim's tag does not verify",
+        };
+        f.write_str(what)
+    }
+}
+
+impl std::error::Error for AccusationError {}
+
+/// A transferable conviction: two validly-signed, conflicting payloads
+/// from the same signer in the same round. Check it with
+/// [`EquivocationProof::verify`]; it carries everything needed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EquivocationProof {
+    /// The convicted equivocator.
+    pub signer: NodeId,
+    /// The round both conflicting frames were sent in.
+    pub round: usize,
+    /// First signed payload: `(payload, tag)`.
+    pub first: (BitString, u64),
+    /// Second, different signed payload: `(payload, tag)`.
+    pub second: (BitString, u64),
+}
+
+impl EquivocationProof {
+    /// Re-check the conviction from scratch: both tags valid for
+    /// `(signer, round)` and the payloads genuinely different. A proof
+    /// built by [`equivocation_accusation`] under the same keyring always
+    /// passes; a tampered one does not.
+    pub fn verify(&self, keyring: &AuthKeyring) -> bool {
+        self.first.0 != self.second.0
+            && keyring.verify(self.signer, self.round, &self.first.0, self.first.1)
+            && keyring.verify(self.signer, self.round, &self.second.0, self.second.1)
+    }
+}
+
+/// Upgrade two conflicting testimonies into a transferable
+/// [`EquivocationProof`], rejecting every pair that would not convict —
+/// see [`AccusationError`] for the exhaustive list of reasons.
+pub fn equivocation_accusation(
+    keyring: &AuthKeyring,
+    a: &SignedClaim,
+    b: &SignedClaim,
+) -> Result<EquivocationProof, AccusationError> {
+    if a.signer != b.signer {
+        return Err(AccusationError::DifferentSigner);
+    }
+    if a.round != b.round {
+        return Err(AccusationError::DifferentRound);
+    }
+    if a.payload == b.payload {
+        return Err(AccusationError::SamePayload);
+    }
+    if !a.verifies(keyring) || !b.verifies(keyring) {
+        return Err(AccusationError::BadTag);
+    }
+    Ok(EquivocationProof {
+        signer: a.signer,
+        round: a.round,
+        first: (a.payload.clone(), a.tag),
+        second: (b.payload.clone(), b.tag),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn claim(keyring: &AuthKeyring, signer: NodeId, round: usize, value: u64) -> SignedClaim {
+        let mut payload = BitString::new();
+        payload.push_uint(value, 8);
+        let tag = keyring.sign(signer, round, &payload);
+        SignedClaim {
+            signer,
+            round,
+            payload,
+            tag,
+        }
+    }
+
+    #[test]
+    fn conflicting_valid_claims_convict_and_the_proof_transfers() {
+        let keyring = AuthKeyring::from_seed(6, 11);
+        let a = claim(&keyring, NodeId(2), 3, 0x41);
+        let b = claim(&keyring, NodeId(2), 3, 0x42);
+        let proof = equivocation_accusation(&keyring, &a, &b).unwrap();
+        assert!(proof.verify(&keyring), "the proof is self-contained");
+        // A different keyring (different deployment) rejects it.
+        assert!(!proof.verify(&AuthKeyring::from_seed(6, 12)));
+    }
+
+    #[test]
+    fn every_non_convicting_pair_is_rejected_for_the_right_reason() {
+        let keyring = AuthKeyring::from_seed(6, 11);
+        let a = claim(&keyring, NodeId(2), 3, 0x41);
+        let b = claim(&keyring, NodeId(2), 3, 0x42);
+        let other_signer = claim(&keyring, NodeId(3), 3, 0x42);
+        let other_round = claim(&keyring, NodeId(2), 4, 0x42);
+        let mut forged = b.clone();
+        forged.tag ^= 1;
+        assert_eq!(
+            equivocation_accusation(&keyring, &a, &other_signer),
+            Err(AccusationError::DifferentSigner)
+        );
+        assert_eq!(
+            equivocation_accusation(&keyring, &a, &other_round),
+            Err(AccusationError::DifferentRound)
+        );
+        assert_eq!(
+            equivocation_accusation(&keyring, &a, &a.clone()),
+            Err(AccusationError::SamePayload)
+        );
+        assert_eq!(
+            equivocation_accusation(&keyring, &a, &forged),
+            Err(AccusationError::BadTag),
+            "an invalid testimony must never help convict"
+        );
+    }
+
+    #[test]
+    fn tampered_proofs_fail_verification() {
+        let keyring = AuthKeyring::from_seed(6, 11);
+        let a = claim(&keyring, NodeId(2), 3, 0x41);
+        let b = claim(&keyring, NodeId(2), 3, 0x42);
+        let proof = equivocation_accusation(&keyring, &a, &b).unwrap();
+        let mut wrong_signer = proof.clone();
+        wrong_signer.signer = NodeId(4);
+        assert!(!wrong_signer.verify(&keyring));
+        let mut wrong_round = proof.clone();
+        wrong_round.round = 9;
+        assert!(!wrong_round.verify(&keyring));
+        let mut same_payload = proof.clone();
+        same_payload.second = proof.first.clone();
+        assert!(
+            !same_payload.verify(&keyring),
+            "no self-conflict convictions"
+        );
+    }
+
+    #[test]
+    fn claims_round_trip_from_delivered_frames() {
+        let keyring = AuthKeyring::from_seed(5, 7);
+        let mut payload = BitString::new();
+        payload.push_uint(0b1011, 4);
+        let tag = keyring.sign(NodeId(1), 2, &payload);
+        let mut frame = payload.clone();
+        frame.push_uint(tag, cliquesim::TAG_BITS);
+        let c = SignedClaim::from_frame(NodeId(1), 2, &frame).unwrap();
+        assert_eq!(c.payload, payload);
+        assert_eq!(c.tag, tag);
+        assert!(c.verifies(&keyring));
+        assert!(SignedClaim::from_frame(NodeId(1), 2, &payload).is_none());
+    }
+}

@@ -26,22 +26,41 @@
 //!   [`bracha_overhead`] prices it for [`cliquesim::Session::charge`].
 //! * [`byzantine_max_gossip`] — Byzantine-tolerant maximum via `n`
 //!   sequential Bracha phases (`n(2f + 6)` rounds).
+//! * [`DolevStrongBroadcast`] — *authenticated* reliable broadcast over
+//!   cliquesim's signed-message envelope ([`cliquesim::AuthKeyring`]):
+//!   signature chains buy honest agreement past Bracha's `f < n/3` ceiling
+//!   in only `f + 1` rounds — [`dolev_strong_broadcast`] covers the
+//!   honest-majority regime `f < n/2` the acceptance sweep pins, and
+//!   [`dolev_strong_broadcast_classic`] the full classic range `f < n`;
+//!   [`dolev_strong_overhead`] prices it for [`cliquesim::Session::charge`].
+//! * [`equivocation_accusation`] — upgrades two conflicting signed claims
+//!   into a transferable [`EquivocationProof`] that convicts an equivocator
+//!   to any third party holding the keyring.
 //!
 //! The first three do **not** tolerate Byzantine senders: a traitor that
 //! equivocates — sends different payloads to different peers — makes every
 //! copy on a link agree and still lie, so per-link majorities are forged by
 //! a single traitor (`cc-testkit`'s `equivocation_witness` demonstrates
-//! this against [`RepeatBroadcast`]). That tier needs the quorum layer.
+//! this against [`RepeatBroadcast`]). That tier needs the quorum layer —
+//! and the quorum layer in turn stops at `f < n/3`, which only the
+//! authenticated tier moves past.
 
 #![deny(missing_docs)]
 
+mod accusation;
 mod aggregate;
 mod bracha;
+mod dolev_strong;
 mod echo;
 mod retransmit;
 
+pub use accusation::{equivocation_accusation, AccusationError, EquivocationProof, SignedClaim};
 pub use aggregate::{max_gossip, MaxGossip};
 pub use bracha::{bracha_broadcast, bracha_overhead, byzantine_max_gossip, BrachaBroadcast};
+pub use dolev_strong::{
+    dolev_strong_broadcast, dolev_strong_broadcast_classic, dolev_strong_overhead,
+    DolevStrongBroadcast,
+};
 pub use echo::{echo_broadcast, EchoBroadcast};
 pub use retransmit::{repeat_broadcast, retry_overhead, RepeatBroadcast};
 

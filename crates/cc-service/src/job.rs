@@ -23,7 +23,7 @@ use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
 
-use cliquesim::{ByzantinePlan, DeliveryMode, Engine, FaultPlan, RunStats, Session};
+use cliquesim::{AuthKeyring, ByzantinePlan, DeliveryMode, Engine, FaultPlan, RunStats, Session};
 
 /// Index of a job within its [`crate::Batch`], assigned by
 /// [`crate::Batch::push`] in submission order.
@@ -79,6 +79,9 @@ pub struct EngineSpec {
     pub fault_offset: usize,
     /// Byzantine sender adversary for the job.
     pub byzantine: Option<ByzantinePlan>,
+    /// Seed for a signed-message keyring (`AuthKeyring::from_seed(n,
+    /// seed)` attached via `Engine::with_auth`); `None` = unauthenticated.
+    pub auth_seed: Option<u64>,
 }
 
 impl EngineSpec {
@@ -96,6 +99,7 @@ impl EngineSpec {
             fault: None,
             fault_offset: 0,
             byzantine: None,
+            auth_seed: None,
         }
     }
 
@@ -141,6 +145,12 @@ impl EngineSpec {
         self
     }
 
+    /// Attach a seeded signed-message keyring (authenticated tier).
+    pub fn auth(mut self, seed: u64) -> Self {
+        self.auth_seed = Some(seed);
+        self
+    }
+
     /// Materialise the engine, wiring in the service's cancellation flag
     /// so an in-flight job aborts at its next round boundary when the
     /// batch is cancelled.
@@ -166,6 +176,9 @@ impl EngineSpec {
         }
         if let Some(plan) = &self.byzantine {
             engine = engine.with_byzantine_plan(plan.clone());
+        }
+        if let Some(seed) = self.auth_seed {
+            engine = engine.with_auth(AuthKeyring::from_seed(self.n, seed));
         }
         if let Some(flag) = cancel {
             engine = engine.with_cancel(flag);

@@ -32,6 +32,11 @@
 //!   schedules) with replayable `churn[n=…, seed=…]` labels, pool-shape ×
 //!   delivery-backend differentials, and a ledger judge that closes the
 //!   sync counters against the fault report and the plan's downtime.
+//! * [`auth`] — authenticated-tier conformance: seed-addressed
+//!   [`auth::AuthCase`]s (`auth[n=…, f=…, seed=…]`) pairing a
+//!   [`cliquesim::AuthKeyring`] with an honest-majority `f < n/2` traitor
+//!   plan, and [`differential_authenticated`] replaying each pair over
+//!   every pool shape × delivery backend with byte-identical results.
 //! * [`byzantine`] — the same obligations for the
 //!   [`cliquesim::ByzantinePlan`] traitor tier, plus the
 //!   [`byzantine::equivocation_witness`] checker that exhibits a single
@@ -63,6 +68,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod auth;
 pub mod byzantine;
 pub mod certificates;
 pub mod churn;
@@ -76,6 +82,7 @@ pub mod routing;
 pub use audit::{
     assert_transcripts_conform, audit_transcripts, AuditReport, AuditSpec, AuditViolation,
 };
+pub use auth::{auth_corpus, differential_authenticated, AuthCase};
 pub use byzantine::{
     assert_empty_byzantine_transparent, differential_byzantine, equivocation_witness, ByzantineRun,
 };

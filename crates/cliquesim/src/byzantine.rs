@@ -74,6 +74,15 @@ pub enum Lie {
     /// distinct from a link drop because it is sender-chosen and
     /// per-recipient).
     Silence,
+    /// Replace the trailing [`crate::auth::TAG_BITS`]-bit authentication
+    /// tag of an already-signed frame with an address-keyed random tag,
+    /// guaranteed unequal to the genuine one — the adversary trying (and
+    /// provably failing) to forge a signature. Only meaningful on an
+    /// engine with an attached [`crate::AuthKeyring`]: the forgery pass
+    /// runs between the signing and verification sweeps, so every forged
+    /// frame is rejected and counted in `RunStats.rejected_tags`. Inert
+    /// (never fires) without a keyring.
+    ForgeTag,
 }
 
 /// One scheduled forced lie: `(round, from, to, lie)`. Fires only if
@@ -101,8 +110,13 @@ pub struct ByzantinePlan {
     garble_p: f64,
     replay_p: f64,
     silence_p: f64,
+    forge_p: f64,
     forced: Vec<ForcedLie>,
 }
+
+/// Domain separator for the forged-tag coin stream, so adding a forge
+/// probability never perturbs the payload-stage draws of the same plan.
+const FORGE_DOMAIN: u64 = 0xF026_E7A6;
 
 impl ByzantinePlan {
     /// An empty plan (no traitors). Attaching it to an engine is
@@ -114,6 +128,7 @@ impl ByzantinePlan {
             garble_p: 0.0,
             replay_p: 0.0,
             silence_p: 0.0,
+            forge_p: 0.0,
             forced: Vec::new(),
         }
     }
@@ -130,6 +145,7 @@ impl ByzantinePlan {
             || (self.garble_p == 0.0
                 && self.replay_p == 0.0
                 && self.silence_p == 0.0
+                && self.forge_p == 0.0
                 && self.forced.is_empty())
     }
 
@@ -201,6 +217,17 @@ impl ByzantinePlan {
         self
     }
 
+    /// Forge the authentication tag of every traitor message independently
+    /// with probability `p` (per recipient, on engines with an attached
+    /// keyring). The coin stream is domain-separated from the payload-stage
+    /// lies, so composing `forge` with `garble`/`replay`/`silence` never
+    /// changes which payload lies fire.
+    pub fn forge(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        self.forge_p = p;
+        self
+    }
+
     /// Force a specific lie on the message `from → to` sent in `round`.
     /// The lie fires only if `from` is (also) marked as a traitor.
     pub fn force(mut self, round: usize, from: NodeId, to: NodeId, lie: Lie) -> Self {
@@ -218,13 +245,38 @@ impl ByzantinePlan {
         self.to_string()
     }
 
-    /// The forced lie scheduled for `(round, from, to)`, if any (first
-    /// match wins).
+    /// The forced *payload-stage* lie scheduled for `(round, from, to)`,
+    /// if any (first match wins). [`Lie::ForgeTag`] entries belong to the
+    /// envelope stage and are skipped here.
     fn forced_for(&self, round: usize, from: usize, to: usize) -> Option<Lie> {
         self.forced
             .iter()
-            .find(|l| l.round == round && l.from.index() == from && l.to.index() == to)
+            .find(|l| {
+                l.lie != Lie::ForgeTag
+                    && l.round == round
+                    && l.from.index() == from
+                    && l.to.index() == to
+            })
             .map(|l| l.lie)
+    }
+
+    /// Whether a forced [`Lie::ForgeTag`] is scheduled for
+    /// `(round, from, to)`.
+    fn forced_forge_for(&self, round: usize, from: usize, to: usize) -> bool {
+        self.forced.iter().any(|l| {
+            l.lie == Lie::ForgeTag
+                && l.round == round
+                && l.from.index() == from
+                && l.to.index() == to
+        })
+    }
+
+    /// True if the plan can ever forge a tag (probabilistically or via a
+    /// forced entry); lets the engine skip the forgery sweep entirely for
+    /// plans below the authenticated tier.
+    pub(crate) fn has_tag_forgeries(&self) -> bool {
+        !self.traitors.is_empty()
+            && (self.forge_p > 0.0 || self.forced.iter().any(|l| l.lie == Lie::ForgeTag))
     }
 
     /// Rewrite the traitor rows of the buffer written in `round` (read
@@ -248,6 +300,68 @@ impl ByzantinePlan {
                 continue;
             }
             cur.for_each_msg_mut(v, |u, m| self.lie_one(round, v, u, m, prev, report));
+        }
+    }
+
+    /// Envelope-stage rewrite: forge the trailing authentication tag of
+    /// traitor frames. Called by the engine between its signing and
+    /// verification sweeps, so `cur` holds `payload ‖ tag` frames; the
+    /// forged tag is drawn from a domain-separated address-keyed stream
+    /// and nudged if it ever collides with the genuine tag, so a forgery
+    /// is *guaranteed* invalid — the model's unforgeability assumption
+    /// made mechanical. Frames too short to carry a tag (impossible right
+    /// after signing, kept as a guard) are left alone.
+    pub(crate) fn apply_tag_forgeries(
+        &self,
+        round: usize,
+        cur: &mut BufViewMut<'_>,
+        report: &mut ByzantineReport,
+    ) {
+        use crate::auth::TAG_BITS;
+        if !self.has_tag_forgeries() {
+            return;
+        }
+        for v in 0..cur.n() {
+            if !self.is_traitor(NodeId::from(v)) {
+                continue;
+            }
+            cur.for_each_msg_mut(v, |u, m| {
+                if m.len() <= TAG_BITS {
+                    return;
+                }
+                let mut rng = ChaCha8Rng::seed_from_u64(mix(
+                    self.seed ^ FORGE_DOMAIN,
+                    round as u64,
+                    v as u64,
+                    u as u64,
+                ));
+                let fire = rng.gen_bool(self.forge_p) || self.forced_forge_for(round, v, u);
+                if !fire {
+                    return;
+                }
+                let plen = m.len() - TAG_BITS;
+                let genuine = {
+                    let mut r = m.reader();
+                    // A signed frame always splits; treat a failure as
+                    // "leave the frame alone" to honour the no-panic lint.
+                    match r.skip(plen).and_then(|()| r.read_uint(TAG_BITS)) {
+                        Ok(t) => t,
+                        Err(_) => return,
+                    }
+                };
+                let mut forged = rng.gen::<u64>() & ((1 << TAG_BITS) - 1);
+                if forged == genuine {
+                    forged ^= 1;
+                }
+                m.truncate(plen);
+                m.push_uint(forged, TAG_BITS);
+                report.events.push(ByzantineEvent::ForgedTag {
+                    from: NodeId::from(v),
+                    to: NodeId::from(u),
+                    round,
+                    bits: plen,
+                });
+            });
         }
     }
 
@@ -339,6 +453,9 @@ impl ByzantinePlan {
                     to_bits,
                 });
             }
+            // Envelope-stage lie; never reaches the payload stage
+            // (`forced_for` filters it and no coin produces it).
+            Lie::ForgeTag => {}
         }
     }
 }
@@ -357,6 +474,9 @@ impl fmt::Display for ByzantinePlan {
         }
         if self.silence_p > 0.0 {
             write!(f, ", silence={}", self.silence_p)?;
+        }
+        if self.forge_p > 0.0 {
+            write!(f, ", forge={}", self.forge_p)?;
         }
         if !self.forced.is_empty() {
             write!(f, ", forced={}", self.forced.len())?;
@@ -416,6 +536,18 @@ pub enum ByzantineEvent {
         /// Payload size of the suppressed message.
         bits: usize,
     },
+    /// A traitor frame's authentication tag was replaced with an invalid
+    /// one (the frame is rejected by the engine's verification sweep).
+    ForgedTag {
+        /// The lying traitor.
+        from: NodeId,
+        /// The recipient whose copy carries the forged tag.
+        to: NodeId,
+        /// Round the frame was sent in.
+        round: usize,
+        /// Payload size of the frame, excluding the tag.
+        bits: usize,
+    },
 }
 
 impl ByzantineEvent {
@@ -425,7 +557,8 @@ impl ByzantineEvent {
             ByzantineEvent::Garbled { from, .. }
             | ByzantineEvent::Inverted { from, .. }
             | ByzantineEvent::Replayed { from, .. }
-            | ByzantineEvent::Silenced { from, .. } => *from,
+            | ByzantineEvent::Silenced { from, .. }
+            | ByzantineEvent::ForgedTag { from, .. } => *from,
         }
     }
 }
@@ -465,7 +598,10 @@ impl ByzantineReport {
                 ByzantineEvent::Garbled { from, to, .. }
                 | ByzantineEvent::Inverted { from, to, .. }
                 | ByzantineEvent::Replayed { from, to, .. }
-                | ByzantineEvent::Silenced { from, to, .. } => *from == traitor && *to == recipient,
+                | ByzantineEvent::Silenced { from, to, .. }
+                | ByzantineEvent::ForgedTag { from, to, .. } => {
+                    *from == traitor && *to == recipient
+                }
             })
             .collect()
     }
@@ -478,7 +614,8 @@ impl ByzantineReport {
             match e {
                 ByzantineEvent::Garbled { .. }
                 | ByzantineEvent::Inverted { .. }
-                | ByzantineEvent::Replayed { .. } => stats.forged_messages += 1,
+                | ByzantineEvent::Replayed { .. }
+                | ByzantineEvent::ForgedTag { .. } => stats.forged_messages += 1,
                 ByzantineEvent::Silenced { .. } => stats.silenced_messages += 1,
             }
         }

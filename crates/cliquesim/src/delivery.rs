@@ -451,6 +451,29 @@ impl SparseRow {
             }
         }
     }
+
+    /// Visit each distinct non-empty *payload* of this sealed row, with
+    /// the number of recipients it reaches. Unlike
+    /// [`SparseRow::for_each_msg_mut`], the shared broadcast payload is
+    /// handed to the visitor **once** (with multiplicity `n − 1 − live`),
+    /// in place — for sweeps that rewrite every copy identically (message
+    /// signing/verification), mutating the shared storage is both correct
+    /// and preserves the backend's memory sharing. Overrides never target
+    /// the sender ([`crate::node::Outbox::send`] rejects self-sends), so
+    /// the multiplicity arithmetic needs no diagonal adjustment.
+    fn for_each_payload_mut(&mut self, n: usize, mut f: impl FnMut(usize, &mut BitString)) {
+        if !self.bcast.is_empty() {
+            let covered = n - 1 - self.live;
+            if covered > 0 {
+                f(covered, &mut self.bcast);
+            }
+        }
+        for e in &mut self.slots[..self.live] {
+            if !e.1.is_empty() {
+                f(1, &mut e.1);
+            }
+        }
+    }
 }
 
 /// Iterator over the non-empty `(recipient, payload)` messages of one
@@ -649,6 +672,31 @@ impl<'a> BufViewMut<'a> {
                 }
             }
             BufViewMut::Sparse { rows, n } => rows[v].for_each_msg_mut(v, *n, f),
+        }
+    }
+
+    /// Visit sender `v`'s distinct non-empty payloads with their recipient
+    /// multiplicities (dense: always 1; sparse: the shared broadcast
+    /// payload once with its coverage, then each override). The sweep for
+    /// per-payload rewrites that must treat every copy identically —
+    /// equal payloads stay equal, so dense and sparse remain
+    /// bit-identical while the sparse backend keeps its sharing.
+    pub(crate) fn for_each_payload_mut(&mut self, v: usize, f: impl FnMut(usize, &mut BitString)) {
+        match self {
+            BufViewMut::Dense { slots, n } => {
+                let n = *n;
+                let mut f = f;
+                for u in 0..n {
+                    if u == v {
+                        continue;
+                    }
+                    let m = &mut slots[v * n + u];
+                    if !m.is_empty() {
+                        f(1, m);
+                    }
+                }
+            }
+            BufViewMut::Sparse { rows, n } => rows[v].for_each_payload_mut(*n, f),
         }
     }
 }

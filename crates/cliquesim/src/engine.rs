@@ -29,6 +29,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
+use crate::auth::{AuthKeyring, AuthLedger};
 use crate::bits::BitString;
 use crate::byzantine::{ByzantinePlan, ByzantineReport};
 use crate::delivery::{BufView, DeliveryArena, DeliveryBuf, DeliveryMode, DenseBuf, SparseBuf};
@@ -318,6 +319,9 @@ pub struct Engine {
     /// Byzantine sender schedule; `None` (and the empty plan) leave runs
     /// byte-identical to the honest engine.
     byzantine_plan: Option<Arc<ByzantinePlan>>,
+    /// Authenticated-envelope keyring; `None` leaves runs byte-identical
+    /// to the unauthenticated engine (see [`crate::auth`]).
+    auth: Option<Arc<AuthKeyring>>,
     /// Wall-clock budget for a whole run, checked at round boundaries.
     deadline: Option<Duration>,
     /// Cooperative cancellation flag, checked at round boundaries; shared
@@ -348,6 +352,7 @@ impl Engine {
             fault_plan: None,
             fault_offset: 0,
             byzantine_plan: None,
+            auth: None,
             deadline: None,
             cancel: None,
         }
@@ -463,6 +468,32 @@ impl Engine {
     pub fn with_byzantine_plan(mut self, plan: ByzantinePlan) -> Self {
         self.byzantine_plan = Some(Arc::new(plan));
         self
+    }
+
+    /// Attach an authenticated-message keyring (see [`crate::auth`]):
+    /// every round the engine appends a [`crate::auth::TAG_BITS`]-bit tag
+    /// to each non-empty outbound message after the Byzantine rewrites
+    /// (lies are validly signed with the traitor's own key) and verifies
+    /// every frame after the link faults, clearing the ones whose tag
+    /// fails. Inboxes then hold `payload ‖ tag` frames. The envelope's
+    /// work is charged to `RunStats.signed_messages` / `auth_bits` /
+    /// `rejected_tags`; an engine without a keyring takes the exact
+    /// unauthenticated path.
+    pub fn with_auth(mut self, keyring: AuthKeyring) -> Self {
+        assert_eq!(
+            keyring.n(),
+            self.n,
+            "keyring covers {} identities but the clique has {} nodes",
+            keyring.n(),
+            self.n
+        );
+        self.auth = Some(Arc::new(keyring));
+        self
+    }
+
+    /// The attached keyring, if any (see [`Engine::with_auth`]).
+    pub fn auth_keyring(&self) -> Option<&AuthKeyring> {
+        self.auth.as_deref()
     }
 
     /// Abort the run with [`SimError::DeadlineExceeded`] once `limit` of
@@ -718,6 +749,10 @@ impl Engine {
         // An empty plan must be transparent: skip every fault hook.
         let plan = self.fault_plan.as_deref().filter(|p| !p.is_empty());
         let byz = self.byzantine_plan.as_deref().filter(|p| !p.is_empty());
+        let auth = self.auth.as_deref();
+        // The round book borrows `stats` for the whole loop, so the
+        // envelope passes charge a local ledger folded in afterwards.
+        let mut auth_ledger = AuthLedger::default();
         let watchdog = self.deadline.map(|limit| (Instant::now(), limit));
 
         let threads = if self.cap_threads_to_host {
@@ -740,6 +775,8 @@ impl Engine {
                 &mut report,
                 byz,
                 &mut byz_report,
+                auth,
+                &mut auth_ledger,
                 watchdog,
             )
         } else {
@@ -755,6 +792,8 @@ impl Engine {
                 &mut report,
                 byz,
                 &mut byz_report,
+                auth,
+                &mut auth_ledger,
                 watchdog,
             )
         };
@@ -765,6 +804,7 @@ impl Engine {
 
         report.tally_into(&mut stats);
         byz_report.tally_into(&mut stats);
+        auth_ledger.tally_into(&mut stats);
         Ok(ByzantineOutcome {
             outputs,
             stats,
@@ -789,6 +829,8 @@ impl Engine {
         report: &mut FaultReport,
         byz: Option<&ByzantinePlan>,
         byz_report: &mut ByzantineReport,
+        auth: Option<&AuthKeyring>,
+        auth_ledger: &mut AuthLedger,
         watchdog: Option<(Instant, Duration)>,
     ) -> Result<(), SimError> {
         let n = self.n;
@@ -880,6 +922,24 @@ impl Engine {
                             byz_report,
                         );
                     }
+                    if let Some(keyring) = auth {
+                        // Signing runs after the payload rewrites: a
+                        // traitor's lies are validly signed with its own
+                        // key (it owns it), while everything downstream —
+                        // forged tags, wire damage — breaks the tag.
+                        keyring.sign_round(
+                            round,
+                            &mut B::view_mut(cur.slots_mut(), n),
+                            auth_ledger,
+                        );
+                        if let Some(byz) = byz {
+                            byz.apply_tag_forgeries(
+                                round,
+                                &mut B::view_mut(cur.slots_mut(), n),
+                                byz_report,
+                            );
+                        }
+                    }
                     if let Some(plan) = plan {
                         // Link faults strike after the round closes (and
                         // after any Byzantine rewrite): stats and
@@ -889,6 +949,16 @@ impl Engine {
                             self.fault_offset + round,
                             &mut B::view_mut(cur.slots_mut(), n),
                             report,
+                        );
+                    }
+                    if let Some(keyring) = auth {
+                        // Verification is the last word on the wire: any
+                        // frame whose tag fails (forged or damaged after
+                        // signing) is cleared before delivery.
+                        keyring.verify_round(
+                            round,
+                            &mut B::view_mut(cur.slots_mut(), n),
+                            auth_ledger,
                         );
                     }
                     if let Some((start, limit)) = watchdog {
@@ -934,6 +1004,8 @@ impl Engine {
         report: &mut FaultReport,
         byz: Option<&ByzantinePlan>,
         byz_report: &mut ByzantineReport,
+        auth: Option<&AuthKeyring>,
+        auth_ledger: &mut AuthLedger,
         watchdog: Option<(Instant, Duration)>,
     ) -> Result<(), SimError> {
         let n = self.n;
@@ -1128,6 +1200,22 @@ impl Engine {
                                 byz_report,
                             );
                         }
+                        if let Some(keyring) = auth {
+                            // SAFETY: workers are still parked; the shared
+                            // views taken for close_round are no longer
+                            // used. Same hook order as the sequential path:
+                            // rewrites → sign → forge → faults → verify.
+                            let cur_mut = unsafe { SyncCell::exclusive(buf_cells[write]) };
+                            keyring.sign_round(round, &mut B::view_mut(cur_mut, n), auth_ledger);
+                            if let Some(byz) = byz {
+                                let cur_mut = unsafe { SyncCell::exclusive(buf_cells[write]) };
+                                byz.apply_tag_forgeries(
+                                    round,
+                                    &mut B::view_mut(cur_mut, n),
+                                    byz_report,
+                                );
+                            }
+                        }
                         if let Some(plan) = plan {
                             // SAFETY: workers are still parked; the shared
                             // views taken for close_round are no longer used.
@@ -1137,6 +1225,11 @@ impl Engine {
                                 &mut B::view_mut(cur_mut, n),
                                 report,
                             );
+                        }
+                        if let Some(keyring) = auth {
+                            // SAFETY: workers are still parked (as above).
+                            let cur_mut = unsafe { SyncCell::exclusive(buf_cells[write]) };
+                            keyring.verify_round(round, &mut B::view_mut(cur_mut, n), auth_ledger);
                         }
                         if let Some((start, limit)) = watchdog {
                             if start.elapsed() >= limit {

@@ -57,6 +57,7 @@
 // unwrap/expect. Test modules are exempt (asserting via unwrap is idiomatic).
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod auth;
 pub mod bits;
 pub mod byzantine;
 pub mod delivery;
@@ -67,6 +68,7 @@ pub mod session;
 pub mod stats;
 pub mod transcript;
 
+pub use auth::{split_tagged, strip_tag, AuthKeyring, TAG_BITS};
 pub use bits::{BitReader, BitString, DecodeError};
 pub use byzantine::{ByzantineEvent, ByzantinePlan, ByzantineReport, ForcedLie, Lie};
 pub use delivery::{DeliveryArena, DeliveryMode};

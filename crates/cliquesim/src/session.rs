@@ -12,9 +12,11 @@
 //! outputs (plus globally known parameters). Every algorithm crate in this
 //! workspace follows that rule.
 
+use crate::auth::{AuthKeyring, TAG_BITS};
+use crate::bits::BitString;
 use crate::delivery::DeliveryArena;
 use crate::engine::{ByzantineOutcome, Engine, FaultedOutcome, RunOutcome, SimError};
-use crate::node::NodeProgram;
+use crate::node::{NodeId, NodeProgram};
 use crate::stats::RunStats;
 
 /// An engine plus cumulative statistics across phase runs.
@@ -159,6 +161,44 @@ impl Session {
     pub fn charge(&mut self, stats: &RunStats) {
         self.stats.absorb(stats);
         self.phases += 1;
+    }
+
+    /// The engine's attached keyring, if any (see [`Engine::with_auth`]).
+    pub fn keyring(&self) -> Option<&AuthKeyring> {
+        self.engine.auth_keyring()
+    }
+
+    /// Sign `payload` as `from` in round-context `round` with the
+    /// session's keyring, charging one signature ([`TAG_BITS`] bits) to
+    /// the session ledger. `None` when no keyring is attached. This is
+    /// the protocol-level signing entry point (e.g. Dolev–Strong chain
+    /// entries, accusation claims); the engine's per-message envelope
+    /// signs and charges automatically.
+    pub fn sign(&mut self, from: NodeId, round: usize, payload: &BitString) -> Option<u64> {
+        let tag = self.engine.auth_keyring()?.sign(from, round, payload);
+        self.stats.signed_messages += 1;
+        self.stats.auth_bits += TAG_BITS as u64;
+        Some(tag)
+    }
+
+    /// Verify a claimed `(from, round, payload, tag)` quadruple against
+    /// the session's keyring, charging failures to the session's
+    /// `rejected_tags`. `None` when no keyring is attached.
+    pub fn verify(
+        &mut self,
+        from: NodeId,
+        round: usize,
+        payload: &BitString,
+        tag: u64,
+    ) -> Option<bool> {
+        let ok = self
+            .engine
+            .auth_keyring()?
+            .verify(from, round, payload, tag);
+        if !ok {
+            self.stats.rejected_tags += 1;
+        }
+        Some(ok)
     }
 }
 

@@ -86,6 +86,18 @@ pub struct RunStats {
     /// Distinct traitor nodes that actually rewrote at least one message
     /// under a Byzantine plan.
     pub traitor_nodes: u64,
+    /// Message copies the authenticated envelope signed (one per delivered
+    /// copy — a broadcast charges `n − 1` even where the sparse backend
+    /// stores one shared payload). Zero when no keyring is attached.
+    pub signed_messages: u64,
+    /// Tag bits the authenticated envelope appended, `TAG_BITS` per signed
+    /// copy. Deliberately disjoint from `bits`: authentication is envelope
+    /// overhead, not algorithm traffic.
+    pub auth_bits: u64,
+    /// Frames the verification pass cleared because their tag failed —
+    /// forged-tag rewrites and post-signing wire damage. Honest traffic is
+    /// never rejected.
+    pub rejected_tags: u64,
     /// Wall-clock measurements; excluded from `==` (see type docs).
     pub timing: EngineTiming,
 }
@@ -144,6 +156,9 @@ impl PartialEq for RunStats {
             && self.forged_messages == other.forged_messages
             && self.silenced_messages == other.silenced_messages
             && self.traitor_nodes == other.traitor_nodes
+            && self.signed_messages == other.signed_messages
+            && self.auth_bits == other.auth_bits
+            && self.rejected_tags == other.rejected_tags
     }
 }
 
@@ -174,6 +189,9 @@ impl RunStats {
         self.forged_messages += other.forged_messages;
         self.silenced_messages += other.silenced_messages;
         self.traitor_nodes += other.traitor_nodes;
+        self.signed_messages += other.signed_messages;
+        self.auth_bits += other.auth_bits;
+        self.rejected_tags += other.rejected_tags;
         self.timing.absorb(&other.timing);
     }
 }
@@ -234,6 +252,9 @@ mod tests {
             forged_messages: 4,
             silenced_messages: 5,
             traitor_nodes: 1,
+            signed_messages: 9,
+            auth_bits: 288,
+            rejected_tags: 2,
             ..RunStats::default()
         };
         let b = a.clone();
@@ -249,6 +270,9 @@ mod tests {
         assert_eq!(a.forged_messages, 8);
         assert_eq!(a.silenced_messages, 10);
         assert_eq!(a.traitor_nodes, 2);
+        assert_eq!(a.signed_messages, 18);
+        assert_eq!(a.auth_bits, 576);
+        assert_eq!(a.rejected_tags, 4);
         assert_ne!(a, b, "fault counters participate in equality");
     }
 

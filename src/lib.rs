@@ -20,9 +20,11 @@
 //!   (Thms 7/8), counting arguments (Lemma 1, Thms 2/4), exponents (§7);
 //! * [`resilient`] — fault-tolerant wrappers (echo-broadcast,
 //!   k-retransmission, crash-tolerant aggregation, Bracha-style reliable
-//!   broadcast) for runs under the simulator's deterministic
-//!   [`sim::FaultPlan`] and [`sim::ByzantinePlan`] adversaries; see
-//!   `docs/THREAT-MODEL.md` for the tier-by-tier guarantees;
+//!   broadcast, and Dolev–Strong authenticated broadcast over
+//!   [`sim::AuthKeyring`] signed messages) for runs under the simulator's
+//!   deterministic [`sim::FaultPlan`] and [`sim::ByzantinePlan`]
+//!   adversaries; see `docs/THREAT-MODEL.md` for the tier-by-tier
+//!   guarantees;
 //! * [`service`] — the multi-tenant session service: DAG-scheduled
 //!   simulation fleets over a shared work-stealing worker pool, with a
 //!   serial oracle (`Batch::run_serial`) the fleet is differentially
@@ -47,7 +49,7 @@ pub use cliquesim as sim;
 pub mod prelude {
     pub use cc_graph::{Graph, WeightedGraph};
     pub use cliquesim::{
-        BitString, ByzantinePlan, Engine, FaultPlan, NodeCtx, NodeId, NodeProgram, RunStats,
-        Session, Status,
+        AuthKeyring, BitString, ByzantinePlan, Engine, FaultPlan, NodeCtx, NodeId, NodeProgram,
+        RunStats, Session, Status,
     };
 }
