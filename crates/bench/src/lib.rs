@@ -36,13 +36,16 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-/// Fit an exponent and render a `δ̂ = …` summary string.
+/// Fit an exponent and render a `δ̂ = …` summary string. Degenerate
+/// sample sets render the typed fit error instead of a fit.
 pub fn exponent_summary(samples: &[(usize, usize)], paper_bound: &str) -> String {
-    let fit = fit_exponent(samples);
-    format!(
-        "fitted δ̂ = {:.3} (R² = {:.3}); paper bound δ ≤ {paper_bound}",
-        fit.delta, fit.r_squared
-    )
+    match fit_exponent(samples) {
+        Ok(fit) => format!(
+            "fitted δ̂ = {:.3} (R² = {:.3}); paper bound δ ≤ {paper_bound}",
+            fit.delta, fit.r_squared
+        ),
+        Err(e) => format!("exponent fit failed: {e}; paper bound δ ≤ {paper_bound}"),
+    }
 }
 
 /// Standard seeds so the bench workloads are replayable.

@@ -61,7 +61,7 @@ impl From<cliquesim::DecodeError> for MatmulError {
     }
 }
 
-fn check_shapes<T>(n: usize, a: &[Vec<T>], b: &[Vec<T>]) -> Result<(), MatmulError> {
+pub(crate) fn check_shapes<T>(n: usize, a: &[Vec<T>], b: &[Vec<T>]) -> Result<(), MatmulError> {
     if a.len() != n || b.len() != n {
         return Err(MatmulError::Shape(format!(
             "expected {n} rows, got A:{} B:{}",
@@ -80,7 +80,10 @@ fn check_shapes<T>(n: usize, a: &[Vec<T>], b: &[Vec<T>]) -> Result<(), MatmulErr
     Ok(())
 }
 
-fn encode_entries<S: Semiring>(sr: &S, entries: impl IntoIterator<Item = S::Elem>) -> BitString {
+pub(crate) fn encode_entries<S: Semiring>(
+    sr: &S,
+    entries: impl IntoIterator<Item = S::Elem>,
+) -> BitString {
     let mut out = BitString::new();
     for e in entries {
         sr.encode(e, &mut out);
@@ -88,7 +91,7 @@ fn encode_entries<S: Semiring>(sr: &S, entries: impl IntoIterator<Item = S::Elem
     out
 }
 
-fn decode_entries<S: Semiring>(
+pub(crate) fn decode_entries<S: Semiring>(
     sr: &S,
     bits: &BitString,
     count: usize,
@@ -365,10 +368,72 @@ mod tests {
     use super::*;
     use crate::semiring::{mm_local, BoolSemiring, RingI64, TropicalSemiring, TROPICAL_INF};
     use cliquesim::Engine;
+    use proptest::prelude::*;
     use rand::{Rng, SeedableRng};
 
     fn session(n: usize) -> Session {
         Session::new(Engine::new(n))
+    }
+
+    /// `band`/`members`/`worker`/`triple` mutual consistency at one `n`:
+    /// every vertex lies in exactly one band, `members` partitions `0..n`
+    /// in order, `band` agrees with `members`, and `triple ∘ worker = id`
+    /// on the worker cube (with `triple` rejecting everything past it).
+    fn assert_blocking_consistent(n: usize) {
+        let bl = Blocking::for_n(n);
+        let t = bl.t;
+        assert!(t >= 1, "n={n}");
+        assert!(
+            t * t * t <= n.max(1),
+            "n={n}: worker cube exceeds node count"
+        );
+        assert!((t + 1).pow(3) > n, "n={n}: t is not maximal");
+        assert_eq!(bl.band_size, n.div_ceil(t), "n={n}");
+
+        // Bands partition 0..n in order, with no empty or clipped band.
+        let mut covered = 0usize;
+        for i in 0..t {
+            let members = bl.members(i);
+            assert_eq!(members.start, covered, "n={n} band {i} leaves a gap");
+            assert!(!members.is_empty(), "n={n} band {i} is empty");
+            for v in members.clone() {
+                assert!(v < n, "n={n} band {i} member {v} out of range");
+                assert_eq!(bl.band(v), i, "n={n} v={v}");
+            }
+            covered = members.end;
+        }
+        assert_eq!(covered, n, "n={n}: bands do not cover 0..n");
+
+        // Worker indexing is a bijection between band triples and 0..t³.
+        for i in 0..t {
+            for j in 0..t {
+                for k in 0..t {
+                    let w = bl.worker(i, j, k);
+                    assert!(w < n, "n={n} worker ({i},{j},{k}) = {w} is not a node");
+                    assert_eq!(bl.triple(w), Some((i, j, k)), "n={n} w={w}");
+                }
+            }
+        }
+        for w in t * t * t..n {
+            assert_eq!(bl.triple(w), None, "n={n} w={w} is not a worker");
+        }
+    }
+
+    #[test]
+    fn blocking_consistent_for_every_n_to_200() {
+        // Exhaustive leg of the satellite acceptance: the proptest below
+        // samples the same range, this pins every single n.
+        for n in 1..=200 {
+            assert_blocking_consistent(n);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_blocking_consistent(n in 1usize..=200) {
+            assert_blocking_consistent(n);
+        }
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //!   encodings;
 //! * [`distributed`] implements the `O(n^{1/3})`-round 3D algorithm
 //!   ([`mm_three_d`]) and the `O(n)`-round broadcast baseline
-//!   ([`mm_naive_broadcast`]).
+//!   ([`mm_naive_broadcast`]);
+//! * [`sparse`] implements the density-aware tier (Le Gall,
+//!   arXiv:1608.02674): nonzero-count gossip, header-free sparse triple
+//!   redistribution ([`mm_sparse`]), the [`MmStrategy`] selector, and the
+//!   exact analytic ledger [`mm_sparse_overhead`].
 
 #![warn(missing_docs)]
 // Index-driven loops over multiple parallel per-node arrays are the
@@ -20,8 +24,10 @@
 
 pub mod distributed;
 pub mod semiring;
+pub mod sparse;
 
 pub use distributed::{mm_naive_broadcast, mm_three_d, Blocking, MatmulError};
 pub use semiring::{
     mm_local, BoolSemiring, Matrix, RingI64, Semiring, TropicalSemiring, TROPICAL_INF,
 };
+pub use sparse::{mm_sparse, mm_sparse_overhead, mm_with_strategy, MmRun, MmStrategy};

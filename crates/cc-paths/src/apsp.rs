@@ -6,8 +6,20 @@
 //! semiring algorithm, for an `O(n^{1/3} log n)`-round protocol.
 
 use cc_graph::{DistMatrix, Graph, WeightedGraph, INF};
-use cc_matmul::{mm_three_d, MatmulError, TropicalSemiring};
+use cc_matmul::{mm_with_strategy, MatmulError, MmStrategy, Semiring, TropicalSemiring};
 use cliquesim::Session;
+
+/// One squaring step behind the strategy selector; `Auto` re-gossips the
+/// density each squaring, so late (denser) iterates can fall back to the
+/// dense 3D schedule even when the input matrix was sparse.
+fn square<S: Semiring>(
+    session: &mut Session,
+    sr: &S,
+    rows: &[Vec<S::Elem>],
+    strategy: MmStrategy,
+) -> Result<Vec<Vec<S::Elem>>, MatmulError> {
+    Ok(mm_with_strategy(session, sr, strategy, rows, rows)?.rows)
+}
 
 /// Exact weighted undirected APSP.
 ///
@@ -15,6 +27,17 @@ use cliquesim::Session;
 /// of the distance matrix (assembled here into a [`DistMatrix`] for the
 /// caller). Costs `O(n^{1/3} log n)` rounds.
 pub fn apsp_exact(session: &mut Session, g: &WeightedGraph) -> Result<DistMatrix, MatmulError> {
+    apsp_exact_with(session, g, MmStrategy::Dense3D)
+}
+
+/// [`apsp_exact`] with an explicit multiplication strategy for the
+/// distance-product squarings. Distances are identical for every strategy;
+/// only the round cost differs.
+pub fn apsp_exact_with(
+    session: &mut Session,
+    g: &WeightedGraph,
+    strategy: MmStrategy,
+) -> Result<DistMatrix, MatmulError> {
     let n = session.n();
     assert_eq!(g.n(), n, "graph size must match the clique size");
     // Distances are bounded by (n−1) · max weight.
@@ -26,7 +49,7 @@ pub fn apsp_exact(session: &mut Session, g: &WeightedGraph) -> Result<DistMatrix
     // so ⌈log₂(n−1)⌉ squarings suffice.
     let mut hops = 1usize;
     while hops < n.saturating_sub(1).max(1) {
-        rows = mm_three_d(session, &sr, &rows, &rows)?;
+        rows = square(session, &sr, &rows, strategy)?;
         hops *= 2;
     }
     Ok(DistMatrix::from_rows(
@@ -38,6 +61,15 @@ pub fn apsp_exact(session: &mut Session, g: &WeightedGraph) -> Result<DistMatrix
 /// Exact unweighted undirected APSP (hop distances).
 pub fn apsp_unweighted(session: &mut Session, g: &Graph) -> Result<DistMatrix, MatmulError> {
     apsp_exact(session, &WeightedGraph::from_graph(g))
+}
+
+/// [`apsp_unweighted`] with an explicit multiplication strategy.
+pub fn apsp_unweighted_with(
+    session: &mut Session,
+    g: &Graph,
+    strategy: MmStrategy,
+) -> Result<DistMatrix, MatmulError> {
+    apsp_exact_with(session, &WeightedGraph::from_graph(g), strategy)
 }
 
 /// `(1+ε)`-approximate weighted APSP by scale-wise rounding (Zwick-style).
@@ -56,13 +88,24 @@ pub fn apsp_approx(
     g: &WeightedGraph,
     eps: f64,
 ) -> Result<DistMatrix, MatmulError> {
+    apsp_approx_with(session, g, eps, MmStrategy::Dense3D)
+}
+
+/// [`apsp_approx`] with an explicit multiplication strategy for the
+/// per-scale squarings.
+pub fn apsp_approx_with(
+    session: &mut Session,
+    g: &WeightedGraph,
+    eps: f64,
+    strategy: MmStrategy,
+) -> Result<DistMatrix, MatmulError> {
     assert!(eps > 0.0, "ε must be positive");
     let n = session.n();
     assert_eq!(g.n(), n);
     let w_max = g.max_weight();
     if w_max == 0 {
         // No edges (or all zero weights): exact APSP is trivial anyway.
-        return apsp_exact(session, g);
+        return apsp_exact_with(session, g, strategy);
     }
 
     // Per-scale capped instance: entries in units of μ = max(1, ⌊ε·s/(2n)⌋),
@@ -106,7 +149,7 @@ pub fn apsp_approx(
         let sr = TropicalSemiring::for_max_value(cap.saturating_mul(n as u64));
         let mut hops = 1usize;
         while hops < n.saturating_sub(1).max(1) {
-            rows = mm_three_d(session, &sr, &rows, &rows)?;
+            rows = square(session, &sr, &rows, strategy)?;
             hops *= 2;
         }
         for v in 0..n {
@@ -142,6 +185,15 @@ pub fn apsp_directed(
     session: &mut Session,
     rows: &[Vec<u64>],
 ) -> Result<Vec<Vec<u64>>, MatmulError> {
+    apsp_directed_with(session, rows, MmStrategy::Dense3D)
+}
+
+/// [`apsp_directed`] with an explicit multiplication strategy.
+pub fn apsp_directed_with(
+    session: &mut Session,
+    rows: &[Vec<u64>],
+    strategy: MmStrategy,
+) -> Result<Vec<Vec<u64>>, MatmulError> {
     let n = session.n();
     assert_eq!(rows.len(), n);
     let max_w = rows
@@ -156,7 +208,7 @@ pub fn apsp_directed(
     let mut cur: Vec<Vec<u64>> = rows.to_vec();
     let mut hops = 1usize;
     while hops < n.saturating_sub(1).max(1) {
-        cur = mm_three_d(session, &sr, &cur, &cur)?;
+        cur = square(session, &sr, &cur, strategy)?;
         hops *= 2;
     }
     Ok(cur)
@@ -184,6 +236,15 @@ pub fn diameter(session: &mut Session, g: &Graph) -> Result<Option<u64>, MatmulE
 /// Transitive closure (reachability) via Boolean squaring of `A ∨ I`:
 /// `O(n^{1/3} log n)` rounds.
 pub fn transitive_closure(session: &mut Session, g: &Graph) -> Result<Vec<Vec<bool>>, MatmulError> {
+    transitive_closure_with(session, g, MmStrategy::Dense3D)
+}
+
+/// [`transitive_closure`] with an explicit multiplication strategy.
+pub fn transitive_closure_with(
+    session: &mut Session,
+    g: &Graph,
+    strategy: MmStrategy,
+) -> Result<Vec<Vec<bool>>, MatmulError> {
     let n = session.n();
     assert_eq!(g.n(), n);
     let sr = cc_matmul::BoolSemiring;
@@ -192,7 +253,7 @@ pub fn transitive_closure(session: &mut Session, g: &Graph) -> Result<Vec<Vec<bo
         .collect();
     let mut hops = 1usize;
     while hops < n.saturating_sub(1).max(1) {
-        rows = mm_three_d(session, &sr, &rows, &rows)?;
+        rows = square(session, &sr, &rows, strategy)?;
         hops *= 2;
     }
     Ok(rows)
@@ -326,6 +387,26 @@ mod tests {
                 assert_eq!(tc[u][v], comp[u] == comp[v], "({u},{v})");
             }
         }
+    }
+
+    #[test]
+    fn strategy_variants_compute_identical_distances() {
+        // The same distances must come out of every strategy — the sparse
+        // path's reordered, zero-skipping sums are value-identical.
+        let n = 16;
+        let g = gen::gnp_weighted(n, 0.15, 9, 3);
+        let mut s = session(n);
+        let dense = apsp_exact_with(&mut s, &g, MmStrategy::Dense3D).unwrap();
+        for strategy in [MmStrategy::Auto, MmStrategy::Sparse] {
+            let mut s = session(n);
+            let got = apsp_exact_with(&mut s, &g, strategy).unwrap();
+            assert_eq!(got, dense, "{strategy:?}");
+        }
+        let ug = gen::gnp(n, 0.15, 3);
+        let mut s = session(n);
+        let tc = transitive_closure_with(&mut s, &ug, MmStrategy::Auto).unwrap();
+        let mut s = session(n);
+        assert_eq!(tc, transitive_closure(&mut s, &ug).unwrap());
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod apsp;
 pub mod sssp;
 
 pub use apsp::{
-    apsp_approx, apsp_directed, apsp_exact, apsp_unweighted, diameter, transitive_closure,
+    apsp_approx, apsp_approx_with, apsp_directed, apsp_directed_with, apsp_exact, apsp_exact_with,
+    apsp_unweighted, apsp_unweighted_with, diameter, transitive_closure, transitive_closure_with,
 };
 pub use sssp::{bellman_ford, bfs, bfs_tree};

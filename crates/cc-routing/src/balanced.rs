@@ -41,17 +41,18 @@ use crate::router::{route, Delivered, RouteError};
 /// One demand list per node: the shape routed by both phases.
 type DemandMatrix = Vec<Vec<(NodeId, BitString)>>;
 
-/// Bit-range bookkeeping: layout of one sender's megastream.
+/// Bit-range bookkeeping: layout of one sender's megastream. Shared with
+/// the header-free plan in [`crate::sized`].
 #[derive(Clone, Debug)]
-struct MegaLayout {
+pub(crate) struct MegaLayout {
     /// For each destination `w`, the megastream range `[start, end)` of the
     /// framed stream headed to `w` (empty ranges allowed).
-    ranges: Vec<(usize, usize)>,
+    pub(crate) ranges: Vec<(usize, usize)>,
     /// Total megastream length.
-    total: usize,
+    pub(crate) total: usize,
 }
 
-fn layout_for(stream_sizes: &[usize]) -> MegaLayout {
+pub(crate) fn layout_for(stream_sizes: &[usize]) -> MegaLayout {
     let mut ranges = Vec::with_capacity(stream_sizes.len());
     let mut pos = 0;
     for &s in stream_sizes {
@@ -63,7 +64,7 @@ fn layout_for(stream_sizes: &[usize]) -> MegaLayout {
 
 /// Segment `j` of a megastream of length `total` split into `m` near-equal
 /// contiguous parts: `[j*ceil(total/m), min((j+1)*ceil(total/m), total))`.
-fn segment_range(total: usize, m: usize, j: usize) -> (usize, usize) {
+pub(crate) fn segment_range(total: usize, m: usize, j: usize) -> (usize, usize) {
     let seg = total.div_ceil(m).max(1);
     let start = (j * seg).min(total);
     let end = ((j + 1) * seg).min(total);
@@ -378,7 +379,7 @@ pub fn route_balanced_faulted(
 
 /// Stitch explicit `(megastream position, bits)` pieces into one contiguous
 /// stream covering `[base, base + want)`.
-fn stitch(
+pub(crate) fn stitch(
     mut pieces: Vec<(usize, BitString)>,
     want: usize,
     base: usize,
@@ -407,7 +408,7 @@ fn stitch(
     Ok(out)
 }
 
-fn missing_blob(p: usize) -> cliquesim::DecodeError {
+pub(crate) fn missing_blob(p: usize) -> cliquesim::DecodeError {
     cliquesim::DecodeError {
         at: p,
         wanted: 0,

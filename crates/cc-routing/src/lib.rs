@@ -38,6 +38,7 @@ pub mod balanced;
 pub mod fault;
 pub mod frames;
 pub mod router;
+pub mod sized;
 
 pub use balanced::{route_balanced, route_balanced_faulted};
 pub use fault::{
@@ -47,4 +48,8 @@ pub use fault::{
 pub use frames::{frame, frame_all, parse_frames, rounds_for, LEN_HEADER_BITS};
 pub use router::{
     all_to_all_broadcast, lenzen_round_bound, relay_broadcast, route, Delivered, RouteError,
+};
+pub use sized::{
+    all_to_all_sized, all_to_all_sized_cost, demand_sizes, route_balanced_sized,
+    route_balanced_sized_cost, route_sized, route_sized_cost, DemandSizes,
 };

@@ -23,5 +23,7 @@ pub use detect::{
 };
 pub use enumerate::{count_triangles_distributed, enumerate_triangles_distributed};
 pub use kpath::{detect_path_color_coding, trial_success_probability};
-pub use mm_triangle::{triangle_via_mm, MmDetectError};
+pub use mm_triangle::{
+    count_triangles_via_mm_with, triangle_via_mm, triangle_via_mm_with, MmDetectError,
+};
 pub use partition::Partition;

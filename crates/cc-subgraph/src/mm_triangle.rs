@@ -9,7 +9,7 @@
 //! needs fast ring MM; see DESIGN.md).
 
 use cc_graph::Graph;
-use cc_matmul::{mm_three_d, BoolSemiring, MatmulError};
+use cc_matmul::{mm_with_strategy, BoolSemiring, MatmulError, MmStrategy, RingI64};
 use cc_routing::{all_to_all_broadcast, RouteError};
 use cliquesim::{BitString, Session};
 
@@ -52,12 +52,24 @@ pub fn triangle_via_mm(
     session: &mut Session,
     g: &Graph,
 ) -> Result<Option<(usize, usize)>, MmDetectError> {
+    triangle_via_mm_with(session, g, MmStrategy::Dense3D)
+}
+
+/// [`triangle_via_mm`] with an explicit multiplication strategy. Sparse
+/// graphs (`|E| ≲ n^{3/2}`) benefit from [`MmStrategy::Sparse`] or
+/// [`MmStrategy::Auto`]; the witness (if any) is identical regardless of
+/// strategy because the product rows are bit-identical.
+pub fn triangle_via_mm_with(
+    session: &mut Session,
+    g: &Graph,
+    strategy: MmStrategy,
+) -> Result<Option<(usize, usize)>, MmDetectError> {
     let n = session.n();
     assert_eq!(g.n(), n);
     let rows: Vec<Vec<bool>> = (0..n)
         .map(|v| (0..n).map(|u| g.has_edge(v, u)).collect())
         .collect();
-    let sq = mm_three_d(session, &BoolSemiring, &rows, &rows)?;
+    let sq = mm_with_strategy(session, &BoolSemiring, strategy, &rows, &rows)?.rows;
 
     // Node v's local verdict: some u with {v,u} ∈ E and (A²)_{v,u} = 1.
     let idw = BitString::width_for(n);
@@ -86,6 +98,48 @@ pub fn triangle_via_mm(
     Ok(None)
 }
 
+/// Count triangles via ring MM: `#triangles = (1/6) Σ_{v,u} A_{vu}·(A²)_{vu}`.
+///
+/// Runs one `(+,·)` multiplication (entries of `A²` count common
+/// neighbours, so they fit in `⌈log₂ n⌉ + 1` signed bits), then one
+/// agreement round where every node publishes its local partial sum.
+/// Costs the same exponent as detection but yields the exact count —
+/// the algebraic counterpart of the combinatorial
+/// [`crate::count_triangles_distributed`].
+pub fn count_triangles_via_mm_with(
+    session: &mut Session,
+    g: &Graph,
+    strategy: MmStrategy,
+) -> Result<u64, MmDetectError> {
+    let n = session.n();
+    assert_eq!(g.n(), n);
+    // Width must hold counts up to n in two's complement: log₂(n+1) + sign.
+    let sr = RingI64::with_width((BitString::width_for(n + 1) + 1).max(2));
+    let rows: Vec<Vec<i64>> = (0..n)
+        .map(|v| (0..n).map(|u| i64::from(g.has_edge(v, u))).collect())
+        .collect();
+    let sq = mm_with_strategy(session, &sr, strategy, &rows, &rows)?.rows;
+
+    // Node v's partial: Σ_u A_{vu}·(A²)_{vu} ≤ n², published in one round.
+    let sw = BitString::width_for(n * n + 1);
+    let payloads: Vec<BitString> = (0..n)
+        .map(|v| {
+            let partial: i64 = (0..n).map(|u| rows[v][u] * sq[v][u]).sum();
+            let mut bits = BitString::new();
+            bits.push_uint(partial as u64, sw);
+            bits
+        })
+        .collect();
+    let views = all_to_all_broadcast(session, payloads)?;
+    let mut total = 0u64;
+    for bits in &views[0] {
+        let mut r = bits.reader();
+        total += r.read_uint(sw).expect("well-formed partial sum");
+    }
+    // Each triangle {a,b,c} is counted once per ordered pair of its corners.
+    Ok(total / 6)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +158,34 @@ mod tests {
             if let Some((v, u)) = got {
                 assert!(g.has_edge(v, u));
                 assert!((0..n).any(|w| g.has_edge(v, w) && g.has_edge(u, w)));
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_variants_agree_on_witness_presence() {
+        for seed in 0..4 {
+            let n = 27;
+            let g = gen::gnp(n, 0.12, 200 + seed);
+            let expect = reference::count_triangles(&g) > 0;
+            for strategy in [MmStrategy::Auto, MmStrategy::Dense3D, MmStrategy::Sparse] {
+                let mut s = Session::new(Engine::new(n));
+                let got = triangle_via_mm_with(&mut s, &g, strategy).unwrap();
+                assert_eq!(got.is_some(), expect, "seed {seed} {strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mm_count_matches_reference() {
+        for seed in 0..4 {
+            let n = 16;
+            let g = gen::gnp(n, 0.3, 300 + seed);
+            let expect = reference::count_triangles(&g);
+            for strategy in [MmStrategy::Auto, MmStrategy::Dense3D, MmStrategy::Sparse] {
+                let mut s = Session::new(Engine::new(n));
+                let got = count_triangles_via_mm_with(&mut s, &g, strategy).unwrap();
+                assert_eq!(got, expect, "seed {seed} {strategy:?}");
             }
         }
     }

@@ -76,6 +76,7 @@ pub mod differential;
 pub mod faults;
 pub mod fleet;
 pub mod instances;
+pub mod matmul;
 pub mod oracle;
 pub mod routing;
 
@@ -95,6 +96,7 @@ pub use differential::{
 pub use faults::{assert_empty_plan_transparent, differential_faulted, FaultedRun};
 pub use fleet::{assert_fleet_matches_serial, fleet_batch, Adversary, FleetJob, Workload};
 pub use instances::{corpus, weighted_corpus, Family, Instance, WeightedFamily, WeightedInstance};
+pub use matmul::{differential_matmul, matmul_corpus, wrap_mm, MmCase, MmFamily, MM_WIDTH};
 pub use routing::{
     assert_empty_crash_transparent, differential_route_balanced_faulted,
     differential_route_faulted, judge_routed_delivery, RouteFaultCase, RoutedRun,

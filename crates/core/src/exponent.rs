@@ -16,16 +16,77 @@ pub struct ExponentFit {
     pub r_squared: f64,
 }
 
+/// Why a `(n, rounds)` sample set cannot be fitted. Carries enough of the
+/// offending input to reproduce the failure from the message alone.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExponentFitError {
+    /// Fewer than two samples were supplied.
+    TooFewSamples {
+        /// Number of samples actually supplied.
+        got: usize,
+    },
+    /// A sample had `n = 0` or `rounds = 0`, which has no logarithm.
+    NonPositiveSample {
+        /// Problem size of the offending sample.
+        n: usize,
+        /// Round count of the offending sample.
+        rounds: usize,
+    },
+    /// All samples share a single `n`, so the slope is undetermined.
+    DuplicateN {
+        /// The repeated problem size.
+        n: usize,
+        /// Number of samples collapsed onto that size.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for ExponentFitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TooFewSamples { got } => {
+                write!(f, "need at least two samples, got {got}")
+            }
+            Self::NonPositiveSample { n, rounds } => {
+                write!(
+                    f,
+                    "samples must be positive, got (n = {n}, rounds = {rounds})"
+                )
+            }
+            Self::DuplicateN { n, count } => {
+                write!(
+                    f,
+                    "need at least two distinct n values, got {count} samples all at n = {n}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExponentFitError {}
+
 /// Fit an exponent to `(n, rounds)` samples. Requires ≥ 2 samples with
-/// distinct `n` and positive round counts.
-pub fn fit_exponent(samples: &[(usize, usize)]) -> ExponentFit {
-    assert!(samples.len() >= 2, "need at least two samples");
+/// distinct `n` and positive round counts; degenerate sample sets return
+/// a typed [`ExponentFitError`] naming the offending input.
+pub fn fit_exponent(samples: &[(usize, usize)]) -> Result<ExponentFit, ExponentFitError> {
+    if samples.len() < 2 {
+        return Err(ExponentFitError::TooFewSamples { got: samples.len() });
+    }
+    for &(n, r) in samples {
+        if n < 1 || r < 1 {
+            return Err(ExponentFitError::NonPositiveSample { n, rounds: r });
+        }
+    }
+    let first_n = samples[0].0;
+    if samples.iter().all(|&(n, _)| n == first_n) {
+        return Err(ExponentFitError::DuplicateN {
+            n: first_n,
+            count: samples.len(),
+        });
+    }
     let pts: Vec<(f64, f64)> = samples
         .iter()
-        .map(|&(n, r)| {
-            assert!(n >= 1 && r >= 1, "samples must be positive");
-            ((n as f64).ln(), (r as f64).ln())
-        })
+        .map(|&(n, r)| ((n as f64).ln(), (r as f64).ln()))
         .collect();
     let count = pts.len() as f64;
     let sx: f64 = pts.iter().map(|p| p.0).sum();
@@ -33,7 +94,6 @@ pub fn fit_exponent(samples: &[(usize, usize)]) -> ExponentFit {
     let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
     let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
     let denom = count * sxx - sx * sx;
-    assert!(denom.abs() > 1e-12, "need at least two distinct n values");
     let delta = (count * sxy - sx * sy) / denom;
     let intercept = (sy - delta * sx) / count;
 
@@ -48,11 +108,11 @@ pub fn fit_exponent(samples: &[(usize, usize)]) -> ExponentFit {
     } else {
         1.0 - ss_res / ss_tot
     };
-    ExponentFit {
+    Ok(ExponentFit {
         delta,
         coeff: intercept.exp(),
         r_squared,
-    }
+    })
 }
 
 /// Measure an algorithm's round counts across sizes: `run(n)` must return
@@ -72,7 +132,7 @@ mod tests {
                 .iter()
                 .map(|&n| (n, (coeff * (n as f64).powf(delta)).round() as usize))
                 .collect();
-            let fit = fit_exponent(&samples);
+            let fit = fit_exponent(&samples).unwrap();
             assert!(
                 (fit.delta - delta).abs() < 0.05,
                 "planted {delta}, fitted {}",
@@ -85,7 +145,7 @@ mod tests {
     #[test]
     fn flat_data_fits_zero_exponent() {
         let samples = vec![(16, 7), (32, 7), (64, 7), (128, 7)];
-        let fit = fit_exponent(&samples);
+        let fit = fit_exponent(&samples).unwrap();
         assert!(fit.delta.abs() < 1e-9);
         assert!((fit.coeff - 7.0).abs() < 1e-6);
         assert_eq!(fit.r_squared, 1.0);
@@ -94,15 +154,32 @@ mod tests {
     #[test]
     fn noisy_data_reports_imperfect_r2() {
         let samples = vec![(16, 10), (32, 30), (64, 25), (128, 90)];
-        let fit = fit_exponent(&samples);
+        let fit = fit_exponent(&samples).unwrap();
         assert!(fit.r_squared < 1.0);
         assert!(fit.delta > 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "distinct n")]
     fn rejects_degenerate_input() {
-        fit_exponent(&[(8, 3), (8, 4)]);
+        assert_eq!(
+            fit_exponent(&[(8, 3), (8, 4)]),
+            Err(ExponentFitError::DuplicateN { n: 8, count: 2 })
+        );
+        assert_eq!(
+            fit_exponent(&[(8, 3)]),
+            Err(ExponentFitError::TooFewSamples { got: 1 })
+        );
+        assert_eq!(
+            fit_exponent(&[]),
+            Err(ExponentFitError::TooFewSamples { got: 0 })
+        );
+        assert_eq!(
+            fit_exponent(&[(8, 3), (16, 0)]),
+            Err(ExponentFitError::NonPositiveSample { n: 16, rounds: 0 })
+        );
+        let msg = fit_exponent(&[(8, 3), (8, 4)]).unwrap_err().to_string();
+        assert!(msg.contains("distinct n"), "repro message was {msg:?}");
+        assert!(msg.contains("n = 8"), "repro message was {msg:?}");
     }
 
     #[test]

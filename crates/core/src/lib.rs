@@ -39,7 +39,7 @@ pub use counting::{
     census_two_nodes, functions_loglog, hard_function_exists, lemma1_loglog, sufficient_threshold,
     thm2_condition, thm4_condition, thm8_condition, ToyCensus, ToyHardLanguage,
 };
-pub use exponent::{fit_exponent, measure_rounds, ExponentFit};
+pub use exponent::{fit_exponent, measure_rounds, ExponentFit, ExponentFitError};
 pub use hierarchy::{
     eval_alternating, log_hierarchy_label_budget, run_klabelling, KLabelling, Negation,
     Sigma2Universal,
